@@ -1,0 +1,116 @@
+"""Ablation benches for the paper's fixed design choices (DESIGN.md):
+jamming guard bits, lookup-table width, controller threshold."""
+
+import numpy as np
+
+from repro.experiments import ablation
+
+
+def test_jamming_guard_bits(benchmark, emit):
+    results = benchmark.pedantic(ablation.guard_bits_ablation,
+                                 iterations=1, rounds=1)
+    emit("ablation_guard_bits", ablation.render_guard_bits(results))
+
+    by_guards = {r.guard_bits: r for r in results}
+    # 0 guards == truncation: clearly negative bias.
+    assert by_guards[0].mean_signed_error < -1e-4
+    # The paper's 3 guards cut |bias| severalfold (≈8x measured here).
+    assert abs(by_guards[3].mean_signed_error) < \
+        abs(by_guards[0].mean_signed_error) / 5
+    # Diminishing returns: 4 or 6 guards change little vs 3.
+    assert abs(by_guards[6].mean_signed_error
+               - by_guards[3].mean_signed_error) < \
+        abs(by_guards[0].mean_signed_error) / 2
+    # Bias shrinks monotonically (in magnitude) up to 3 guards.
+    magnitudes = [abs(by_guards[g].mean_signed_error) for g in (0, 1, 2, 3)]
+    assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+def test_lookup_table_width(benchmark, emit):
+    results = benchmark.pedantic(ablation.lookup_width_ablation,
+                                 iterations=1, rounds=1)
+    emit("ablation_lookup_width", ablation.render_lookup_width(results))
+
+    by_width = {r.operand_bits: r for r in results}
+    # The paper's 2K x 1B configuration.
+    assert by_width[5].entries == 2048
+    assert by_width[5].size_bytes == 2048
+    # Capacity grows 4x per extra operand bit.
+    assert by_width[6].entries == 4 * by_width[5].entries
+    # Every width is exact for multiplies over its own operand space.
+    for r in results:
+        assert r.mul_exact_fraction == 1.0
+        assert r.add_max_ulp <= 2.0
+    # Area scales with capacity: width 7 is already 1.28 mm^2 — bigger
+    # than the 0.75 mm^2 FPU it would displace, the reason the paper
+    # stops at 5.
+    assert by_width[7].area_mm2 > 1.0
+    assert by_width[5].area_mm2 < 0.1
+
+
+def test_controller_threshold(benchmark, emit):
+    results = benchmark.pedantic(ablation.threshold_ablation,
+                                 iterations=1, rounds=1)
+    emit("ablation_threshold", ablation.render_threshold(results))
+
+    # Stricter thresholds can only produce more violations and can only
+    # hold precision higher.
+    ordered = sorted(results, key=lambda r: r.threshold)
+    violations = [r.violations for r in ordered]
+    assert violations == sorted(violations, reverse=True)
+    precisions = [r.mean_lcp_precision for r in ordered]
+    assert all(p2 <= p1 + 0.5 for p1, p2 in zip(precisions,
+                                                precisions[1:]))
+    # Register floor and full precision bound everything.
+    for r in results:
+        assert 8.0 <= r.mean_lcp_precision <= 23.0
+
+
+def test_arbitration_policy(benchmark, emit, workloads):
+    results = benchmark.pedantic(
+        ablation.arbitration_ablation, kwargs={"workloads": workloads},
+        iterations=1, rounds=1)
+    emit("ablation_arbitration", ablation.render_arbitration(results))
+
+    # The demand policy never loses, and its advantage over the paper's
+    # static slots grows with the sharing degree (wasted slots multiply).
+    for r in results:
+        assert r.demand_ipc >= r.static_ipc * 0.995
+    for design in ("conjoin", "lookup_triv"):
+        gains = [r.demand_gain for r in results
+                 if r.design_name == design]
+        assert gains[-1] > gains[0]  # 8-way gap > 2-way gap
+    # Trivialization shrinks the policy gap: fewer ops contend at all.
+    conjoin8 = next(r for r in results
+                    if r.design_name == "conjoin" and r.cores_per_fpu == 8)
+    lookup8 = next(r for r in results
+                   if r.design_name == "lookup_triv"
+                   and r.cores_per_fpu == 8)
+    assert lookup8.demand_gain < conjoin8.demand_gain
+
+
+def test_solver_scheme(benchmark, emit):
+    results = benchmark.pedantic(ablation.solver_scheme_ablation,
+                                 iterations=1, rounds=1)
+    emit("ablation_solver_scheme", ablation.render_solver_scheme(results))
+
+    for r in results:
+        # Both schemes land in the same believability band: the Jacobi
+        # substitution does not distort Table 1 by more than a few bits.
+        assert abs(r.jacobi_min_bits - r.gauss_seidel_min_bits) <= 4
+        # Gauss-Seidel converges tighter per iteration.
+        assert r.gauss_seidel_penetration <= r.jacobi_penetration + 0.01
+
+
+def test_warm_start_locality(benchmark, emit):
+    results = benchmark.pedantic(ablation.warm_start_ablation,
+                                 iterations=1, rounds=1)
+    emit("ablation_warm_start", ablation.render_warm_start(results))
+
+    off = next(r for r in results if not r.warm_start)
+    on = next(r for r in results if r.warm_start)
+    # Warm starting extends value locality across steps: more add-stream
+    # reuse and at least as much local (trivial-or-memo) coverage.
+    assert on.add_memo_hitrate > off.add_memo_hitrate
+    assert on.local_coverage("add") > off.local_coverage("add")
+    assert on.local_coverage("mul") >= off.local_coverage("mul") - 0.01

@@ -1,0 +1,55 @@
+"""Regenerate Figure 6: (a) total cores in the baseline die area, and
+(b) % of FP operations trivialized plus FP energy reduction."""
+
+from repro.experiments import figure6
+
+
+def test_figure6a_core_counts(benchmark, emit):
+    counts = benchmark.pedantic(figure6.compute_core_counts, iterations=1,
+                                rounds=1)
+    emit("figure6a_core_counts", figure6.render_cores(counts))
+
+    # The unshared baseline is 128 cores at every FPU size.
+    for area in (1.5, 1.0, 0.75, 0.375):
+        assert counts[(area, "conjoin", 1)] == 128
+
+    # Sharing monotonically packs more cores.
+    for area in (1.5, 1.0, 0.75, 0.375):
+        series = [counts[(area, "conjoin", n)] for n in (1, 2, 4, 8)]
+        assert series == sorted(series)
+
+    # Paper Figure 6a peaks near 200 cores for the 1.5 mm^2 FPU, 8-way.
+    assert 168 <= counts[(1.5, "conjoin", 8)] <= 200
+
+    # The mini-FPU always packs fewer cores than the lookup design, and
+    # sharing the mini recovers part of the gap.
+    for area in (1.5, 0.375):
+        assert counts[(area, "mini_fpu_1", 4)] < \
+            counts[(area, "lookup_triv", 4)]
+        assert counts[(area, "mini_fpu_4", 4)] > \
+            counts[(area, "mini_fpu_1", 4)]
+
+
+def test_figure6b_trivialization_and_energy(benchmark, emit, workloads):
+    result = benchmark.pedantic(
+        figure6.compute_energy, kwargs={"workloads": workloads},
+        iterations=1, rounds=1,
+    )
+    emit("figure6b_energy", figure6.render_energy(result))
+
+    for phase in ("lcp", "narrow"):
+        triv = result.trivialized[phase]
+        energy = result.energy_reduction[phase]
+        # C <= R <= L for both metrics (paper Figure 6b bar ordering).
+        assert triv["conv_triv"] <= triv["reduced_triv"] + 0.02
+        assert triv["reduced_triv"] <= triv["lookup_triv"] + 0.02
+        assert energy["conv_triv"] <= energy["reduced_triv"] + 0.02
+        assert energy["reduced_triv"] <= energy["lookup_triv"] + 0.02
+        # All fractions sane.
+        for value in list(triv.values()) + list(energy.values()):
+            assert 0.0 <= value <= 1.0
+
+    # Paper: the L design trivializes ~53% of LCP FP ops and cuts LCP FP
+    # energy by ~50%; require the same order of magnitude.
+    assert result.trivialized["lcp"]["lookup_triv"] > 0.30
+    assert result.energy_reduction["lcp"]["lookup_triv"] > 0.25

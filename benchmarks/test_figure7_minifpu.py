@@ -1,0 +1,40 @@
+"""Regenerate Figure 7: mini-FPU designs (private / 2-shared / 4-shared)
+vs the Lookup + Reduced Trivialization L1."""
+
+from repro.experiments import figure7
+
+
+def test_figure7_minifpu(benchmark, emit, workloads):
+    result = benchmark.pedantic(
+        figure7.compute_figure7, kwargs={"workloads": workloads},
+        iterations=1, rounds=1,
+    )
+    text = "\n\n".join([
+        figure7.render(result, "lcp"),
+        figure7.render(result, "narrow"),
+    ])
+    emit("figure7_minifpu", text)
+
+    for phase in ("lcp", "narrow"):
+        grid = result.improvement[phase]
+
+        # Exploration constraint: the L2 FPU is shared by at least as
+        # many cores as the mini-FPU.
+        assert (1.5, "mini_fpu_4", 1) not in grid
+        assert (1.5, "mini_fpu_2", 1) not in grid
+        assert (1.5, "mini_fpu_4", 4) in grid
+
+        # Paper: the private mini-FPU "simply cannot pack as many cores
+        # ... resulting in a lower overall throughput" than Lookup for
+        # the larger FPU designs.
+        assert grid[(1.5, "lookup_triv", 4)] > grid[(1.5, "mini_fpu_1", 4)]
+
+        # "The mini-FPU designs only become more attractive for the most
+        # aggressive FPU design (0.375 mm^2)": the gap to Lookup narrows
+        # as the FPU shrinks, because the mini's area overhead scales
+        # with FPU size while its IPC advantage does not.
+        gap_large = (grid[(1.5, "mini_fpu_1", 8)]
+                     - grid[(1.5, "lookup_triv", 8)])
+        gap_small = (grid[(0.375, "mini_fpu_1", 8)]
+                     - grid[(0.375, "lookup_triv", 8)])
+        assert gap_small > gap_large

@@ -1,0 +1,32 @@
+"""Regenerate Figure 8: sensitivity of HFPU4 throughput to 1-4 cycles of
+added FPU sharing latency, relative to HFPU2 at 0 cycles."""
+
+from repro.experiments import figure8
+
+
+def test_figure8_latency_sensitivity(benchmark, emit, workloads):
+    result = benchmark.pedantic(
+        figure8.compute_figure8, kwargs={"workloads": workloads},
+        iterations=1, rounds=1,
+    )
+    text = "\n\n".join([
+        figure8.render(result, "lcp"),
+        figure8.render(result, "narrow"),
+    ])
+    emit("figure8_latency", text)
+
+    for phase in ("lcp", "narrow"):
+        grid = result.improvement[phase]
+        # Added latency monotonically erodes the HFPU4 advantage.
+        for area in (1.5, 1.0, 0.75, 0.375):
+            series = [grid[(area, lat)] for lat in (1, 2, 3, 4)]
+            assert series == sorted(series, reverse=True), (phase, area)
+
+    # LCP (31% FP) is more latency-sensitive than narrow-phase (13% FP):
+    # the paper's Figure 8 comparison.  Measure the drop from 1 to 4
+    # cycles on the largest FPU.
+    lcp_drop = (result.improvement["lcp"][(1.5, 1)]
+                - result.improvement["lcp"][(1.5, 4)])
+    narrow_drop = (result.improvement["narrow"][(1.5, 1)]
+                   - result.improvement["narrow"][(1.5, 4)])
+    assert lcp_drop > narrow_drop

@@ -1,0 +1,28 @@
+"""Phase-level scalability bench (ParallAX work-queue model)."""
+
+from conftest import SCALE
+
+from repro.experiments import scalability
+
+
+def test_phase_scalability(benchmark, emit):
+    rows = benchmark.pedantic(
+        scalability.compute_scalability, kwargs={"scale": SCALE},
+        iterations=1, rounds=1)
+    emit("scalability_phases", scalability.render(rows))
+
+    for row in rows:
+        lcp = [row.speedup["lcp"][n] for n in (8, 32, 128)]
+        narrow = [row.speedup["narrow"][n] for n in (8, 32, 128)]
+        # More cores never slow a phase down.
+        assert lcp == sorted(lcp)
+        assert narrow == sorted(narrow)
+        # Parallelism is bounded by the item counts.
+        assert max(lcp) <= 4 * max(row.islands, 1) + 1e-9
+        assert max(narrow) <= max(row.pairs, 1) + 1e-9
+
+    # The aggregate pattern the paper leans on: the pair-rich phase keeps
+    # scaling further than island-bound LCP on most scenarios.
+    wins = sum(row.speedup["narrow"][128] >= row.speedup["lcp"][128]
+               for row in rows)
+    assert wins >= len(rows) // 2

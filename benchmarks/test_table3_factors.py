@@ -1,0 +1,26 @@
+"""Regenerate Table 3: factors increasing trivialization (directed
+two-body tests)."""
+
+from repro.experiments import table3
+
+
+def test_table3_factors(benchmark, emit):
+    results = benchmark.pedantic(table3.compute_table3, iterations=1,
+                                 rounds=1)
+    emit("table3_factors", table3.render(results))
+
+    assert len(results) == len(table3.FACTORS)
+    for r in results:
+        assert 0.0 <= r.with_factor_pct <= 100.0
+        assert 0.0 <= r.without_factor_pct <= 100.0
+
+    # The paper's claim is directional: these factors *increase*
+    # trivialization.  Require a clear majority of the directed tests to
+    # agree (the mass/size pairs are weak effects), and the three
+    # strongest factors to agree decisively.
+    agreeing = sum(r.delta >= 0 for r in results)
+    assert agreeing >= 4
+    strong = {r.factor: r.delta for r in results}
+    assert strong["Zero velocities before collision"] > 5.0
+    assert strong["Use of ground and gravity"] > 20.0
+    assert strong["Higher amount of articulation"] > 5.0

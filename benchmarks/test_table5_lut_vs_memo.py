@@ -1,0 +1,24 @@
+"""Regenerate Table 5: lookup vs memoization table (constants + the
+functional validation of the 2K-entry LUT)."""
+
+from repro.experiments import table5
+
+
+def test_table5_lookup_vs_memoization(benchmark, emit):
+    result = benchmark.pedantic(table5.compute_table5, iterations=1,
+                                rounds=1)
+    emit("table5_lut_vs_memo", table5.render(result))
+
+    # Structural constants are the paper's own numbers.
+    assert result.lookup_latency_ns == 0.40
+    assert result.memo_latency_ns == 0.88
+    assert result.lookup_energy_nj == 0.03
+    assert result.memo_energy_nj == 0.73
+    assert result.area_reduction > 0.75  # paper: 77%
+
+    # Functional claim: at <6 bits the LUT satisfies every add/mul.
+    # Multiplies are bit-exact; adds lose at most ~1 reduced ulp to the
+    # 5-bit shifted-operand window.
+    assert result.mul_exact_fraction == 1.0
+    assert result.add_exact_fraction > 0.6
+    assert result.add_max_ulp <= 1.5

@@ -1,0 +1,32 @@
+"""Regenerate Table 8: evaluated designs — per-core area overhead and
+average per-core IPC at 4 cores per L2 FPU."""
+
+from repro.experiments import table8
+
+
+def test_table8_designs(benchmark, emit, workloads):
+    rows = benchmark.pedantic(
+        table8.compute_table8, kwargs={"workloads": workloads},
+        iterations=1, rounds=1,
+    )
+    emit("table8_designs", table8.render(rows))
+
+    by_name = {row.design: row for row in rows}
+
+    # Paper shape: IPC rises monotonically Conjoin -> ConvTriv ->
+    # ReducedTriv -> LookupTriv -> mini-FPU, for both phases.
+    order = ["conjoin", "conv_triv", "reduced_triv", "lookup_triv",
+             "mini_fpu_1"]
+    lcp = [by_name[name].lcp_ipc for name in order]
+    narrow = [by_name[name].narrow_ipc for name in order]
+    assert lcp == sorted(lcp)
+    assert all(n2 >= n1 - 0.005
+               for n1, n2 in zip(narrow, narrow[1:]))
+
+    # LCP (31% FP) is hurt more by sharing than narrow-phase (13% FP).
+    assert by_name["conjoin"].lcp_ipc < by_name["conjoin"].narrow_ipc
+
+    # IPCs live in a plausible band for 1-wide in-order cores.
+    for row in rows:
+        assert 0.15 < row.lcp_ipc < 1.0
+        assert 0.15 < row.narrow_ipc < 1.0

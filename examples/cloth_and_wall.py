@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Cloth + breakable wall: a composite interactive-entertainment scene.
+
+Builds a scene from the engine's public API directly (rather than via the
+workload presets): a banner of cloth pinned above a brick wall, with a
+cannonball fired through the wall.  Renders a coarse ASCII side-view
+every half second so you can watch the wall break, and reports the
+trivialization census that makes the paper's L1 FPUs profitable.
+
+Run:  python examples/cloth_and_wall.py
+"""
+
+import numpy as np
+
+from repro.fp import FPContext
+from repro.physics import Cloth, World
+
+
+def draw_side_view(world: World, width: int = 60, height: int = 14):
+    """Crude x/y ASCII projection of bodies and cloth particles."""
+    canvas = [[" "] * width for _ in range(height)]
+    xs = np.linspace(-5.0, 5.0, width)
+
+    def plot(x, y, char):
+        col = int((x + 5.0) / 10.0 * (width - 1))
+        row = height - 1 - int(y / 4.0 * (height - 1))
+        if 0 <= col < width and 0 <= row < height:
+            canvas[row][col] = char
+
+    n = world.bodies.count
+    for k in range(n):
+        x, y, _z = world.bodies.pos[k]
+        plot(float(x), float(y), "#" if k < n - 1 else "o")
+    for cloth in world.cloths:
+        for p in cloth.pos:
+            plot(float(p[0]), float(p[1]), ".")
+    print("\n".join("".join(row) for row in canvas))
+    print("-" * width)
+
+
+def main() -> None:
+    ctx = FPContext({"lcp": 10, "narrow": 12}, mode="jam")
+    world = World(ctx=ctx)
+    world.add_ground_plane(0.0, friction=0.8)
+
+    # The wall: 3 rows of 4 bricks.
+    for row in range(3):
+        for col in range(4):
+            world.add_box(
+                [col * 0.85 - 1.3 + (row % 2) * 0.4, 0.4 + row * 0.81, 0.0],
+                [0.4, 0.4, 0.4], mass=1.5, friction=0.6)
+
+    # A cloth banner pinned at both top corners above the wall.
+    banner = Cloth(origin=(-1.0, 3.6, 0.0), rows=4, cols=8, spacing=0.26,
+                   pinned=[(0, 0), (0, 7)])
+    world.add_cloth(banner)
+
+    # The cannonball (added last so the renderer draws it as 'o').
+    world.add_sphere([-4.5, 1.0, 0.0], 0.35, mass=5.0,
+                     linvel=[12.0, 1.0, 0.0], friction=0.4)
+
+    for frame in range(5):
+        for _ in range(50):
+            world.step()
+        print(f"t = {world.step_count * world.dt:.1f} s, "
+              f"contacts: {world.last_contact_count}, "
+              f"islands: {world.island_count}")
+        draw_side_view(world)
+
+    lcp = ctx.phase_totals("lcp")
+    narrow = ctx.phase_totals("narrow")
+    print(f"LCP FP ops: {lcp.total}, trivialized "
+          f"{100 * lcp.extended_trivial / max(lcp.total, 1):.0f}% "
+          "(all conditions at 10 bits)")
+    print(f"Narrow-phase FP ops: {narrow.total}, trivialized "
+          f"{100 * narrow.extended_trivial / max(narrow.total, 1):.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Explore the hierarchical-FPU design space for one workload.
+
+Characterizes the Ragdoll scenario's LCP phase (op mix + trivialization
+rates from an instrumented run), then sweeps L1 FPU designs and L2
+sharing degrees through the timing/area model: the same trade-off the
+paper's Figure 5 makes — per-core IPC falls with sharing, but the freed
+area buys cores.
+
+Run:  python examples/hfpu_design_space.py
+"""
+
+from repro.arch import (
+    ALL_DESIGNS,
+    CONJOIN,
+    baseline_throughput,
+    evaluate_config,
+    mini_fpu,
+)
+from repro.arch.trace import PhaseWorkload
+from repro.experiments.runcache import census_stats
+
+SCENARIO = "ragdoll"
+PRECISION = {"lcp": 9, "narrow": 10}  # tuned register for this scenario
+FPU_AREA = 1.0  # mm^2
+
+
+def main() -> None:
+    print(f"Characterizing {SCENARIO!r} (LCP at "
+          f"{PRECISION['lcp']} mantissa bits)...")
+    full = census_stats(SCENARIO, None, "jam", steps=45, scale=0.8)
+    reduced = census_stats(SCENARIO, PRECISION, "jam", steps=45, scale=0.8)
+    workload = PhaseWorkload.from_censuses("lcp", PRECISION["lcp"], full,
+                                           reduced)
+    for op, profile in workload.ops.items():
+        print(f"  {op:3s}: {100 * profile.share:5.1f}% of FP ops, "
+              f"trivial {100 * profile.conv_trivial_rate:4.1f}% (conv) / "
+              f"{100 * profile.ext_trivial_rate:4.1f}% (all conditions)")
+
+    base = baseline_throughput(workload)
+    print(f"\nbaseline: 128 private-FPU cores, aggregate throughput "
+          f"{base:.1f} instructions/cycle")
+    print(f"\n{'design':14s} {'share':>6s} {'cores':>6s} {'IPC':>7s} "
+          f"{'vs baseline':>12s}")
+    for design in list(ALL_DESIGNS) + [mini_fpu(1), mini_fpu(4)]:
+        for sharing in (1, 2, 4, 8):
+            if design.mini_shared_by > sharing:
+                continue
+            r = evaluate_config(workload, design, FPU_AREA, sharing,
+                                baseline=base)
+            print(f"{design.name:14s} {sharing:>6d} {r.cores:>6d} "
+                  f"{r.per_core_ipc:>7.3f} "
+                  f"{r.improvement_percent:>+11.1f}%")
+
+    best = max(
+        (evaluate_config(workload, d, FPU_AREA, n, baseline=base)
+         for d in ALL_DESIGNS for n in (1, 2, 4, 8)),
+        key=lambda r: r.improvement,
+    )
+    print(f"\nbest low-overhead config: {best.design_name} sharing "
+          f"{best.cores_per_fpu} cores/FPU -> "
+          f"{best.improvement_percent:+.1f}% (paper's pick: Lookup + "
+          "Reduced Triv, 4 cores/FPU)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` uses the legacy editable path via
+this file when PEP 660 wheel building is unavailable offline.  The
+console script is duplicated here because the legacy path does not read
+``[project.scripts]`` from pyproject.toml.
+"""
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["repro = repro.__main__:console"],
+    },
+)

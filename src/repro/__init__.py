@@ -1,0 +1,23 @@
+"""Reproduction of "The Art of Deception: Adaptive Precision Reduction for
+Area Efficient Physics Acceleration" (Yeh et al., MICRO 2007).
+
+Public API highlights
+---------------------
+- :mod:`repro.fp` -- reduced-precision FP substrate (rounding modes,
+  trivialization, the per-phase :class:`~repro.fp.FPContext`).
+- :mod:`repro.memo` -- memoization tables and the 2K arithmetic LUT.
+- :mod:`repro.physics` -- constraint-based rigid-body engine (the ODE-like
+  simulation substrate).
+- :mod:`repro.workloads` -- the eight PhysicsBench-equivalent scenarios.
+- :mod:`repro.tuning` -- dynamic precision controller and believability
+  (minimum-precision) search.
+- :mod:`repro.arch` -- ParallAX-style many-core timing / area / energy
+  model with hierarchical FPU sharing.
+- :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from .fp import FPContext, RoundingMode
+
+__all__ = ["FPContext", "RoundingMode", "__version__"]

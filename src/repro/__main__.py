@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``scenarios``
+    List the PhysicsBench-equivalent workloads.
+``run SCENARIO``
+    Simulate a scenario and print its energy/contact/trivialization
+    summary (optionally at reduced precision).
+``tune SCENARIO``
+    Search the minimum believable precision for a scenario phase.
+``table1`` / ``table3`` / ``table4`` / ``table5`` / ``table8`` /
+``figure5`` / ``figure6`` / ``figure7`` / ``figure8``
+    Regenerate one paper artifact and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_run_parser(sub) -> None:
+    p = sub.add_parser("run", help="simulate one scenario")
+    p.add_argument("scenario")
+    p.add_argument("--steps", type=int, default=90)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--lcp-bits", type=int, default=23)
+    p.add_argument("--narrow-bits", type=int, default=23)
+    p.add_argument("--mode", default="jam",
+                   choices=["rn", "jam", "trunc"])
+    p.add_argument("--census", action="store_true",
+                   help="collect the trivialization census (slower)")
+
+
+def _add_tune_parser(sub) -> None:
+    p = sub.add_parser("tune", help="minimum believable precision search")
+    p.add_argument("scenario")
+    p.add_argument("--phase", default="lcp", choices=["lcp", "narrow"])
+    p.add_argument("--mode", default="jam",
+                   choices=["rn", "jam", "trunc"])
+    p.add_argument("--steps", type=int, default=90)
+    p.add_argument("--scale", type=float, default=1.0)
+
+
+def _cmd_scenarios() -> int:
+    from .workloads import SCENARIO_ABBREVIATIONS, SCENARIO_NAMES, build
+
+    print("PhysicsBench-equivalent scenarios:")
+    for name in SCENARIO_NAMES:
+        world = build(name)
+        particles = sum(c.particle_count for c in world.cloths)
+        extras = []
+        if world.joints.ball_joints or world.joints.hinge_joints:
+            extras.append(f"{len(world.joints)} joints")
+        if particles:
+            extras.append(f"{particles} cloth particles")
+        if world.explosions:
+            extras.append("explosion")
+        detail = f" ({', '.join(extras)})" if extras else ""
+        print(f"  {SCENARIO_ABBREVIATIONS[name]:4s} {name:12s} "
+              f"{world.bodies.count:3d} bodies{detail}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .fp import FPContext
+    from .workloads import build
+
+    precision = {}
+    if args.lcp_bits < 23:
+        precision["lcp"] = args.lcp_bits
+    if args.narrow_bits < 23:
+        precision["narrow"] = args.narrow_bits
+    ctx = FPContext(precision, mode=args.mode, census=args.census)
+    world = build(args.scenario, ctx=ctx, scale=args.scale)
+    for _ in range(args.steps):
+        world.step()
+
+    energy = world.monitor.totals()
+    print(f"{args.scenario}: {args.steps} steps, "
+          f"{world.bodies.count} bodies")
+    print(f"  energy: {energy[0]:.2f} J -> {energy[-1]:.2f} J "
+          f"(injected {world.monitor.injected_total:.2f} J)")
+    print(f"  final contacts: {world.last_contact_count}, "
+          f"islands: {world.island_count}, max penetration: "
+          f"{max(world.penetration_series or [0.0]):.4f} m")
+    if args.census:
+        for phase in ("narrow", "lcp"):
+            totals = ctx.phase_totals(phase)
+            if totals.total:
+                pct = 100 * totals.extended_trivial / totals.total
+                print(f"  {phase}: {totals.total} FP ops, "
+                      f"{pct:.0f}% trivial (all conditions)")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .tuning import minimum_precision
+
+    bits = minimum_precision(args.scenario, phases=(args.phase,),
+                             mode=args.mode, steps=args.steps,
+                             scale=args.scale)
+    print(f"{args.scenario} / {args.phase} / {args.mode}: "
+          f"minimum believable precision = {bits} mantissa bits")
+    return 0
+
+
+def _cmd_artifact(name: str) -> int:
+    from .experiments import (
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        table1,
+        table3,
+        table4,
+        table5,
+        table8,
+    )
+
+    if name == "table1":
+        print(table1.render(table1.compute_table1()))
+    elif name == "table3":
+        print(table3.render(table3.compute_table3()))
+    elif name == "table4":
+        print(table4.render(table4.compute_table4()))
+    elif name == "table5":
+        print(table5.render(table5.compute_table5()))
+    elif name == "table8":
+        print(table8.render(table8.compute_table8()))
+    elif name == "figure5":
+        result = figure5.compute_figure5()
+        print(figure5.render(result, "lcp"))
+        print()
+        print(figure5.render(result, "narrow"))
+        print()
+        print(figure5.paper_summary(result))
+    elif name == "figure6":
+        print(figure6.render_cores(figure6.compute_core_counts()))
+        print()
+        print(figure6.render_energy(figure6.compute_energy()))
+    elif name == "figure7":
+        result = figure7.compute_figure7()
+        print(figure7.render(result, "lcp"))
+        print()
+        print(figure7.render(result, "narrow"))
+    elif name == "figure8":
+        result = figure8.compute_figure8()
+        print(figure8.render(result, "lcp"))
+        print()
+        print(figure8.render(result, "narrow"))
+    else:  # pragma: no cover - argparse restricts choices
+        return 1
+    return 0
+
+
+ARTIFACTS = ["table1", "table3", "table4", "table5", "table8",
+             "figure5", "figure6", "figure7", "figure8"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive precision reduction for physics "
+                    "acceleration (MICRO 2007) - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("scenarios", help="list the workloads")
+    _add_run_parser(sub)
+    _add_tune_parser(sub)
+    for artifact in ARTIFACTS:
+        sub.add_parser(artifact, help=f"regenerate paper {artifact}")
+
+    args = parser.parse_args(argv)
+    if args.command == "scenarios":
+        return _cmd_scenarios()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    return _cmd_artifact(args.command)
+
+
+def console() -> int:
+    """Console-script entry: exits quietly when the pipe closes early."""
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+
+        # Piping into `head` is normal CLI usage, not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(console())

@@ -1,0 +1,68 @@
+"""ParallAX-style many-core timing / area / energy model with HFPU sharing.
+
+Substitution note (DESIGN.md): the paper uses SESC, a cycle-accurate
+full-system simulator.  Here the cycle-level core model replays FP
+operation traces recorded from the instrumented physics engine; because
+the paper's cores are single-issue in-order with *static* round-robin
+FPU slots, per-core timing is exact given the trace, and aggregate
+throughput follows from the area model's core counts.
+"""
+
+from . import params, parallax
+from .arbiter import DIV_WINDOW_CYCLES, RoundRobinArbiter
+from .area import cores_in_same_area, die_area_mm2, per_core_area_mm2
+from .cluster import ClusterResult, simulate_cluster
+from .core import CoreResult, analytic_cpi, cluster_ipc, simulate_core
+from .energy import (
+    EnergyBreakdown,
+    baseline_energy,
+    energy_reduction,
+    phase_energy,
+    trivialized_fraction,
+)
+from .l1fpu import (
+    ALL_DESIGNS,
+    CONJOIN,
+    CONV_TRIV,
+    LOOKUP_TRIV,
+    REDUCED_TRIV,
+    L1Design,
+    mini_fpu,
+)
+from .throughput import ConfigResult, baseline_throughput, evaluate_config
+from .trace import OpProfile, PhaseWorkload, Trace, generate_trace
+
+__all__ = [
+    "params",
+    "parallax",
+    "RoundRobinArbiter",
+    "DIV_WINDOW_CYCLES",
+    "cores_in_same_area",
+    "die_area_mm2",
+    "per_core_area_mm2",
+    "ClusterResult",
+    "simulate_cluster",
+    "CoreResult",
+    "analytic_cpi",
+    "cluster_ipc",
+    "simulate_core",
+    "EnergyBreakdown",
+    "baseline_energy",
+    "energy_reduction",
+    "phase_energy",
+    "trivialized_fraction",
+    "ALL_DESIGNS",
+    "CONJOIN",
+    "CONV_TRIV",
+    "REDUCED_TRIV",
+    "LOOKUP_TRIV",
+    "L1Design",
+    "mini_fpu",
+    "ConfigResult",
+    "baseline_throughput",
+    "evaluate_config",
+    "OpProfile",
+    "PhaseWorkload",
+    "Trace",
+    "generate_trace",
+]

@@ -1,0 +1,68 @@
+"""Round-robin FPU arbitration (paper Section 5, Kumar et al. policy).
+
+"We adopt a simple policy for arbitration to minimize latency — the cores
+simply take turns accessing the FPU on alternating cycles for pipelined
+operations.  So when a single FPU is shared among N cores, a given core
+will get access to the FPU once every N cycles.  If the core does not
+require the FPU in that cycle, the opportunity to use the FPU is wasted.
+For long latency non-pipelined FP operations such as divide, we assume
+alternating 3-cycle scheduling windows for each core."
+
+Because the slots are static, waits are deterministic functions of the
+requesting cycle — "the latency of a non-trivial operation is known at
+issue time ... using a local counter to indicate current round-robin
+arbitration overhead."
+"""
+
+from __future__ import annotations
+
+__all__ = ["RoundRobinArbiter", "DIV_WINDOW_CYCLES"]
+
+#: width of each core's non-pipelined (divide) scheduling window
+DIV_WINDOW_CYCLES = 3
+
+
+class RoundRobinArbiter:
+    """Static time-slot arbitration for one shared L2 FPU."""
+
+    def __init__(self, cores: int, slot: int = 0) -> None:
+        """``slot`` is this core's position in the rotation (0..cores-1)."""
+        if cores < 1:
+            raise ValueError("need at least one core")
+        if not 0 <= slot < cores:
+            raise ValueError(f"slot {slot} out of range for {cores} cores")
+        self.cores = cores
+        self.slot = slot
+
+    def pipelined_wait(self, cycle: int) -> int:
+        """Cycles until this core may issue a pipelined FP op."""
+        if self.cores == 1:
+            return 0
+        return (self.slot - cycle) % self.cores
+
+    def divide_wait(self, cycle: int) -> int:
+        """Cycles until this core may start a divide.
+
+        Zero while inside the core's own 3-cycle window, otherwise the
+        distance to the next window start.
+        """
+        if self.cores == 1:
+            return 0
+        period = DIV_WINDOW_CYCLES * self.cores
+        window_start = DIV_WINDOW_CYCLES * self.slot
+        offset = (cycle - window_start) % period
+        if offset < DIV_WINDOW_CYCLES:
+            return 0
+        return period - offset
+
+    def expected_pipelined_wait(self) -> float:
+        """Mean arbitration wait for uniformly arriving pipelined ops."""
+        return (self.cores - 1) / 2.0
+
+    def expected_divide_wait(self) -> float:
+        """Mean wait for a divide start under uniform arrivals."""
+        if self.cores == 1:
+            return 0.0
+        period = DIV_WINDOW_CYCLES * self.cores
+        total = sum(self.divide_wait(c) for c in range(period))
+        return total / period

@@ -1,0 +1,53 @@
+"""Die-area accounting and core-count scaling (Figure 6a).
+
+The baseline is 128 cores, each with a private full FPU and a mesh
+router.  Any configuration that shares FPUs (and/or adds L1 FPU hardware)
+packs as many cores as fit in the *same die area* as its baseline:
+
+    total_area = 128 * (core + router + fpu_area)
+    per_core   = core + router + fpu_area / cores_per_fpu + l1_overhead
+    cores      = floor(total_area / per_core), rounded down to a multiple
+                 of the sharing degree so clusters stay whole.
+"""
+
+from __future__ import annotations
+
+from . import params
+from .l1fpu import L1Design
+
+__all__ = ["die_area_mm2", "per_core_area_mm2", "cores_in_same_area"]
+
+
+def die_area_mm2(fpu_area_mm2: float) -> float:
+    """Total die area of the 128-core private-FPU baseline."""
+    return params.BASELINE_CORES * (
+        params.CORE_AREA_MM2 + params.ROUTER_AREA_MM2 + fpu_area_mm2
+    )
+
+
+def per_core_area_mm2(
+    fpu_area_mm2: float,
+    cores_per_fpu: int,
+    design: L1Design,
+) -> float:
+    """Area per core including its share of the L2 FPU and L1 hardware."""
+    if cores_per_fpu < 1:
+        raise ValueError("cores_per_fpu must be >= 1")
+    return (
+        params.CORE_AREA_MM2
+        + params.ROUTER_AREA_MM2
+        + fpu_area_mm2 / cores_per_fpu
+        + design.area_overhead_mm2(fpu_area_mm2)
+    )
+
+
+def cores_in_same_area(
+    fpu_area_mm2: float,
+    cores_per_fpu: int,
+    design: L1Design,
+) -> int:
+    """Cores that fit in the baseline die area (whole clusters only)."""
+    total = die_area_mm2(fpu_area_mm2)
+    per_core = per_core_area_mm2(fpu_area_mm2, cores_per_fpu, design)
+    cores = int(total / per_core)
+    return (cores // cores_per_fpu) * cores_per_fpu

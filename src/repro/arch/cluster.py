@@ -1,0 +1,197 @@
+"""Joint cluster simulation with selectable arbitration policies.
+
+The paper adopts Kumar et al.'s *simple* policy — static alternating
+cycles ("If the core does not require the FPU in that cycle, the
+opportunity to use the FPU is wasted").  Kumar et al. also proposed "a
+more intelligent policy where either core can use a resource in any
+cycle, but the arbitration priority among the cores switches from cycle
+to cycle for fairness".  This module simulates all cores of one HFPU
+cluster together so both policies can be compared:
+
+* ``static``  — the paper's time-slot policy (equivalent to the
+  independent per-core model in :mod:`repro.arch.core`, which this
+  simulator cross-validates);
+* ``demand``  — any core may issue on any cycle; conflicts are granted
+  by rotating priority.
+
+Divides hold the (non-pipelined) unit for their full latency under both
+policies; under ``static`` they additionally wait for the core's 3-cycle
+scheduling window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from . import params
+from .arbiter import RoundRobinArbiter
+from .l1fpu import L1Design, SERVICE_L1, SERVICE_L2, SERVICE_MINI
+from .trace import Trace
+
+__all__ = ["ClusterResult", "simulate_cluster"]
+
+POLICIES = ("static", "demand")
+
+
+@dataclass
+class ClusterResult:
+    """Joint-simulation outcome for one cluster."""
+
+    per_core_ipc: List[float]
+    cycles: int
+    instructions: int
+    #: cycles the L2 FPU issue port actually accepted an operation
+    fpu_busy_cycles: int
+
+    @property
+    def mean_ipc(self) -> float:
+        return sum(self.per_core_ipc) / len(self.per_core_ipc)
+
+    @property
+    def fpu_utilization(self) -> float:
+        return self.fpu_busy_cycles / self.cycles if self.cycles else 0.0
+
+
+class _CoreState:
+    """Execution cursor of one core replaying its trace."""
+
+    __slots__ = ("trace", "index", "ready_at", "done_at", "wants_fpu",
+                 "pending_op")
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.index = 0
+        self.ready_at = 0       # cycle at which the next instr may begin
+        self.done_at: Optional[int] = None  # set when trace exhausted
+        self.wants_fpu = False
+        self.pending_op: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.index >= len(self.trace.op_index)
+
+
+def simulate_cluster(
+    traces: Sequence[Trace],
+    design: L1Design,
+    policy: str = "static",
+    interconnect: Optional[int] = None,
+) -> ClusterResult:
+    """Simulate one cluster (``len(traces)`` cores, one shared L2 FPU)."""
+    if policy not in POLICIES:
+        raise ValueError(f"policy must be one of {POLICIES}")
+    n = len(traces)
+    if n < 1:
+        raise ValueError("need at least one core")
+    if interconnect is None:
+        interconnect = params.interconnect_latency(n)
+
+    cores = [_CoreState(trace) for trace in traces]
+    arbiters = [RoundRobinArbiter(n, slot) for slot in range(n)]
+    mini_period = max(design.mini_shared_by, 1)
+
+    fp_alu = params.CORE.fp_alu_latency
+    fp_div = params.CORE.fp_div_latency
+    ops = Trace.OPS
+
+    cycle = 0
+    priority = 0              # demand policy: rotating grant priority
+    divider_free_at = 0       # the non-pipelined divide sub-unit only:
+    # pipelined adds/muls flow through the FPU pipeline regardless of an
+    # in-flight divide (Kumar et al.'s split the paper inherits).
+    fpu_busy_cycles = 0
+    finish_cycles = [0] * n
+
+    def _advance_local(core: _CoreState, slot: int) -> None:
+        """Run the core forward until it needs the shared FPU (or ends)."""
+        while not core.finished:
+            k = core.trace.op_index[core.index]
+            if k < 0:
+                core.ready_at += 1
+                core.index += 1
+                continue
+            op = ops[k]
+            service = design.service(
+                op, core.trace.precision,
+                bool(core.trace.conv_trivial[core.index]),
+                bool(core.trace.ext_trivial[core.index]))
+            if service == SERVICE_L1:
+                core.ready_at += params.L1_HIT_LATENCY
+                core.index += 1
+            elif service == SERVICE_MINI:
+                wait = 0
+                if design.mini_shared_by > 1:
+                    wait = (slot - core.ready_at) % mini_period
+                core.ready_at += wait + params.MINI_FPU_LATENCY
+                core.index += 1
+            else:
+                core.wants_fpu = True
+                core.pending_op = op
+                return
+        core.done_at = core.ready_at
+
+    for slot, core in enumerate(cores):
+        _advance_local(core, slot)
+
+    while any(not core.finished for core in cores):
+        # Who is requesting the shared FPU this cycle?
+        requesters = [
+            i for i, core in enumerate(cores)
+            if core.wants_fpu and core.ready_at <= cycle
+        ]
+        grant = None
+        if requesters:
+            if policy == "static":
+                # Only the slot owner may use this cycle; divides also
+                # need the core's scheduling window and a free divider.
+                for i in requesters:
+                    if cores[i].pending_op == "div":
+                        ok = (arbiters[i].divide_wait(cycle) == 0
+                              and cycle >= divider_free_at)
+                    else:
+                        ok = arbiters[i].pipelined_wait(cycle) == 0
+                    if ok:
+                        grant = i
+                        break
+            else:  # demand
+                for offset in range(n):
+                    i = (priority + offset) % n
+                    if i not in requesters:
+                        continue
+                    if (cores[i].pending_op == "div"
+                            and cycle < divider_free_at):
+                        continue
+                    grant = i
+                    break
+                priority = (priority + 1) % n
+
+        if grant is not None:
+            core = cores[grant]
+            latency = fp_div if core.pending_op == "div" else fp_alu
+            if core.pending_op == "div":
+                divider_free_at = cycle + latency
+            fpu_busy_cycles += 1
+            core.ready_at = cycle + interconnect + latency
+            core.wants_fpu = False
+            core.pending_op = None
+            core.index += 1
+            _advance_local(core, grant)
+
+        cycle += 1
+
+    for i, core in enumerate(cores):
+        finish_cycles[i] = core.done_at if core.done_at is not None \
+            else core.ready_at
+
+    total_cycles = max(finish_cycles) if finish_cycles else 0
+    per_core_ipc = [
+        len(core.trace) / finish_cycles[i] if finish_cycles[i] else 0.0
+        for i, core in enumerate(cores)
+    ]
+    return ClusterResult(
+        per_core_ipc=per_core_ipc,
+        cycles=total_cycles,
+        instructions=sum(len(core.trace) for core in cores),
+        fpu_busy_cycles=fpu_busy_cycles,
+    )

@@ -1,0 +1,176 @@
+"""Cycle-level model of one fine-grain in-order core (Table 6).
+
+The cores are single-issue and in-order with no dynamic scheduler:
+"Instructions are dispatched in program order ... If the operation is
+satisfied by the trivial or look-up table logic, then the operation
+completes in 1 cycle.  If not, the pipeline stalls until the operation is
+completed."  That makes per-core timing independent of the other cores in
+the cluster (the round-robin slots are static), so a cluster's per-core
+IPC is obtained by simulating one core per slot position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from . import params
+from .arbiter import RoundRobinArbiter
+from .l1fpu import L1Design, SERVICE_L1, SERVICE_L2, SERVICE_MINI
+from .trace import Trace
+
+__all__ = ["CoreResult", "simulate_core", "cluster_ipc", "analytic_cpi"]
+
+
+@dataclass
+class CoreResult:
+    """Timing outcome of replaying one trace on one core."""
+
+    instructions: int
+    cycles: int
+    l1_satisfied: int
+    mini_satisfied: int
+    l2_ops: int
+    fp_ops: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_rate(self) -> float:
+        return self.l1_satisfied / self.fp_ops if self.fp_ops else 0.0
+
+
+def simulate_core(
+    trace: Trace,
+    design: L1Design,
+    cores_per_fpu: int,
+    slot: int = 0,
+    interconnect: Optional[int] = None,
+) -> CoreResult:
+    """Replay ``trace`` cycle by cycle on one core of an HFPU cluster.
+
+    ``interconnect`` overrides the Table 7 wire latency (Figure 8's
+    sensitivity sweep uses this).
+    """
+    if interconnect is None:
+        interconnect = params.interconnect_latency(cores_per_fpu)
+    arbiter = RoundRobinArbiter(cores_per_fpu, slot % cores_per_fpu)
+    mini_arbiter = (
+        RoundRobinArbiter(design.mini_shared_by,
+                          slot % design.mini_shared_by)
+        if design.mini_shared_by > 1 else None
+    )
+
+    fp_alu = params.CORE.fp_alu_latency
+    fp_div = params.CORE.fp_div_latency
+    ops = Trace.OPS
+
+    cycle = 0
+    l1_hits = mini_hits = l2_ops = fp_ops = 0
+
+    op_index = trace.op_index
+    conv = trace.conv_trivial
+    ext = trace.ext_trivial
+    precision = trace.precision
+
+    for i in range(len(op_index)):
+        k = op_index[i]
+        if k < 0:
+            cycle += 1  # int / memory op on 1-cycle local storage
+            continue
+        fp_ops += 1
+        op = ops[k]
+        service = design.service(op, precision, bool(conv[i]), bool(ext[i]))
+        if service == SERVICE_L1:
+            l1_hits += 1
+            cycle += params.L1_HIT_LATENCY
+        elif service == SERVICE_MINI:
+            mini_hits += 1
+            wait = (mini_arbiter.pipelined_wait(cycle)
+                    if mini_arbiter else 0)
+            cycle += wait + params.MINI_FPU_LATENCY
+        else:
+            l2_ops += 1
+            if op == "div":
+                wait = arbiter.divide_wait(cycle)
+                cycle += wait + interconnect + fp_div
+            else:
+                wait = arbiter.pipelined_wait(cycle)
+                cycle += wait + interconnect + fp_alu
+
+    return CoreResult(
+        instructions=len(op_index),
+        cycles=cycle,
+        l1_satisfied=l1_hits,
+        mini_satisfied=mini_hits,
+        l2_ops=l2_ops,
+        fp_ops=fp_ops,
+    )
+
+
+def cluster_ipc(
+    trace: Trace,
+    design: L1Design,
+    cores_per_fpu: int,
+    interconnect: Optional[int] = None,
+) -> float:
+    """Average per-core IPC across the cluster's slot positions."""
+    total = 0.0
+    for slot in range(cores_per_fpu):
+        total += simulate_core(trace, design, cores_per_fpu, slot,
+                               interconnect).ipc
+    return total / cores_per_fpu
+
+
+def analytic_cpi(
+    workload,
+    design: L1Design,
+    cores_per_fpu: int,
+    interconnect: Optional[int] = None,
+) -> float:
+    """Closed-form expected CPI (validates the cycle simulator).
+
+    Expected cost per instruction under uniform arrival phases:
+    ``(1-f) * 1 + f * E[fp cost]`` with the Table 7 latency components.
+    """
+    if interconnect is None:
+        interconnect = params.interconnect_latency(cores_per_fpu)
+    arbiter = RoundRobinArbiter(cores_per_fpu)
+    mini_wait = ((design.mini_shared_by - 1) / 2.0
+                 if design.mini_shared_by > 1 else 0.0)
+
+    expected_fp = 0.0
+    for op, profile in workload.ops.items():
+        if profile.share == 0:
+            continue
+        l1 = design.l1_rate(op, workload.precision,
+                            profile.conv_trivial_rate,
+                            profile.ext_trivial_rate)
+        mini = design.mini_rate(op, workload.precision,
+                                profile.conv_trivial_rate,
+                                profile.ext_trivial_rate)
+        l2 = max(0.0, 1.0 - l1 - mini)
+        if op == "div":
+            # Divides never use the LUT or mini-FPU; only trivialization.
+            l1 = (0.0 if design.name == "conjoin"
+                  else (profile.ext_trivial_rate
+                        if design.uses_reduced_conditions
+                        else profile.conv_trivial_rate))
+            mini = 0.0
+            l2 = 1.0 - l1
+            l2_cost = (arbiter.expected_divide_wait() + interconnect
+                       + params.CORE.fp_div_latency)
+        else:
+            l2_cost = (arbiter.expected_pipelined_wait() + interconnect
+                       + params.CORE.fp_alu_latency)
+        cost = (l1 * params.L1_HIT_LATENCY
+                + mini * (mini_wait + params.MINI_FPU_LATENCY)
+                + l2 * l2_cost)
+        expected_fp += profile.share * cost
+
+    f = workload.fp_fraction
+    return (1.0 - f) * 1.0 + f * expected_fp

@@ -1,0 +1,107 @@
+"""Dynamic FP energy model (Figure 6b).
+
+"For configurations with trivialization, all FP operations are charged the
+trivialization logic energy.  Non-trivial operations are then charged for
+the FPU energy.  The lookup table is activated when the required precision
+falls below six bits.  In these cases, all FP operations are charged the
+trivialization plus the lookup energies."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..memo.lookup_table import LOOKUP_PRECISION_LIMIT
+from . import params
+from .l1fpu import L1Design
+from .trace import PhaseWorkload
+
+__all__ = ["EnergyBreakdown", "phase_energy", "energy_reduction",
+           "trivialized_fraction"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Average energy per dynamic FP operation, in nJ."""
+
+    trivialization_nj: float
+    lookup_nj: float
+    mini_nj: float
+    fpu_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return (self.trivialization_nj + self.lookup_nj + self.mini_nj
+                + self.fpu_nj)
+
+
+def phase_energy(workload: PhaseWorkload, design: L1Design) -> \
+        EnergyBreakdown:
+    """Average per-FP-op energy for a phase under an L1 design."""
+    has_triv = design.name != "conjoin"
+    lut_active = (
+        design.has_lookup
+        and workload.precision < LOOKUP_PRECISION_LIMIT
+    )
+
+    triv = lookup = mini = fpu = 0.0
+    for op, profile in workload.ops.items():
+        share = profile.share
+        if share == 0:
+            continue
+        if has_triv:
+            triv += share * params.TRIV_LOGIC_ENERGY_NJ
+        if lut_active and op in ("add", "sub", "mul"):
+            # All such ops charge the lookup energy; none reach the FPU.
+            lookup += share * params.LOOKUP_ENERGY_NJ
+            continue
+        l1 = design.l1_rate(op, workload.precision,
+                            profile.conv_trivial_rate,
+                            profile.ext_trivial_rate)
+        if op == "div":
+            l1 = (0.0 if not has_triv else
+                  (profile.ext_trivial_rate
+                   if design.uses_reduced_conditions
+                   else profile.conv_trivial_rate))
+        mini_rate = design.mini_rate(op, workload.precision,
+                                     profile.conv_trivial_rate,
+                                     profile.ext_trivial_rate)
+        fpu_rate = max(0.0, 1.0 - l1 - mini_rate)
+        op_energy = params.FPU_OP_ENERGY_NJ[op]
+        mini += share * mini_rate * op_energy * params.MINI_FPU_ENERGY_FACTOR
+        fpu += share * fpu_rate * op_energy
+    return EnergyBreakdown(triv, lookup, mini, fpu)
+
+
+def baseline_energy(workload: PhaseWorkload) -> float:
+    """Per-FP-op energy when every op uses a private full FPU (nJ)."""
+    total = 0.0
+    for op, profile in workload.ops.items():
+        total += profile.share * params.FPU_OP_ENERGY_NJ[op]
+    return total
+
+
+def energy_reduction(workload: PhaseWorkload, design: L1Design) -> float:
+    """Fractional FP energy saved vs the unshared full-FPU baseline."""
+    base = baseline_energy(workload)
+    if base == 0:
+        return 0.0
+    return 1.0 - phase_energy(workload, design).total_nj / base
+
+
+def trivialized_fraction(workload: PhaseWorkload, design: L1Design) -> \
+        float:
+    """Fraction of FP ops satisfied by trivialization or table lookup."""
+    total = 0.0
+    for op, profile in workload.ops.items():
+        l1 = design.l1_rate(op, workload.precision,
+                            profile.conv_trivial_rate,
+                            profile.ext_trivial_rate)
+        if op == "div":
+            l1 = (0.0 if design.name == "conjoin" else
+                  (profile.ext_trivial_rate
+                   if design.uses_reduced_conditions
+                   else profile.conv_trivial_rate))
+        total += profile.share * l1
+    return total

@@ -1,0 +1,152 @@
+"""L1 FPU design alternatives (paper Section 5.1).
+
+A hierarchical FPU (HFPU) gives each core a small local L1 unit; anything
+the L1 cannot satisfy travels to the full-precision L2 FPU shared among
+``cores_per_fpu`` cores.  The paper's four alternatives, by increasing
+complexity:
+
+1. **Conventional Trivialization** — Table 2 conditions only, evaluated on
+   full-precision operands (no precision reduction hardware).
+2. **Reduced Precision Trivialization** — the extended conditions on
+   reduced operands; needs the extra exponent logic.
+3. **Lookup Table + Reduced Triv** — adds the 2K-entry LUT; add/multiply
+   at fewer than six mantissa bits never leave the core.
+4. **mini-FPU + Reduced Triv** — adds a 14-bit-mantissa FPU covering
+   add/multiply below 15 bits, at 60 % of a full FPU's area; optionally
+   shared among 2 or 4 cores.
+
+(The plain ``Conjoin`` baseline — sharing with no L1 at all — is also
+modelled.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..memo.lookup_table import LOOKUP_PRECISION_LIMIT
+from . import params
+
+__all__ = [
+    "L1Design",
+    "CONJOIN",
+    "CONV_TRIV",
+    "REDUCED_TRIV",
+    "LOOKUP_TRIV",
+    "mini_fpu",
+    "ALL_DESIGNS",
+    "SERVICE_L1",
+    "SERVICE_MINI",
+    "SERVICE_L2",
+]
+
+#: Service classes an FP operation can resolve to.
+SERVICE_L1 = "l1"      # trivialization or lookup table: 1 cycle
+SERVICE_MINI = "mini"  # the 14-bit mini-FPU: 3 cycles
+SERVICE_L2 = "l2"      # the shared full-precision FPU
+
+
+@dataclass(frozen=True)
+class L1Design:
+    """One L1 FPU alternative.
+
+    ``mini_shared_by`` > 0 means the design includes a mini-FPU shared by
+    that many cores (1 = private).
+    """
+
+    name: str
+    uses_reduced_conditions: bool
+    has_lookup: bool
+    mini_shared_by: int = 0
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+    def area_overhead_mm2(self, fpu_area_mm2: float) -> float:
+        """Additional area per core beyond core + router + shared L2."""
+        if self.name == "conjoin":
+            return 0.0
+        area = (params.REDUCED_TRIV_AREA_MM2
+                if self.uses_reduced_conditions
+                else params.CONV_TRIV_AREA_MM2)
+        if self.has_lookup:
+            area += params.LOOKUP_TABLE_AREA_MM2
+        if self.mini_shared_by:
+            area += (params.MINI_FPU_AREA_FACTOR * fpu_area_mm2
+                     / self.mini_shared_by)
+        return area
+
+    @property
+    def has_mini(self) -> bool:
+        return self.mini_shared_by > 0
+
+    # ------------------------------------------------------------------
+    # Service classification
+    # ------------------------------------------------------------------
+    def service(
+        self,
+        op: str,
+        precision: int,
+        trivial_conventional: bool,
+        trivial_extended: bool,
+    ) -> str:
+        """Where one dynamic FP op executes under this design.
+
+        ``trivial_conventional`` must be evaluated on *full-precision*
+        operands and ``trivial_extended`` on reduced operands — designs
+        without precision-reduction hardware only see the former.
+        """
+        if self.name == "conjoin":
+            return SERVICE_L2
+        if self.uses_reduced_conditions:
+            if trivial_extended:
+                return SERVICE_L1
+        elif trivial_conventional:
+            return SERVICE_L1
+        if op in ("add", "sub", "mul"):
+            if self.has_lookup and precision < LOOKUP_PRECISION_LIMIT:
+                return SERVICE_L1
+            if self.has_mini and precision < params.MINI_FPU_MANTISSA_BITS + 1:
+                return SERVICE_MINI
+        return SERVICE_L2
+
+    def l1_rate(self, op: str, precision: int, conv_rate: float,
+                ext_rate: float) -> float:
+        """Fraction of ``op`` dynamic instances satisfied in 1 cycle."""
+        if self.name == "conjoin":
+            return 0.0
+        base = ext_rate if self.uses_reduced_conditions else conv_rate
+        if (op in ("add", "sub", "mul") and self.has_lookup
+                and precision < LOOKUP_PRECISION_LIMIT):
+            return 1.0  # everything the LUT sees is satisfied
+        return base
+
+    def mini_rate(self, op: str, precision: int, conv_rate: float,
+                  ext_rate: float) -> float:
+        """Fraction of ``op`` handled by the mini-FPU (after L1 checks)."""
+        if not self.has_mini or op not in ("add", "sub", "mul"):
+            return 0.0
+        if precision > params.MINI_FPU_MANTISSA_BITS:
+            return 0.0
+        return 1.0 - self.l1_rate(op, precision, conv_rate, ext_rate)
+
+
+CONJOIN = L1Design("conjoin", uses_reduced_conditions=False,
+                   has_lookup=False)
+CONV_TRIV = L1Design("conv_triv", uses_reduced_conditions=False,
+                     has_lookup=False)
+REDUCED_TRIV = L1Design("reduced_triv", uses_reduced_conditions=True,
+                        has_lookup=False)
+LOOKUP_TRIV = L1Design("lookup_triv", uses_reduced_conditions=True,
+                       has_lookup=True)
+
+
+def mini_fpu(shared_by: int = 1) -> L1Design:
+    """The mini-FPU design, optionally sharing one mini among N cores."""
+    if shared_by not in (1, 2, 4):
+        raise ValueError("mini-FPU sharing must be 1, 2 or 4")
+    return L1Design(f"mini_fpu_{shared_by}", uses_reduced_conditions=True,
+                    has_lookup=False, mini_shared_by=shared_by)
+
+
+ALL_DESIGNS = (CONJOIN, CONV_TRIV, REDUCED_TRIV, LOOKUP_TRIV)

@@ -1,0 +1,136 @@
+"""Architectural parameters (paper Tables 5, 6, 7 and Section 5 text).
+
+All constants are the paper's own published numbers (90 nm, 1 GHz
+fine-grain shader cores in a ParallAX-style CMP), so the area arithmetic
+of Figure 6(a) reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "CoreParams",
+    "CORE",
+    "CORE_AREA_MM2",
+    "ROUTER_AREA_MM2",
+    "BASELINE_CORES",
+    "FPU_AREAS_MM2",
+    "MINI_FPU_AREA_FACTOR",
+    "MINI_FPU_MANTISSA_BITS",
+    "CONV_TRIV_AREA_MM2",
+    "REDUCED_TRIV_AREA_MM2",
+    "LOOKUP_TABLE_AREA_MM2",
+    "LOOKUP_LATENCY_NS",
+    "LOOKUP_ENERGY_NJ",
+    "MEMO_LATENCY_NS",
+    "MEMO_ENERGY_NJ",
+    "MEMO_AREA_MM2",
+    "L1_HIT_LATENCY",
+    "MINI_FPU_LATENCY",
+    "INTERCONNECT_LATENCY",
+    "FPU_OP_ENERGY_NJ",
+    "TRIV_LOGIC_ENERGY_NJ",
+    "MINI_FPU_ENERGY_FACTOR",
+    "PHASE_FP_FRACTION",
+    "interconnect_latency",
+]
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Table 6: fine-grain shader core design."""
+
+    width: int = 1
+    pipeline_stages: int = 5
+    in_order: bool = True
+    clock_ghz: float = 1.0
+    technology_nm: int = 90
+    fp_alu_latency: int = 4
+    fp_mult_latency: int = 4
+    fp_div_latency: int = 20
+    int_alu_latency: int = 1
+    int_mult_latency: int = 6
+    int_div_latency: int = 40
+    local_inst_memory_kb: int = 4
+    local_data_memory_kb: int = 4
+    window_entries: int = 8
+    scheduler_entries: int = 4
+
+
+CORE = CoreParams()
+
+# ---------------------------------------------------------------------
+# Section 5 area model
+# ---------------------------------------------------------------------
+#: simple in-order shader-class core, excluding the FPU
+CORE_AREA_MM2 = 2.0
+#: per-core mesh interconnect router (Polaris [31])
+ROUTER_AREA_MM2 = 0.19
+#: the ParallAX baseline configuration
+BASELINE_CORES = 128
+#: the four FPU design points explored (Section 5)
+FPU_AREAS_MM2 = (1.5, 1.0, 0.75, 0.375)
+#: the 14-bit mantissa mini-FPU costs 60 % of a full FPU
+MINI_FPU_AREA_FACTOR = 0.6
+MINI_FPU_MANTISSA_BITS = 14
+
+# Table 8 per-core area overheads.  The new trivialization conditions add
+# an 8-bit exponent adder estimated at 1/16 of a 64-bit adder's area.
+CONV_TRIV_AREA_MM2 = 0.0023
+REDUCED_TRIV_AREA_MM2 = 0.0079
+LOOKUP_TABLE_AREA_MM2 = 0.080
+
+# ---------------------------------------------------------------------
+# Table 5: lookup vs memoization (Cacti 3.0 derived)
+# ---------------------------------------------------------------------
+LOOKUP_LATENCY_NS = 0.40
+LOOKUP_ENERGY_NJ = 0.03
+# LOOKUP area is LOOKUP_TABLE_AREA_MM2 above (0.08 mm^2)
+MEMO_LATENCY_NS = 0.88
+MEMO_ENERGY_NJ = 0.73
+MEMO_AREA_MM2 = 0.35
+
+# ---------------------------------------------------------------------
+# Table 7: variable FP latency components (cycles)
+# ---------------------------------------------------------------------
+#: trivialization or lookup-table satisfaction
+L1_HIT_LATENCY = 1
+#: the 14-bit mini-FPU
+MINI_FPU_LATENCY = 3
+#: one-way wire overhead added when reaching the shared L2 FPU
+INTERCONNECT_LATENCY: Dict[int, int] = {1: 0, 2: 0, 4: 1, 8: 2}
+
+
+def interconnect_latency(cores_per_fpu: int) -> int:
+    """Cycles of wire delay for a given L2 sharing degree."""
+    try:
+        return INTERCONNECT_LATENCY[cores_per_fpu]
+    except KeyError:
+        raise ValueError(
+            f"unsupported sharing degree {cores_per_fpu}; "
+            f"choose from {sorted(INTERCONNECT_LATENCY)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------
+# Dynamic energy model (scaled from Citron & Feitelson [10]; the paper
+# reports relative reductions, so only the ratios matter)
+# ---------------------------------------------------------------------
+FPU_OP_ENERGY_NJ: Dict[str, float] = {
+    "add": 0.40,
+    "sub": 0.40,
+    "mul": 0.55,
+    "div": 2.00,
+}
+#: comparator/exponent logic charged to *every* FP op when trivialization
+#: hardware is present
+TRIV_LOGIC_ENERGY_NJ = 0.01
+MINI_FPU_ENERGY_FACTOR = 0.6
+
+# ---------------------------------------------------------------------
+# Phase instruction mix (Section 4.1.1: "31% and 13% of dynamic
+# instructions on average are FP for LCP and narrow-phase respectively")
+# ---------------------------------------------------------------------
+PHASE_FP_FRACTION: Dict[str, float] = {"lcp": 0.31, "narrow": 0.13}

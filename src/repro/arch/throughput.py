@@ -1,0 +1,88 @@
+"""Aggregate throughput comparison vs the 128-core baseline (Figure 5/7).
+
+Two competing trends (paper Section 5.2): sharing FPUs frees area that
+buys more cores (more parallelism), but sharing overheads lower per-core
+IPC.  The phases studied are embarrassingly parallel, so aggregate
+throughput scales with ``cores x per-core IPC``; the reported metric is
+the percentage improvement over the 128-core private-FPU baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from . import area, params
+from .core import cluster_ipc
+from .l1fpu import CONJOIN, L1Design
+from .trace import PhaseWorkload, Trace, generate_trace
+
+__all__ = ["ConfigResult", "evaluate_config", "baseline_throughput"]
+
+#: dynamic instructions fed to the cycle simulator per configuration
+DEFAULT_TRACE_LENGTH = 20_000
+
+
+@dataclass(frozen=True)
+class ConfigResult:
+    """Evaluated HFPU configuration."""
+
+    design_name: str
+    fpu_area_mm2: float
+    cores_per_fpu: int
+    cores: int
+    per_core_ipc: float
+    throughput: float           # cores x IPC
+    improvement: float          # vs the 128-core unshared baseline
+
+    @property
+    def improvement_percent(self) -> float:
+        return 100.0 * self.improvement
+
+
+def _trace_for(workload: PhaseWorkload, trace_length: int,
+               seed: int) -> Trace:
+    return generate_trace(workload, trace_length, seed=seed)
+
+
+def baseline_throughput(
+    workload: PhaseWorkload,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+) -> float:
+    """Throughput of 128 cores, each with a private FPU and no L1."""
+    trace = _trace_for(workload, trace_length, seed)
+    ipc = cluster_ipc(trace, CONJOIN, cores_per_fpu=1)
+    return params.BASELINE_CORES * ipc
+
+
+def evaluate_config(
+    workload: PhaseWorkload,
+    design: L1Design,
+    fpu_area_mm2: float,
+    cores_per_fpu: int,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    interconnect: Optional[int] = None,
+    seed: int = 0,
+    baseline: Optional[float] = None,
+) -> ConfigResult:
+    """Evaluate one (design, FPU size, sharing degree) point.
+
+    ``baseline`` lets callers reuse a precomputed baseline throughput;
+    ``interconnect`` overrides the wire latency for Figure 8 sweeps.
+    """
+    trace = _trace_for(workload, trace_length, seed)
+    ipc = cluster_ipc(trace, design, cores_per_fpu, interconnect)
+    cores = area.cores_in_same_area(fpu_area_mm2, cores_per_fpu, design)
+    throughput = cores * ipc
+    if baseline is None:
+        baseline = baseline_throughput(workload, trace_length, seed)
+    return ConfigResult(
+        design_name=design.name,
+        fpu_area_mm2=fpu_area_mm2,
+        cores_per_fpu=cores_per_fpu,
+        cores=cores,
+        per_core_ipc=ipc,
+        throughput=throughput,
+        improvement=throughput / baseline - 1.0,
+    )

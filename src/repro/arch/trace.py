@@ -1,0 +1,141 @@
+"""Phase workload characterization and instruction trace generation.
+
+The physics engine's instrumented runs yield, per phase, the FP operation
+mix and the trivialization rates under two conditions: conventional
+conditions on full-precision operands, and all (extended) conditions on
+reduced operands.  Combined with the paper's phase FP densities (31 % of
+dynamic instructions are FP in LCP, 13 % in narrow-phase), this
+characterizes the workload each fine-grain core executes; the trace
+generator expands it into a concrete dynamic instruction stream for the
+cycle simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..fp.context import OpCounter
+from . import params
+
+__all__ = ["OpProfile", "PhaseWorkload", "Trace", "generate_trace"]
+
+_FP_OPS = ("add", "sub", "mul", "div")
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Dynamic profile of one FP op type within a phase."""
+
+    share: float          # fraction of the phase's FP ops
+    conv_trivial_rate: float  # under conventional conditions, full precision
+    ext_trivial_rate: float   # under all conditions, reduced operands
+
+
+@dataclass(frozen=True)
+class PhaseWorkload:
+    """Everything the timing model needs about one phase's FP behaviour."""
+
+    phase: str
+    precision: int
+    fp_fraction: float
+    ops: Mapping[str, OpProfile]
+
+    @classmethod
+    def from_censuses(
+        cls,
+        phase: str,
+        precision: int,
+        full_stats: Mapping,
+        reduced_stats: Mapping,
+        fp_fraction: Optional[float] = None,
+    ) -> "PhaseWorkload":
+        """Build from two instrumented runs' ``FPContext.stats`` dicts.
+
+        ``full_stats`` comes from a full-precision run (conventional
+        trivial rates), ``reduced_stats`` from a run at the tuned
+        precision (extended rates + the op mix actually executed).
+        """
+        def _counter(stats, op) -> OpCounter:
+            value = stats.get((phase, op))
+            return value if value is not None else OpCounter()
+
+        totals = {op: _counter(reduced_stats, op).total for op in _FP_OPS}
+        grand = sum(totals.values())
+        ops: Dict[str, OpProfile] = {}
+        for op in _FP_OPS:
+            reduced = _counter(reduced_stats, op)
+            full = _counter(full_stats, op)
+            conv_rate = (full.conventional_trivial / full.total
+                         if full.total else 0.0)
+            ext_rate = (reduced.extended_trivial / reduced.total
+                        if reduced.total else 0.0)
+            share = totals[op] / grand if grand else 0.0
+            ops[op] = OpProfile(share, conv_rate, ext_rate)
+        if fp_fraction is None:
+            fp_fraction = params.PHASE_FP_FRACTION.get(phase, 0.2)
+        return cls(phase=phase, precision=precision,
+                   fp_fraction=fp_fraction, ops=ops)
+
+
+@dataclass
+class Trace:
+    """A concrete dynamic instruction stream for one core.
+
+    ``op_index`` holds -1 for non-FP instructions, otherwise an index into
+    ``_FP_OPS``; the trivial flags are only meaningful for FP entries.
+    """
+
+    op_index: np.ndarray
+    conv_trivial: np.ndarray
+    ext_trivial: np.ndarray
+    precision: int
+
+    OPS = _FP_OPS
+
+    def __len__(self) -> int:
+        return len(self.op_index)
+
+    @property
+    def fp_count(self) -> int:
+        return int(np.count_nonzero(self.op_index >= 0))
+
+
+def generate_trace(
+    workload: PhaseWorkload,
+    instructions: int,
+    seed: int = 0,
+) -> Trace:
+    """Expand a phase workload into ``instructions`` dynamic instructions.
+
+    Sampling is deterministic for a given seed, so experiments are
+    reproducible run to run.
+    """
+    rng = np.random.default_rng(seed)
+    is_fp = rng.random(instructions) < workload.fp_fraction
+
+    shares = np.array(
+        [workload.ops[op].share for op in _FP_OPS], dtype=np.float64)
+    if shares.sum() <= 0:
+        shares = np.array([0.45, 0.1, 0.4, 0.05])
+    shares = shares / shares.sum()
+
+    op_index = np.full(instructions, -1, dtype=np.int8)
+    n_fp = int(np.count_nonzero(is_fp))
+    op_index[is_fp] = rng.choice(len(_FP_OPS), size=n_fp, p=shares)
+
+    conv = np.zeros(instructions, dtype=bool)
+    ext = np.zeros(instructions, dtype=bool)
+    draw = rng.random(instructions)
+    for k, op in enumerate(_FP_OPS):
+        mask = op_index == k
+        profile = workload.ops[op]
+        conv[mask] = draw[mask] < profile.conv_trivial_rate
+        # Extended conditions are a superset of conventional ones, so
+        # sampling with a shared uniform keeps ext ⊇ conv.
+        ext[mask] = draw[mask] < max(profile.ext_trivial_rate,
+                                     profile.conv_trivial_rate)
+    return Trace(op_index=op_index, conv_trivial=conv, ext_trivial=ext,
+                 precision=workload.precision)

@@ -1,0 +1,50 @@
+"""One module per paper table/figure, plus shared run caching.
+
+================  ====================================================
+module            reproduces
+================  ====================================================
+``table1``        minimum mantissa bits for believability
+``table3``        factors increasing trivialization (directed tests)
+``table4``        % FP trivialized / memoized, full vs reduced
+``table5``        lookup vs memoization tables
+``table8``        evaluated designs: area overhead + per-core IPC
+``figure5``       HFPU throughput improvement grid
+``figure6``       core counts (a); trivialization + energy (b)
+``figure7``       mini-FPU design comparison
+``figure8``       FPU latency sensitivity
+================  ====================================================
+"""
+
+from . import (  # noqa: F401
+    ablation,
+    common,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    report,
+    runcache,
+    scalability,
+    table1,
+    table3,
+    table4,
+    table5,
+    table8,
+)
+
+__all__ = [
+    "ablation",
+    "common",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "report",
+    "runcache",
+    "scalability",
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table8",
+]

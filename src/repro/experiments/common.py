@@ -1,0 +1,55 @@
+"""Shared plumbing for the architecture experiments (Tables 4/8, Figures
+5-8): turning cached instrumented runs into per-phase workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..arch.trace import PhaseWorkload
+from ..workloads import SCENARIO_NAMES, default_steps
+from .runcache import census_stats
+from .table1 import tuned_precisions
+
+__all__ = ["PHASES", "phase_workload", "all_workloads"]
+
+PHASES = ("lcp", "narrow")
+
+
+def phase_workload(
+    scenario: str,
+    phase: str,
+    tuned: Mapping[str, int],
+    steps: Optional[int] = None,
+    scale: float = 1.0,
+) -> PhaseWorkload:
+    """Workload for one scenario phase at its tuned precision.
+
+    Conventional trivial rates come from a full-precision census run (the
+    ConvTriv L1 has no precision-reduction hardware); extended rates and
+    the op mix from a run at the tuned per-phase precisions.
+    """
+    steps = default_steps() if steps is None else steps
+    full = census_stats(scenario, None, "jam", steps, scale)
+    reduced = census_stats(scenario, dict(tuned), "jam", steps, scale)
+    return PhaseWorkload.from_censuses(
+        phase, tuned[phase], full, reduced)
+
+
+def all_workloads(
+    scenarios: Optional[Iterable[str]] = None,
+    tuned_map: Optional[Mapping[str, Mapping[str, int]]] = None,
+    steps: Optional[int] = None,
+    scale: float = 1.0,
+) -> Dict[str, Dict[str, PhaseWorkload]]:
+    """Per-scenario, per-phase workloads at tuned precisions."""
+    scenarios = list(scenarios or SCENARIO_NAMES)
+    tuned_map = tuned_map or tuned_precisions()
+    out: Dict[str, Dict[str, PhaseWorkload]] = {}
+    for scenario in scenarios:
+        tuned = tuned_map[scenario]
+        out[scenario] = {
+            phase: phase_workload(scenario, phase, tuned, steps, scale)
+            for phase in PHASES
+        }
+    return out

@@ -1,0 +1,169 @@
+"""Figure 5 — HFPU throughput improvement grid (LCP and narrow-phase).
+
+For every FPU design point (1.5 / 1.0 / 0.75 / 0.375 mm^2), sharing degree
+(1 / 2 / 4 / 8 cores per L2 FPU) and L1 alternative (Conjoin, Conv Triv,
+Reduced Triv, Lookup + Reduced Triv), report the aggregate throughput
+improvement over the 128-core unshared baseline, averaged across the
+eight scenarios.  Any area saved buys more cores (Figure 6a).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..arch import params
+from ..arch.area import cores_in_same_area
+from ..arch.core import cluster_ipc
+from ..arch.l1fpu import ALL_DESIGNS, CONJOIN, LOOKUP_TRIV, L1Design
+from ..arch.trace import PhaseWorkload, generate_trace
+from .common import PHASES, all_workloads
+from .report import render_table
+
+__all__ = ["SHARING_DEGREES", "Figure5Result", "compute_figure5", "render",
+           "paper_summary"]
+
+SHARING_DEGREES = (1, 2, 4, 8)
+
+#: Paper headline: average LCP improvement of the best HFPU (Lookup, 4-way)
+#: per FPU size, and the same for narrow-phase.
+PAPER_HFPU4_IMPROVEMENT = {
+    "lcp": {1.5: 0.55, 1.0: 0.40, 0.75: 0.33, 0.375: 0.20},
+    "narrow": {1.5: 0.46, 1.0: 0.32, 0.75: 0.25, 0.375: 0.13},
+}
+
+#: trace length per configuration (instructions per simulated core)
+TRACE_LENGTH = 12_000
+
+
+@dataclass
+class Figure5Result:
+    """improvement[phase][(fpu_area, design_name, sharing)] -> fraction."""
+
+    improvement: Dict[str, Dict[Tuple[float, str, int], float]]
+    per_core_ipc: Dict[str, Dict[Tuple[str, int], float]]
+    designs: Tuple[L1Design, ...] = ALL_DESIGNS
+    #: per-scenario breakdown: [phase][(area, design, n)][scenario]
+    by_scenario: Optional[Dict[str, Dict[Tuple[float, str, int],
+                                         Dict[str, float]]]] = None
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def compute_figure5(
+    workloads: Optional[Mapping[str, Mapping[str, PhaseWorkload]]] = None,
+    designs: Iterable[L1Design] = ALL_DESIGNS,
+    fpu_areas: Iterable[float] = params.FPU_AREAS_MM2,
+    sharing: Iterable[int] = SHARING_DEGREES,
+    trace_length: int = TRACE_LENGTH,
+) -> Figure5Result:
+    """Evaluate the full Figure 5 grid.
+
+    Per-core IPC depends only on (scenario, phase, design, sharing); the
+    FPU area enters through the core count, so IPCs are computed once and
+    reused across areas.
+    """
+    designs = tuple(designs)
+    workloads = workloads or all_workloads()
+    improvement: Dict[str, Dict] = {phase: {} for phase in PHASES}
+    mean_ipc: Dict[str, Dict] = {phase: {} for phase in PHASES}
+    by_scenario: Dict[str, Dict] = {phase: {} for phase in PHASES}
+
+    for phase in PHASES:
+        # scenario -> design/sharing -> ipc; plus per-scenario baselines.
+        per_scenario_ipc: Dict[str, Dict[Tuple[str, int], float]] = {}
+        baselines: Dict[str, float] = {}
+        for scenario, phases in workloads.items():
+            workload = phases[phase]
+            trace = generate_trace(workload, trace_length,
+                                   seed=zlib.crc32(scenario.encode()))
+            table: Dict[Tuple[str, int], float] = {}
+            for design in designs:
+                for n in sharing:
+                    table[(design.name, n)] = cluster_ipc(trace, design, n)
+            per_scenario_ipc[scenario] = table
+            baselines[scenario] = (
+                params.BASELINE_CORES * cluster_ipc(trace, CONJOIN, 1))
+
+        for design in designs:
+            for n in sharing:
+                mean_ipc[phase][(design.name, n)] = _mean(
+                    [per_scenario_ipc[s][(design.name, n)]
+                     for s in workloads])
+                for area in fpu_areas:
+                    cores = cores_in_same_area(area, n, design)
+                    breakdown = {}
+                    for scenario in workloads:
+                        ipc = per_scenario_ipc[scenario][(design.name, n)]
+                        breakdown[scenario] = (
+                            cores * ipc / baselines[scenario] - 1.0)
+                    key = (area, design.name, n)
+                    by_scenario[phase][key] = breakdown
+                    improvement[phase][key] = _mean(
+                        list(breakdown.values()))
+    return Figure5Result(improvement=improvement, per_core_ipc=mean_ipc,
+                         designs=designs, by_scenario=by_scenario)
+
+
+def render(result: Figure5Result, phase: str) -> str:
+    headers = ["FPU mm2", "cores/FPU"] + [
+        d.name for d in result.designs]
+    rows = []
+    areas = sorted({k[0] for k in result.improvement[phase]}, reverse=True)
+    sharing = sorted({k[2] for k in result.improvement[phase]})
+    for area in areas:
+        for n in sharing:
+            row = [f"{area:g}", n]
+            for design in result.designs:
+                value = result.improvement[phase][(area, design.name, n)]
+                row.append(f"{100 * value:+.1f}%")
+            rows.append(row)
+    label = "LCP" if phase == "lcp" else "Narrow-phase"
+    return render_table(
+        headers, rows,
+        title=f"Figure 5 ({label}): % throughput improvement vs 128-core "
+              "unshared baseline")
+
+
+def paper_summary(result: Figure5Result) -> str:
+    """Headline comparison: Lookup+ReducedTriv shared 4-ways."""
+    lines = ["HFPU (Lookup+ReducedTriv, 4 cores/FPU) improvement "
+             "vs baseline:"]
+    for phase in PHASES:
+        for area in sorted(PAPER_HFPU4_IMPROVEMENT[phase], reverse=True):
+            ours = result.improvement[phase][(area, LOOKUP_TRIV.name, 4)]
+            paper = PAPER_HFPU4_IMPROVEMENT[phase][area]
+            lines.append(
+                f"  {phase:6s} {area:g} mm2: measured {100 * ours:+.1f}% "
+                f"(paper {100 * paper:+.0f}%)")
+    return "\n".join(lines)
+
+
+def render_per_scenario(result: Figure5Result, phase: str,
+                        area: float = 1.5, sharing: int = 4) -> str:
+    """Per-scenario breakdown at one (FPU area, sharing) grid point.
+
+    Exposes the spread the paper's averages hide: scenarios tuned to few
+    mantissa bits benefit most from the lookup design.
+    """
+    if result.by_scenario is None:
+        raise ValueError("result has no per-scenario breakdown")
+    designs = [d.name for d in result.designs]
+    scenarios = sorted(
+        result.by_scenario[phase][(area, designs[0], sharing)])
+    rows = []
+    for scenario in scenarios:
+        row = [scenario]
+        for design in designs:
+            value = result.by_scenario[phase][(area, design, sharing)][
+                scenario]
+            row.append(f"{100 * value:+.1f}%")
+        rows.append(row)
+    label = "LCP" if phase == "lcp" else "Narrow-phase"
+    return render_table(
+        ["scenario"] + designs, rows,
+        title=f"Figure 5 per-scenario breakdown ({label}, "
+              f"{area:g} mm2 FPU, {sharing} cores/FPU)")

@@ -1,0 +1,129 @@
+"""Figure 6 — (a) core counts per configuration, (b) trivialization and
+FP energy reduction.
+
+(a) is pure area arithmetic: the cores that fit in the same die area as
+the 128-core baseline, per FPU size, sharing degree and L1 design.
+(b) measures, for the Conv Triv (C), Reduced Triv (R) and Lookup (L)
+designs, the percentage of FP operations satisfied without the full FPU
+and the resulting dynamic-energy reduction, per phase, averaged across
+scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..arch import params
+from ..arch.area import cores_in_same_area
+from ..arch.energy import energy_reduction, trivialized_fraction
+from ..arch.l1fpu import (
+    CONJOIN,
+    CONV_TRIV,
+    LOOKUP_TRIV,
+    REDUCED_TRIV,
+    L1Design,
+    mini_fpu,
+)
+from ..arch.trace import PhaseWorkload
+from .common import PHASES, all_workloads
+from .report import render_table
+
+__all__ = ["compute_core_counts", "compute_energy", "Figure6bResult",
+           "render_cores", "render_energy"]
+
+#: Paper: total FP energy reduced by 50 % for LCP, 27 % for narrow-phase.
+PAPER_ENERGY_REDUCTION = {"lcp": 0.50, "narrow": 0.27}
+#: Paper: the HFPU design trivializes 53 % of FP operations in LCP.
+PAPER_LCP_TRIVIALIZED = 0.53
+
+_B_DESIGNS = (CONV_TRIV, REDUCED_TRIV, LOOKUP_TRIV)
+
+
+def compute_core_counts(
+    fpu_areas: Iterable[float] = params.FPU_AREAS_MM2,
+    sharing: Iterable[int] = (1, 2, 4, 8),
+) -> Dict[Tuple[float, str, int], int]:
+    """Figure 6a: cores in the baseline die area per configuration.
+
+    Conjoin / Conv Triv / Reduced Triv share one curve in the paper
+    (their area overheads are negligible at plot resolution); the lookup
+    and mini-FPU designs get their own.
+    """
+    counts: Dict[Tuple[float, str, int], int] = {}
+    designs = [CONJOIN, LOOKUP_TRIV, mini_fpu(1), mini_fpu(2), mini_fpu(4)]
+    for area in fpu_areas:
+        for design in designs:
+            for n in sharing:
+                counts[(area, design.name, n)] = cores_in_same_area(
+                    area, n, design)
+    return counts
+
+
+@dataclass
+class Figure6bResult:
+    """Per phase and per design: mean trivialized fraction and energy
+    reduction across scenarios."""
+
+    trivialized: Dict[str, Dict[str, float]]
+    energy_reduction: Dict[str, Dict[str, float]]
+
+
+def compute_energy(
+    workloads: Optional[Mapping[str, Mapping[str, PhaseWorkload]]] = None,
+) -> Figure6bResult:
+    """Figure 6b."""
+    workloads = workloads or all_workloads()
+    trivialized: Dict[str, Dict[str, float]] = {}
+    reduction: Dict[str, Dict[str, float]] = {}
+    for phase in PHASES:
+        trivialized[phase] = {}
+        reduction[phase] = {}
+        for design in _B_DESIGNS:
+            triv_values, energy_values = [], []
+            for scenario, phases in workloads.items():
+                workload = phases[phase]
+                triv_values.append(trivialized_fraction(workload, design))
+                energy_values.append(energy_reduction(workload, design))
+            trivialized[phase][design.name] = (
+                sum(triv_values) / len(triv_values))
+            reduction[phase][design.name] = (
+                sum(energy_values) / len(energy_values))
+    return Figure6bResult(trivialized=trivialized,
+                          energy_reduction=reduction)
+
+
+def render_cores(counts: Mapping[Tuple[float, str, int], int]) -> str:
+    areas = sorted({k[0] for k in counts}, reverse=True)
+    sharing = sorted({k[2] for k in counts})
+    designs = ["conjoin", "lookup_triv", "mini_fpu_1", "mini_fpu_2",
+               "mini_fpu_4"]
+    rows = []
+    for area in areas:
+        for n in sharing:
+            rows.append([f"{area:g}", n] + [
+                counts.get((area, d, n), "-") for d in designs])
+    return render_table(
+        ["FPU mm2", "cores/FPU"] + designs, rows,
+        title="Figure 6a: total cores in the 128-core baseline die area")
+
+
+def render_energy(result: Figure6bResult) -> str:
+    rows = []
+    for phase in PHASES:
+        for design in _B_DESIGNS:
+            rows.append([
+                phase,
+                {"conv_triv": "C", "reduced_triv": "R",
+                 "lookup_triv": "L"}[design.name],
+                f"{100 * result.trivialized[phase][design.name]:.0f}%",
+                f"{100 * result.energy_reduction[phase][design.name]:.0f}%",
+            ])
+    table = render_table(
+        ["Phase", "Design", "% trivialized", "% energy reduction"], rows,
+        title="Figure 6b: FP computation trivialized and energy reduction")
+    notes = (
+        f"\npaper: LCP L-design trivializes ~53%, energy reduction "
+        f"LCP ~50%, narrow-phase ~27%"
+    )
+    return table + notes

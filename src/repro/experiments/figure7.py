@@ -1,0 +1,99 @@
+"""Figure 7 — mini-FPU designs vs the best low-overhead L1.
+
+The 14-bit mini-FPU has the best per-core IPC (1 cycle less latency and
+broad precision coverage) but its area overhead packs fewer cores, so
+aggregate throughput usually trails the Lookup design; sharing the mini
+among 2 or 4 cores claws area back.  "We limit our exploration to
+configurations where the L2 FPU is shared by at least as many cores as
+the L1 [mini-FPU]."
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..arch import params
+from ..arch.area import cores_in_same_area
+from ..arch.core import cluster_ipc
+from ..arch.l1fpu import CONJOIN, LOOKUP_TRIV, L1Design, mini_fpu
+from ..arch.trace import PhaseWorkload, generate_trace
+from .common import PHASES, all_workloads
+from .report import render_table
+
+__all__ = ["Figure7Result", "compute_figure7", "render"]
+
+TRACE_LENGTH = 12_000
+
+
+def _designs() -> Tuple[L1Design, ...]:
+    return (LOOKUP_TRIV, mini_fpu(1), mini_fpu(2), mini_fpu(4))
+
+
+@dataclass
+class Figure7Result:
+    """improvement[phase][(fpu_area, design_name, l2_sharing)]"""
+
+    improvement: Dict[str, Dict[Tuple[float, str, int], float]]
+
+
+def compute_figure7(
+    workloads: Optional[Mapping[str, Mapping[str, PhaseWorkload]]] = None,
+    fpu_areas: Iterable[float] = params.FPU_AREAS_MM2,
+    sharing: Iterable[int] = (1, 2, 4, 8),
+    trace_length: int = TRACE_LENGTH,
+) -> Figure7Result:
+    workloads = workloads or all_workloads()
+    designs = _designs()
+    improvement: Dict[str, Dict] = {phase: {} for phase in PHASES}
+
+    for phase in PHASES:
+        ipc_cache: Dict[Tuple[str, str, int], float] = {}
+        baselines: Dict[str, float] = {}
+        for scenario, phases in workloads.items():
+            workload = phases[phase]
+            trace = generate_trace(workload, trace_length,
+                                   seed=zlib.crc32(scenario.encode()))
+            baselines[scenario] = (
+                params.BASELINE_CORES * cluster_ipc(trace, CONJOIN, 1))
+            for design in designs:
+                for n in sharing:
+                    if design.mini_shared_by > n > 0:
+                        continue  # L2 must be shared at least as widely
+                    ipc_cache[(scenario, design.name, n)] = cluster_ipc(
+                        trace, design, n)
+
+        for design in designs:
+            for n in sharing:
+                if design.mini_shared_by > n > 0:
+                    continue
+                for area in fpu_areas:
+                    cores = cores_in_same_area(area, n, design)
+                    values = [
+                        cores * ipc_cache[(s, design.name, n)]
+                        / baselines[s] - 1.0
+                        for s in workloads
+                    ]
+                    improvement[phase][(area, design.name, n)] = (
+                        sum(values) / len(values))
+    return Figure7Result(improvement=improvement)
+
+
+def render(result: Figure7Result, phase: str) -> str:
+    designs = [d.name for d in _designs()]
+    areas = sorted({k[0] for k in result.improvement[phase]}, reverse=True)
+    sharing = sorted({k[2] for k in result.improvement[phase]})
+    rows = []
+    for area in areas:
+        for n in sharing:
+            row = [f"{area:g}", n]
+            for name in designs:
+                value = result.improvement[phase].get((area, name, n))
+                row.append("-" if value is None else f"{100 * value:+.1f}%")
+            rows.append(row)
+    label = "LCP" if phase == "lcp" else "Narrow-phase"
+    return render_table(
+        ["FPU mm2", "cores/full-FPU"] + designs, rows,
+        title=f"Figure 7 ({label}): mini-FPU vs Lookup throughput "
+              "improvement")

@@ -1,0 +1,86 @@
+"""Figure 8 — sensitivity to added FPU sharing latency.
+
+"The baseline for these figures is the performance of the Lookup Table +
+Reduced Precision Trivialization sharing one FPU among two cores" at its
+nominal 0-cycle interconnect; the HFPU4 configuration is swept over 1-4
+cycles of added latency.  LCP is more sensitive than narrow-phase, and
+for the most aggressively sized FPUs the 4-way advantage erodes past a
+single cycle.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..arch import params
+from ..arch.area import cores_in_same_area
+from ..arch.core import cluster_ipc
+from ..arch.l1fpu import LOOKUP_TRIV
+from ..arch.trace import PhaseWorkload, generate_trace
+from .common import PHASES, all_workloads
+from .report import render_table
+
+__all__ = ["Figure8Result", "compute_figure8", "render"]
+
+TRACE_LENGTH = 12_000
+LATENCIES = (1, 2, 3, 4)
+
+
+@dataclass
+class Figure8Result:
+    """improvement[phase][(fpu_area, latency)] of HFPU4 vs HFPU2@0."""
+
+    improvement: Dict[str, Dict[Tuple[float, int], float]]
+
+
+def compute_figure8(
+    workloads: Optional[Mapping[str, Mapping[str, PhaseWorkload]]] = None,
+    fpu_areas: Iterable[float] = params.FPU_AREAS_MM2,
+    latencies: Iterable[int] = LATENCIES,
+    trace_length: int = TRACE_LENGTH,
+) -> Figure8Result:
+    workloads = workloads or all_workloads()
+    improvement: Dict[str, Dict] = {phase: {} for phase in PHASES}
+    design = LOOKUP_TRIV
+
+    for phase in PHASES:
+        ipc2: Dict[str, float] = {}
+        ipc4: Dict[Tuple[str, int], float] = {}
+        for scenario, phases in workloads.items():
+            trace = generate_trace(phases[phase], trace_length,
+                                   seed=zlib.crc32(scenario.encode()))
+            ipc2[scenario] = cluster_ipc(trace, design, 2, interconnect=0)
+            for latency in latencies:
+                ipc4[(scenario, latency)] = cluster_ipc(
+                    trace, design, 4, interconnect=latency)
+
+        for area in fpu_areas:
+            cores2 = cores_in_same_area(area, 2, design)
+            cores4 = cores_in_same_area(area, 4, design)
+            for latency in latencies:
+                values = [
+                    (cores4 * ipc4[(s, latency)])
+                    / (cores2 * ipc2[s]) - 1.0
+                    for s in workloads
+                ]
+                improvement[phase][(area, latency)] = (
+                    sum(values) / len(values))
+    return Figure8Result(improvement=improvement)
+
+
+def render(result: Figure8Result, phase: str) -> str:
+    areas = sorted({k[0] for k in result.improvement[phase]}, reverse=True)
+    latencies = sorted({k[1] for k in result.improvement[phase]})
+    rows = []
+    for area in areas:
+        row = [f"{area:g}"]
+        for latency in latencies:
+            value = result.improvement[phase][(area, latency)]
+            row.append(f"{100 * value:+.1f}%")
+        rows.append(row)
+    label = "LCP" if phase == "lcp" else "Narrow-phase"
+    return render_table(
+        ["FPU mm2"] + [f"HFPU4 {c}-cycle" for c in latencies], rows,
+        title=f"Figure 8 ({label}): HFPU4 throughput vs HFPU2 0-cycle")

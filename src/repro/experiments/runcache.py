@@ -1,0 +1,118 @@
+"""Cached instrumented scenario runs shared by all experiments.
+
+Several tables/figures consume the same expensive artifacts:
+
+* **census runs** — a scenario simulated with the trivialization census
+  (and optionally memoization tables) enabled, yielding per-(phase, op)
+  totals and hit counts;
+* **tuned precisions** — the Table 1 minimum-precision search results.
+
+Both are memoized in memory and persisted as JSON under the cache
+directory (``REPRO_CACHE_DIR`` env var, default ``.repro_cache`` in the
+working directory) so re-running a benchmark does not repeat hours of
+simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..fp.context import FPContext, OpCounter
+from ..fp.rounding import RoundingMode
+from ..memo.memo_table import MemoBank
+from ..workloads import build, default_steps
+
+__all__ = ["cache_dir", "census_stats", "StatsDict"]
+
+StatsDict = Dict[Tuple[str, str], OpCounter]
+
+_MEMORY_CACHE: Dict[str, StatsDict] = {}
+
+
+def cache_dir() -> Path:
+    """Directory for persisted experiment artifacts."""
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _key(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha1(blob.encode()).hexdigest()[:16]
+
+
+def _serialize(stats: StatsDict) -> dict:
+    return {
+        f"{phase}|{op}": [c.total, c.conventional_trivial,
+                          c.extended_trivial, c.memo_lookups, c.memo_hits]
+        for (phase, op), c in stats.items()
+    }
+
+
+def _deserialize(payload: dict) -> StatsDict:
+    stats: StatsDict = {}
+    for key, values in payload.items():
+        phase, op = key.split("|", 1)
+        stats[(phase, op)] = OpCounter(*values)
+    return stats
+
+
+def census_stats(
+    scenario: str,
+    phase_precision: Optional[Mapping[str, int]] = None,
+    mode: str = "jam",
+    steps: Optional[int] = None,
+    scale: float = 1.0,
+    memo: bool = False,
+    memo_budget: int = 400_000,
+) -> StatsDict:
+    """Instrumented run returning per-(phase, op) census counters.
+
+    Results are cached by the full parameter tuple; delete the cache
+    directory to force re-simulation.
+    """
+    steps = default_steps() if steps is None else steps
+    mode = RoundingMode.parse(mode)
+    payload = {
+        "kind": "census",
+        "scenario": scenario,
+        "precision": dict(phase_precision or {}),
+        "mode": mode.value,
+        "steps": steps,
+        "scale": scale,
+        "memo": memo,
+        "memo_budget": memo_budget if memo else 0,
+    }
+    key = _key(payload)
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+
+    path = cache_dir() / f"census_{key}.json"
+    if path.exists():
+        with path.open() as handle:
+            stats = _deserialize(json.load(handle)["stats"])
+        _MEMORY_CACHE[key] = stats
+        return stats
+
+    ctx = FPContext(
+        phase_precision,
+        mode=mode,
+        memo=MemoBank() if memo else None,
+        memo_budget=memo_budget if memo else None,
+        census=True,
+    )
+    world = build(scenario, ctx=ctx, scale=scale)
+    for _ in range(steps):
+        world.step()
+    stats = ctx.stats
+
+    with path.open("w") as handle:
+        json.dump({"params": payload, "stats": _serialize(stats)}, handle,
+                  indent=1)
+    _MEMORY_CACHE[key] = stats
+    return stats

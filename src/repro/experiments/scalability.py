@@ -1,0 +1,86 @@
+"""Phase-level scalability under the ParallAX work-queue model.
+
+Not a paper table/figure per se, but the load-imbalance reality behind
+them: the paper's throughput comparisons assume the phases keep all
+cores fed ("massively parallel"), which holds for narrow-phase (many
+independent pairs) much more readily than for LCP (parallelism bounded
+by the island count unless the loosely-coupled iterations are split).
+This experiment quantifies both on our scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..arch.parallax import (
+    lcp_work_items,
+    narrow_work_items,
+    simulate_work_queue,
+)
+from ..fp.context import FPContext
+from ..workloads import SCENARIO_NAMES, build
+from .report import render_table
+
+__all__ = ["ScalabilityRow", "compute_scalability", "render"]
+
+CORE_COUNTS = (8, 32, 128)
+WARMUP_STEPS = 45
+
+
+@dataclass
+class ScalabilityRow:
+    scenario: str
+    islands: int
+    pairs: int
+    #: phase -> cores -> speedup
+    speedup: Dict[str, Dict[int, float]]
+
+
+def compute_scalability(
+    scenarios: Optional[Iterable[str]] = None,
+    core_counts: Iterable[int] = CORE_COUNTS,
+    scale: float = 1.0,
+    intra_island_parallelism: int = 4,
+) -> List[ScalabilityRow]:
+    """Measure per-phase work-queue speedups on settled scenarios."""
+    core_counts = list(core_counts)
+    rows = []
+    for scenario in scenarios or SCENARIO_NAMES:
+        world = build(scenario, ctx=FPContext(census=False), scale=scale)
+        for _ in range(WARMUP_STEPS):
+            world.step()
+        lcp_items = lcp_work_items(
+            world, intra_island_parallelism=intra_island_parallelism)
+        narrow_items = narrow_work_items(world)
+        speedup: Dict[str, Dict[int, float]] = {"lcp": {}, "narrow": {}}
+        for cores in core_counts:
+            speedup["lcp"][cores] = simulate_work_queue(
+                lcp_items, cores).speedup
+            speedup["narrow"][cores] = simulate_work_queue(
+                narrow_items, cores).speedup
+        rows.append(ScalabilityRow(
+            scenario=scenario,
+            islands=world.island_count,
+            pairs=len(narrow_items),
+            speedup=speedup,
+        ))
+    return rows
+
+
+def render(rows: List[ScalabilityRow],
+           core_counts: Iterable[int] = CORE_COUNTS) -> str:
+    core_counts = list(core_counts)
+    headers = (["scenario", "islands", "pairs"]
+               + [f"LCP x{n}" for n in core_counts]
+               + [f"NP x{n}" for n in core_counts])
+    table = []
+    for row in rows:
+        table.append(
+            [row.scenario, row.islands, row.pairs]
+            + [f"{row.speedup['lcp'][n]:.1f}" for n in core_counts]
+            + [f"{row.speedup['narrow'][n]:.1f}" for n in core_counts])
+    return render_table(
+        headers, table,
+        title="Phase speedup under the work-queue model "
+              "(islands split 4-ways)")

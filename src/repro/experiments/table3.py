@@ -1,0 +1,175 @@
+"""Table 3 — scenario factors that increase trivialization.
+
+The paper derives these factors "from directed tests using two rigid
+bodies".  Each factor here is a pair of miniature scenes differing only
+in the factor; we measure the LCP add+mul trivialization rate (all
+conditions, reduced precision) in both and report the delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..fp.context import FPContext
+from ..physics import SleepParams, World
+from ..physics.joints import WORLD
+from .report import render_table
+
+__all__ = ["FACTORS", "DirectedResult", "compute_table3", "render"]
+
+_PRECISION = {"lcp": 8, "narrow": 8}
+#: Short window so both scenes are measured during live dynamics (long
+#: windows converge to "everything at rest", washing out the factor).
+_STEPS = 25
+
+
+def _measure(build: Callable[[World], None]) -> float:
+    """Percent of LCP adds+muls trivialized in a directed scene.
+
+    Object disabling is off so both scenes of a pair are measured over
+    live dynamics rather than whichever one falls asleep first.
+    """
+    ctx = FPContext(_PRECISION, mode="jam", census=True)
+    world = World(ctx=ctx, sleep=SleepParams(enabled=False))
+    build(world)
+    for _ in range(_STEPS):
+        world.step()
+    total = trivial = 0
+    for op in ("add", "sub", "mul"):
+        counter = ctx.stats.get(("lcp", op))
+        if counter:
+            total += counter.total
+            trivial += counter.extended_trivial
+    return 100.0 * trivial / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Directed scenes: (with factor, without factor)
+# ----------------------------------------------------------------------
+def _mass_similar(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_sphere([0.0, 0.3, 0.0], 0.3, 1.0)
+    world.add_sphere([0.25, 0.84, 0.0], 0.3, 1.0)
+
+
+def _mass_different(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_sphere([0.0, 0.3, 0.0], 0.3, 1.0)
+    world.add_sphere([0.25, 0.84, 0.0], 0.3, 9.7)
+
+
+def _no_velocity(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_box([0.0, 0.3, 0.0], [0.3, 0.3, 0.3], 2.0)
+    world.add_box([0.1, 1.0, 0.0], [0.3, 0.3, 0.3], 2.0)
+
+
+def _spinning(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_box([0.0, 0.3, 0.0], [0.3, 0.3, 0.3], 2.0,
+                  angvel=[3.0, 5.0, 2.0], linvel=[1.0, 0.0, -0.7])
+    world.add_box([0.1, 1.0, 0.0], [0.3, 0.3, 0.3], 2.0,
+                  angvel=[-4.0, 2.0, 6.0], linvel=[-0.8, 0.0, 0.9])
+
+
+def _size_similar(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_sphere([0.0, 0.4, 0.0], 0.4, 1.5)
+    world.add_sphere([0.2, 1.3, 0.0], 0.4, 1.5)
+
+
+def _size_different(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_sphere([0.0, 0.9, 0.0], 0.9, 1.5)
+    world.add_sphere([0.2, 2.0, 0.0], 0.13, 1.5)
+
+
+def _simple_shapes(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_sphere([0.0, 0.4, 0.0], 0.4, 2.0)
+    world.add_sphere([0.1, 1.3, 0.0], 0.4, 2.0)
+
+
+def _complex_shapes(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_box([0.0, 0.4, 0.0], [0.4, 0.4, 0.4], 2.0,
+                  quat=[0.924, 0.0, 0.383, 0.0])
+    world.add_box([0.1, 1.4, 0.0], [0.4, 0.4, 0.4], 2.0,
+                  quat=[0.924, 0.383, 0.0, 0.0])
+
+
+def _with_ground(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_box([0.0, 0.3, 0.0], [0.3, 0.3, 0.3], 2.0)
+    world.add_box([0.0, 1.0, 0.0], [0.3, 0.3, 0.3], 2.0)
+
+
+def _free_space(world: World) -> None:
+    world.gravity[:] = 0.0
+    world.monitor.gravity[:] = 0.0
+    world.add_box([0.0, 0.3, 0.0], [0.3, 0.3, 0.3], 2.0,
+                  linvel=[0.4, 0.3, 0.0])
+    world.add_box([1.2, 0.45, 0.0], [0.3, 0.3, 0.3], 2.0,
+                  linvel=[-0.6, 0.2, 0.0])
+
+
+def _articulated(world: World) -> None:
+    world.add_ground_plane(0.0)
+    torso = world.add_box([0.0, 1.2, 0.0], [0.15, 0.25, 0.1], 4.0)
+    limb = world.add_box([0.0, 0.7, 0.0], [0.07, 0.2, 0.07], 1.0)
+    world.joints.add_ball(world.bodies, torso, limb, [0.0, 0.95, 0.0])
+    world.joints.add_ball(world.bodies, torso, WORLD, [0.0, 1.45, 0.0])
+
+
+def _rigid_box(world: World) -> None:
+    world.add_ground_plane(0.0)
+    world.add_box([0.0, 1.2, 0.0], [0.15, 0.25, 0.1], 4.0)
+
+
+FACTORS: List[Tuple[str, Callable, Callable]] = [
+    ("Small mass difference between objects", _mass_similar,
+     _mass_different),
+    ("Zero velocities before collision", _no_velocity, _spinning),
+    ("Small size difference between objects", _size_similar,
+     _size_different),
+    ("Simple object shapes", _simple_shapes, _complex_shapes),
+    ("Use of ground and gravity", _with_ground, _free_space),
+    ("Higher amount of articulation", _articulated, _rigid_box),
+]
+
+
+@dataclass
+class DirectedResult:
+    factor: str
+    with_factor_pct: float
+    without_factor_pct: float
+
+    @property
+    def delta(self) -> float:
+        return self.with_factor_pct - self.without_factor_pct
+
+
+def compute_table3() -> List[DirectedResult]:
+    """Run all directed two-body tests."""
+    results = []
+    for factor, with_builder, without_builder in FACTORS:
+        results.append(DirectedResult(
+            factor=factor,
+            with_factor_pct=_measure(with_builder),
+            without_factor_pct=_measure(without_builder),
+        ))
+    return results
+
+
+def render(results: List[DirectedResult]) -> str:
+    rows = [
+        [r.factor, f"{r.with_factor_pct:.1f}%",
+         f"{r.without_factor_pct:.1f}%", f"{r.delta:+.1f}%"]
+        for r in results
+    ]
+    return render_table(
+        ["Factor (paper Table 3)", "with", "without", "delta"],
+        rows,
+        title="Table 3: factors increasing trivialization "
+              "(LCP add+mul trivial %)")

@@ -1,0 +1,147 @@
+"""Table 4 — percent of FP adds/multiplies trivialized or memoized.
+
+"Based on simulations of the latest PhysicsBench with object-disabling
+and round-to-nearest ... we have compiled the trivialization hit-rate
+with full precision using conventional conditions versus reduced
+precision with all conditions ... for LCP."  Memoization uses the two
+256-entry 16-way tables; trivializable operations are filtered before the
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..workloads import SCENARIO_ABBREVIATIONS, SCENARIO_NAMES, default_steps
+from .report import render_table
+from .runcache import census_stats
+from .table1 import tuned_precisions
+
+__all__ = ["PAPER_TABLE4", "Table4Row", "compute_table4", "render"]
+
+#: Paper Table 4, percentages: (trivial add, trivial mul, memo add,
+#: memo mul) at 23-bit then reduced precision.
+PAPER_TABLE4 = {
+    "breakable": ((36, 34, 0, 2), (48, 41, 1, 8)),
+    "continuous": ((49, 43, 0, 1), (71, 62, 8, 38)),
+    "deformable": ((32, 31, 0, 2), (61, 64, 7, 35)),
+    "everything": ((35, 33, 0, 3), (43, 38, 1, 6)),
+    "explosions": ((28, 25, 0, 7), (38, 29, 1, 10)),
+    "highspeed": ((27, 23, 0, 8), (54, 49, 11, 51)),
+    "periodic": ((32, 32, 0, 0), (34, 34, 0, 0)),
+    "ragdoll": ((34, 33, 0, 0), (52, 53, 2, 28)),
+}
+
+_PHASE = "lcp"
+
+
+@dataclass
+class Table4Row:
+    """Measured percentages for one scenario (LCP phase)."""
+
+    scenario: str
+    trivial_add_full: float
+    trivial_mul_full: float
+    trivial_add_reduced: float
+    trivial_mul_reduced: float
+    memo_add_full: float
+    memo_mul_full: float
+    memo_add_reduced: float
+    memo_mul_reduced: float
+    #: memo table hit rates (hits / lookups), full vs reduced precision —
+    #: the operand-space-collapse signal independent of how much
+    #: trivialization already filtered.
+    memo_add_hitrate_full: float = 0.0
+    memo_mul_hitrate_full: float = 0.0
+    memo_add_hitrate_reduced: float = 0.0
+    memo_mul_hitrate_reduced: float = 0.0
+
+
+def _rates(stats, op: str, extended: bool):
+    """(trivial %, memo % of total ops, memo hit rate %) per op class.
+
+    Adds and subtracts share hardware (and the paper's "add" numbers), so
+    their counters merge.
+    """
+    ops = ("add", "sub") if op == "add" else (op,)
+    total = trivial = hits = lookups = raw_hits = 0
+    for name in ops:
+        counter = stats.get((_PHASE, name))
+        if counter is None:
+            continue
+        total += counter.total
+        trivial += (counter.extended_trivial if extended
+                    else counter.conventional_trivial)
+        if counter.memo_lookups:
+            # Scale sampled memo hits up to the full non-trivial stream.
+            nontrivial = counter.total - counter.extended_trivial
+            hits += (counter.memo_hits / counter.memo_lookups) * nontrivial
+            lookups += counter.memo_lookups
+            raw_hits += counter.memo_hits
+    if total == 0:
+        return 0.0, 0.0, 0.0
+    hitrate = 100.0 * raw_hits / lookups if lookups else 0.0
+    return 100.0 * trivial / total, 100.0 * hits / total, hitrate
+
+
+def compute_table4(
+    scenarios: Optional[Iterable[str]] = None,
+    tuned_map: Optional[Mapping[str, Mapping[str, int]]] = None,
+    steps: Optional[int] = None,
+    scale: float = 1.0,
+    mode: str = "rn",
+) -> Dict[str, Table4Row]:
+    """Measure trivialization and memoization rates per scenario."""
+    scenarios = list(scenarios or SCENARIO_NAMES)
+    tuned_map = tuned_map or tuned_precisions()
+    steps = default_steps() if steps is None else steps
+
+    rows: Dict[str, Table4Row] = {}
+    for scenario in scenarios:
+        full = census_stats(scenario, None, mode, steps, scale, memo=True)
+        reduced = census_stats(scenario, dict(tuned_map[scenario]), mode,
+                               steps, scale, memo=True)
+        ta_f, ma_f, ha_f = _rates(full, "add", extended=False)
+        tm_f, mm_f, hm_f = _rates(full, "mul", extended=False)
+        ta_r, ma_r, ha_r = _rates(reduced, "add", extended=True)
+        tm_r, mm_r, hm_r = _rates(reduced, "mul", extended=True)
+        rows[scenario] = Table4Row(
+            scenario=scenario,
+            trivial_add_full=ta_f, trivial_mul_full=tm_f,
+            trivial_add_reduced=ta_r, trivial_mul_reduced=tm_r,
+            memo_add_full=ma_f, memo_mul_full=mm_f,
+            memo_add_reduced=ma_r, memo_mul_reduced=mm_r,
+            memo_add_hitrate_full=ha_f, memo_mul_hitrate_full=hm_f,
+            memo_add_hitrate_reduced=ha_r, memo_mul_hitrate_reduced=hm_r,
+        )
+    return rows
+
+
+def render(rows: Mapping[str, Table4Row]) -> str:
+    headers = ["Bench",
+               "Triv A/M 23b", "Triv A/M red",
+               "Memo A/M 23b", "Memo A/M red",
+               "MemoHit A/M 23b", "MemoHit A/M red",
+               "paper triv 23b/red", "paper memo 23b/red"]
+    table = []
+    for scenario, row in rows.items():
+        paper_full, paper_red = PAPER_TABLE4[scenario]
+        table.append([
+            SCENARIO_ABBREVIATIONS.get(scenario, scenario[:3]),
+            f"{row.trivial_add_full:.0f},{row.trivial_mul_full:.0f}",
+            f"{row.trivial_add_reduced:.0f},{row.trivial_mul_reduced:.0f}",
+            f"{row.memo_add_full:.0f},{row.memo_mul_full:.0f}",
+            f"{row.memo_add_reduced:.0f},{row.memo_mul_reduced:.0f}",
+            (f"{row.memo_add_hitrate_full:.0f},"
+             f"{row.memo_mul_hitrate_full:.0f}"),
+            (f"{row.memo_add_hitrate_reduced:.0f},"
+             f"{row.memo_mul_hitrate_reduced:.0f}"),
+            (f"{paper_full[0]},{paper_full[1]} / "
+             f"{paper_red[0]},{paper_red[1]}"),
+            (f"{paper_full[2]},{paper_full[3]} / "
+             f"{paper_red[2]},{paper_red[3]}"),
+        ])
+    return render_table(
+        headers, table,
+        title="Table 4: % FP trivialized or memoized (LCP), add/mul")

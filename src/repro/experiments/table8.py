@@ -1,0 +1,109 @@
+"""Table 8 — evaluated designs: area overhead and per-core IPC.
+
+Per-core area overhead is the L1 hardware added to the 2 mm^2 core;
+per-core IPC is reported at 4 cores per L2 FPU for both studied phases,
+averaged across the eight scenarios (the paper's Avg Per Core IPC
+column).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..arch import params
+from ..arch.core import cluster_ipc
+from ..arch.l1fpu import (
+    CONJOIN,
+    CONV_TRIV,
+    LOOKUP_TRIV,
+    REDUCED_TRIV,
+    L1Design,
+    mini_fpu,
+)
+from ..arch.trace import PhaseWorkload, generate_trace
+from .common import PHASES, all_workloads
+from .report import render_table
+
+__all__ = ["PAPER_TABLE8_IPC", "Table8Row", "compute_table8", "render"]
+
+#: Paper Table 8 "Avg Per Core IPC, 4 Cores Per L2-FPU": (narrow, lcp).
+PAPER_TABLE8_IPC = {
+    "conjoin": (0.347, 0.293),
+    "conv_triv": (0.376, 0.319),
+    "reduced_triv": (0.377, 0.334),
+    "lookup_triv": (0.377, 0.357),
+    "mini_fpu_1": (0.382, 0.364),
+}
+
+TRACE_LENGTH = 12_000
+_SHARING = 4
+
+
+@dataclass
+class Table8Row:
+    design: str
+    area_overhead: str
+    narrow_ipc: float
+    lcp_ipc: float
+
+
+def _area_label(design: L1Design) -> str:
+    if design.name == "conjoin":
+        return "--"
+    if design.name == "conv_triv":
+        return f"{params.CONV_TRIV_AREA_MM2:g}"
+    if design.name == "reduced_triv":
+        return f"{params.REDUCED_TRIV_AREA_MM2:g}"
+    if design.name == "lookup_triv":
+        return (f"{params.REDUCED_TRIV_AREA_MM2:g} + "
+                f"{params.LOOKUP_TABLE_AREA_MM2:g}")
+    return (f"{params.REDUCED_TRIV_AREA_MM2:g} + "
+            f"({params.MINI_FPU_AREA_FACTOR:g} x FP Area"
+            + (f" / {design.mini_shared_by}" if design.mini_shared_by > 1
+               else "") + ")")
+
+
+def compute_table8(
+    workloads: Optional[Mapping[str, Mapping[str, PhaseWorkload]]] = None,
+    trace_length: int = TRACE_LENGTH,
+) -> List[Table8Row]:
+    workloads = workloads or all_workloads()
+    designs = (CONJOIN, CONV_TRIV, REDUCED_TRIV, LOOKUP_TRIV, mini_fpu(1))
+
+    rows = []
+    for design in designs:
+        ipc: Dict[str, float] = {}
+        for phase in PHASES:
+            values = []
+            for scenario, phases in workloads.items():
+                trace = generate_trace(phases[phase], trace_length,
+                                       seed=zlib.crc32(scenario.encode()))
+                values.append(cluster_ipc(trace, design, _SHARING))
+            ipc[phase] = sum(values) / len(values)
+        rows.append(Table8Row(
+            design=design.name,
+            area_overhead=_area_label(design),
+            narrow_ipc=ipc["narrow"],
+            lcp_ipc=ipc["lcp"],
+        ))
+    return rows
+
+
+def render(rows: List[Table8Row]) -> str:
+    table = []
+    for row in rows:
+        paper = PAPER_TABLE8_IPC.get(row.design)
+        table.append([
+            row.design,
+            row.area_overhead,
+            f"{row.narrow_ipc:.3f}",
+            f"{row.lcp_ipc:.3f}",
+            f"{paper[0]:.3f}, {paper[1]:.3f}" if paper else "-",
+        ])
+    return render_table(
+        ["Architecture", "Area overhead/core (mm2)", "Narrow IPC",
+         "LCP IPC", "paper (NP, LCP)"],
+        table,
+        title="Table 8: evaluated designs (4 cores per L2 FPU)")

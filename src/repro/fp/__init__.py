@@ -1,0 +1,45 @@
+"""Reduced-precision floating-point substrate.
+
+Implements the paper's precision-reduction methodology: binary32 mantissa
+rounding (round-to-nearest / jamming / truncation), trivial-operation
+detection (conventional and extended conditions), and an
+:class:`~repro.fp.context.FPContext` that executes vector FP operations at
+a per-phase tunable precision while collecting the trivialization census.
+"""
+
+from .bits import (
+    EXPONENT_BIAS,
+    EXPONENT_BITS,
+    MANTISSA_BITS,
+    bits_to_float,
+    float_to_bits,
+    to_float32,
+)
+from .context import FPContext, OpCounter
+from .ops import OpSample, reduced_add, reduced_div, reduced_mul, reduced_sub
+from .rounding import (
+    FULL_PRECISION,
+    RoundingMode,
+    reduce_array,
+    reduce_scalar,
+)
+
+__all__ = [
+    "EXPONENT_BIAS",
+    "EXPONENT_BITS",
+    "MANTISSA_BITS",
+    "FULL_PRECISION",
+    "RoundingMode",
+    "FPContext",
+    "OpCounter",
+    "OpSample",
+    "bits_to_float",
+    "float_to_bits",
+    "to_float32",
+    "reduce_array",
+    "reduce_scalar",
+    "reduced_add",
+    "reduced_sub",
+    "reduced_mul",
+    "reduced_div",
+]

@@ -1,0 +1,115 @@
+"""IEEE-754 single-precision bit manipulation helpers.
+
+The paper reduces precision by "removal of less significant bits from the
+mantissa using a selected rounding mode" (Section 2.3).  Everything in this
+package works on the raw 32-bit encoding: sign (1 bit), biased exponent
+(8 bits), mantissa/significand fraction (23 bits).
+
+Two parallel implementations are provided:
+
+* scalar: plain-Python ``int`` bit twiddling via :mod:`struct`, used by the
+  scalar operation path and by tests;
+* vectorized: :mod:`numpy` ``uint32`` views, used by the physics engine's
+  hot loops.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = [
+    "MANTISSA_BITS",
+    "EXPONENT_BITS",
+    "EXPONENT_BIAS",
+    "MANTISSA_MASK",
+    "EXPONENT_MASK",
+    "SIGN_MASK",
+    "float_to_bits",
+    "bits_to_float",
+    "to_float32",
+    "sign_of",
+    "biased_exponent",
+    "mantissa_field",
+    "compose",
+    "is_finite_bits",
+    "array_to_bits",
+    "bits_to_array",
+]
+
+#: Width of the stored (explicit) significand fraction of binary32.
+MANTISSA_BITS = 23
+#: Width of the biased exponent field of binary32.
+EXPONENT_BITS = 8
+#: Exponent bias of binary32.
+EXPONENT_BIAS = 127
+
+MANTISSA_MASK = (1 << MANTISSA_BITS) - 1  # 0x007FFFFF
+EXPONENT_MASK = ((1 << EXPONENT_BITS) - 1) << MANTISSA_BITS  # 0x7F800000
+SIGN_MASK = 1 << 31  # 0x80000000
+
+_PACK_F = struct.Struct("<f").pack
+_UNPACK_F = struct.Struct("<f").unpack
+_PACK_I = struct.Struct("<I").pack
+_UNPACK_I = struct.Struct("<I").unpack
+
+
+def float_to_bits(value: float) -> int:
+    """Return the binary32 encoding of ``value`` as an unsigned integer.
+
+    ``value`` is first narrowed to single precision (round-to-nearest-even),
+    matching the engine's float32 data path.
+    """
+    return _UNPACK_I(_PACK_F(value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Return the Python float whose binary32 encoding is ``bits``."""
+    return _UNPACK_F(_PACK_I(bits & 0xFFFFFFFF))[0]
+
+
+def to_float32(value: float) -> float:
+    """Narrow ``value`` to the nearest binary32 value (as a Python float)."""
+    return _UNPACK_F(_PACK_F(value))[0]
+
+
+def sign_of(bits: int) -> int:
+    """Return the sign bit (0 for positive, 1 for negative)."""
+    return (bits >> 31) & 1
+
+
+def biased_exponent(bits: int) -> int:
+    """Return the raw 8-bit biased exponent field."""
+    return (bits & EXPONENT_MASK) >> MANTISSA_BITS
+
+
+def mantissa_field(bits: int) -> int:
+    """Return the 23-bit stored mantissa fraction."""
+    return bits & MANTISSA_MASK
+
+
+def compose(sign: int, exponent: int, mantissa: int) -> int:
+    """Assemble a binary32 encoding from its three fields."""
+    if not 0 <= exponent <= 0xFF:
+        raise ValueError(f"biased exponent out of range: {exponent}")
+    if not 0 <= mantissa <= MANTISSA_MASK:
+        raise ValueError(f"mantissa out of range: {mantissa:#x}")
+    return ((sign & 1) << 31) | (exponent << MANTISSA_BITS) | mantissa
+
+
+def is_finite_bits(bits: int) -> bool:
+    """True when ``bits`` encodes a finite number (not inf / NaN)."""
+    return (bits & EXPONENT_MASK) != EXPONENT_MASK
+
+
+def array_to_bits(values: np.ndarray) -> np.ndarray:
+    """View/convert a float array as ``uint32`` binary32 encodings."""
+    arr = np.ascontiguousarray(values, dtype=np.float32)
+    return arr.view(np.uint32)
+
+
+def bits_to_array(bits: np.ndarray) -> np.ndarray:
+    """View a ``uint32`` array of binary32 encodings as ``float32``."""
+    arr = np.ascontiguousarray(bits, dtype=np.uint32)
+    return arr.view(np.float32)

@@ -1,0 +1,232 @@
+"""Mantissa precision reduction with the paper's three rounding modes.
+
+Section 4.1.1 evaluates three ways of removing low-order mantissa bits:
+
+* **round-to-nearest** — IEEE style, best accuracy, but costly to apply to
+  both operands before execution;
+* **jamming** (Burks/Goldstine/von Neumann; Fang et al.) — the kept LSB is
+  ORed with the three guard bits immediately below it; zero-mean error with
+  trivially cheap logic;
+* **truncation** (round-to-zero) — cheapest, but negatively biased, which the
+  paper shows inflates the precision requirement.
+
+"Denormal handling remains unchanged": denormals, infinities and NaNs pass
+through unmodified.  Reduction keeps ``precision`` mantissa bits,
+``0 <= precision <= 23``; 23 keeps the full binary32 significand.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from .bits import (
+    EXPONENT_MASK,
+    MANTISSA_BITS,
+    array_to_bits,
+    bits_to_array,
+    bits_to_float,
+    float_to_bits,
+)
+
+__all__ = [
+    "RoundingMode",
+    "FULL_PRECISION",
+    "DEFAULT_GUARD_BITS",
+    "reduce_bits",
+    "reduce_scalar",
+    "reduce_array",
+    "reduce_array_fast",
+]
+
+#: Mantissa width at which reduction is the identity.
+FULL_PRECISION = MANTISSA_BITS
+
+
+class RoundingMode(enum.Enum):
+    """Rounding mode used when dropping mantissa bits."""
+
+    NEAREST = "rn"
+    JAMMING = "jam"
+    TRUNCATION = "trunc"
+
+    @classmethod
+    def parse(cls, value: Union[str, "RoundingMode"]) -> "RoundingMode":
+        """Accept a mode instance or one of its string aliases."""
+        if isinstance(value, cls):
+            return value
+        aliases = {
+            "rn": cls.NEAREST,
+            "nearest": cls.NEAREST,
+            "round-to-nearest": cls.NEAREST,
+            "jam": cls.JAMMING,
+            "jamming": cls.JAMMING,
+            "trunc": cls.TRUNCATION,
+            "truncation": cls.TRUNCATION,
+            "round-to-zero": cls.TRUNCATION,
+        }
+        try:
+            return aliases[str(value).lower()]
+        except KeyError:
+            raise ValueError(f"unknown rounding mode: {value!r}") from None
+
+
+def _check_precision(precision: int) -> None:
+    if not 0 <= precision <= MANTISSA_BITS:
+        raise ValueError(
+            f"precision must be in [0, {MANTISSA_BITS}], got {precision}"
+        )
+
+
+#: The paper's jamming inspects the three guard bits below the kept LSB.
+DEFAULT_GUARD_BITS = 3
+
+
+def reduce_bits(bits: int, precision: int, mode: RoundingMode,
+                guard_bits: int = DEFAULT_GUARD_BITS) -> int:
+    """Reduce the binary32 encoding ``bits`` to ``precision`` mantissa bits.
+
+    Non-finite values and denormals are returned unchanged.  Round-to-nearest
+    uses ties-to-even and may carry into the exponent (saturating to
+    infinity, as hardware would).  ``guard_bits`` widens/narrows the OR
+    window jamming inspects (an ablation knob; the paper uses 3).
+    """
+    _check_precision(precision)
+    if precision == MANTISSA_BITS:
+        return bits
+    exp_field = bits & EXPONENT_MASK
+    if exp_field == EXPONENT_MASK or exp_field == 0:
+        return bits  # inf / NaN / zero / denormal untouched
+    drop = MANTISSA_BITS - precision
+    drop_mask = (1 << drop) - 1
+    if mode is RoundingMode.TRUNCATION:
+        return bits & ~drop_mask
+    if mode is RoundingMode.NEAREST:
+        half_minus_1 = (1 << (drop - 1)) - 1
+        lsb = (bits >> drop) & 1
+        return (bits + lsb + half_minus_1) & ~drop_mask & 0xFFFFFFFF
+    if mode is RoundingMode.JAMMING:
+        if drop >= MANTISSA_BITS:
+            # No mantissa LSB remains to jam into; degrade to truncation.
+            return bits & ~drop_mask
+        guard_width = min(guard_bits, drop)
+        kept = bits & ~drop_mask
+        if guard_width <= 0:
+            return kept
+        guards = (bits >> (drop - guard_width)) & ((1 << guard_width) - 1)
+        return kept | (1 << drop) if guards else kept
+    raise ValueError(f"unknown rounding mode: {mode!r}")
+
+
+def reduce_scalar(value: float, precision: int, mode: RoundingMode,
+                  guard_bits: int = DEFAULT_GUARD_BITS) -> float:
+    """Reduce a Python float (via binary32) to ``precision`` mantissa bits."""
+    return bits_to_float(
+        reduce_bits(float_to_bits(value), precision, mode, guard_bits))
+
+
+def reduce_array(
+    values: np.ndarray, precision: int, mode: RoundingMode,
+    guard_bits: int = DEFAULT_GUARD_BITS,
+) -> np.ndarray:
+    """Vectorized :func:`reduce_scalar` over a float array.
+
+    Returns a new ``float32`` array of the same shape.
+    """
+    _check_precision(precision)
+    arr = np.asarray(values, dtype=np.float32)
+    if precision == MANTISSA_BITS:
+        return arr
+    bits = array_to_bits(arr).copy()
+    exp_field = bits & np.uint32(EXPONENT_MASK)
+    normal = (exp_field != np.uint32(EXPONENT_MASK)) & (exp_field != 0)
+
+    drop = MANTISSA_BITS - precision
+    keep_mask = np.uint32(~((1 << drop) - 1) & 0xFFFFFFFF)
+    if mode is RoundingMode.TRUNCATION:
+        rounded = bits & keep_mask
+    elif mode is RoundingMode.NEAREST:
+        half_minus_1 = np.uint32((1 << (drop - 1)) - 1)
+        lsb = (bits >> np.uint32(drop)) & np.uint32(1)
+        rounded = (bits + lsb + half_minus_1) & keep_mask
+    elif mode is RoundingMode.JAMMING:
+        guard_width = min(guard_bits, drop)
+        if drop >= MANTISSA_BITS or guard_width <= 0:
+            rounded = bits & keep_mask  # nothing to jam; truncate
+        else:
+            guards = (bits >> np.uint32(drop - guard_width)) & np.uint32(
+                (1 << guard_width) - 1
+            )
+            lsb_bit = np.uint32(1 << drop)
+            rounded = np.where(guards != 0, (bits & keep_mask) | lsb_bit,
+                               bits & keep_mask)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown rounding mode: {mode!r}")
+
+    out = np.where(normal, rounded, bits)
+    result = bits_to_array(out.astype(np.uint32))
+    return result.reshape(arr.shape)
+
+
+# ----------------------------------------------------------------------
+# Fast path used by the census-free FPContext mode.
+# ----------------------------------------------------------------------
+_FAST_PARAMS = {}
+
+
+def _fast_params(precision: int, mode: RoundingMode, guard_bits: int):
+    key = (precision, mode, guard_bits)
+    params = _FAST_PARAMS.get(key)
+    if params is None:
+        drop = MANTISSA_BITS - precision
+        keep_mask = np.uint32(~((1 << drop) - 1) & 0xFFFFFFFF)
+        lsb_shift = np.uint32(drop)
+        lsb_bit = np.uint32(1 << drop) if drop < MANTISSA_BITS else np.uint32(
+            0)
+        guard_width = max(min(guard_bits, drop), 0)
+        if guard_width == 0:
+            lsb_bit = np.uint32(0)  # nothing to jam; behaves as truncation
+        guard_shift = np.uint32(drop - guard_width)
+        guard_mask = np.uint32((1 << guard_width) - 1)
+        half_minus_1 = np.uint32((1 << (drop - 1)) - 1) if drop else np.uint32(
+            0)
+        params = (keep_mask, lsb_shift, lsb_bit, guard_shift, guard_mask,
+                  half_minus_1)
+        _FAST_PARAMS[key] = params
+    return params
+
+
+def reduce_array_fast(
+    values: np.ndarray, precision: int, mode: RoundingMode,
+    guard_bits: int = DEFAULT_GUARD_BITS,
+) -> np.ndarray:
+    """Mantissa reduction without special-value guarding.
+
+    Identical to :func:`reduce_array` for normal numbers and for zeros /
+    infinities; differs only for denormals (which get rounded like tiny
+    normals instead of passing through) and exotic NaN payloads.  Physics
+    state never legitimately contains those, and blow-up detection is
+    value-based, so the census-free context mode uses this ~2x cheaper
+    kernel.
+    """
+    arr = np.asarray(values, dtype=np.float32)
+    if precision == MANTISSA_BITS:
+        return arr
+    bits = np.ascontiguousarray(arr).view(np.uint32)
+    keep_mask, lsb_shift, lsb_bit, guard_shift, guard_mask, half_minus_1 = \
+        _fast_params(precision, mode, guard_bits)
+    if mode is RoundingMode.TRUNCATION:
+        out = bits & keep_mask
+    elif mode is RoundingMode.NEAREST:
+        lsb = (bits >> lsb_shift) & np.uint32(1)
+        out = (bits + lsb + half_minus_1) & keep_mask
+    else:  # JAMMING
+        kept = bits & keep_mask
+        if lsb_bit:
+            guards = (bits >> guard_shift) & guard_mask
+            out = kept | (lsb_bit * (guards != 0))
+        else:
+            out = kept
+    return out.view(np.float32).reshape(arr.shape)

@@ -1,0 +1,191 @@
+"""Trivial FP operation detection (paper Section 4.3.1, Tables 2-4).
+
+Conventional trivial cases (Table 2):
+
+======== =========== =========================================
+op       form        trivial when
+======== =========== =========================================
+add      X + Y       X = 0 or Y = 0
+subtract X - Y       X = 0 or Y = 0
+multiply X * Y       X = 0 or +/-1, or Y = 0 or +/-1
+divide   X / Y       X = 0 or Y = +/-1
+======== =========== =========================================
+
+The paper's three *new* conditions, enabled by precision reduction:
+
+1. **Add/Sub** — if the magnitude of the operands' exponent difference
+   exceeds ``valid mantissa bits + 1``, the smaller operand is entirely
+   shifted out: the result is simply the larger operand (kept at full
+   precision to minimise injected error).
+2. **Multiply** — if the *reduced* mantissa bits of one operand are all
+   zeros (the significand is exactly 1.0, i.e. the operand is ±2^E), the
+   result mantissa is just the other operand's; only exponent and sign
+   logic execute.
+3. **Divide** — if the *full* mantissa of the divisor is all zeros
+   (divisor is ±2^E), the result mantissa is the dividend's.  (The paper
+   deliberately does not trivialise *reduced* divisors because the prior
+   error-tolerance study only reduced add/sub/mul.)
+
+All detectors work on ``uint32`` arrays of binary32 encodings so the
+physics engine's vectorized hot path can classify whole operand arrays at
+once.  Each returns boolean masks; the caller combines them with the
+bypass result computation in :mod:`repro.fp.ops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bits import EXPONENT_MASK, MANTISSA_BITS, MANTISSA_MASK
+
+__all__ = [
+    "TrivialMasks",
+    "is_zero",
+    "is_pm_one",
+    "is_pow2",
+    "is_normal",
+    "add_trivial_masks",
+    "mul_trivial_masks",
+    "div_trivial_masks",
+]
+
+_ABS_MASK = np.uint32(0x7FFFFFFF)
+_ONE_BITS = np.uint32(0x3F800000)
+_EXP_MASK = np.uint32(EXPONENT_MASK)
+_MANT_MASK = np.uint32(MANTISSA_MASK)
+
+
+def is_zero(bits: np.ndarray) -> np.ndarray:
+    """Mask of elements encoding ±0.0."""
+    return (bits & _ABS_MASK) == 0
+
+
+def is_pm_one(bits: np.ndarray) -> np.ndarray:
+    """Mask of elements encoding +1.0 or -1.0."""
+    return (bits & _ABS_MASK) == _ONE_BITS
+
+
+def is_pow2(bits: np.ndarray) -> np.ndarray:
+    """Mask of *normal* elements that are exactly ±2^E (mantissa 1.0)."""
+    exp = bits & _EXP_MASK
+    return ((bits & _MANT_MASK) == 0) & (exp != 0) & (exp != _EXP_MASK)
+
+
+def is_normal(bits: np.ndarray) -> np.ndarray:
+    """Mask of normal (non-zero, non-denormal, finite) elements."""
+    exp = bits & _EXP_MASK
+    return (exp != 0) & (exp != _EXP_MASK)
+
+
+@dataclass(frozen=True)
+class TrivialMasks:
+    """Per-element trivialization decision for one vector FP operation.
+
+    Attributes
+    ----------
+    conventional:
+        Elements trivial under the conventional (Table 2) conditions.
+    extended:
+        Elements trivial under conventional *or* new conditions.
+    use_a / use_b:
+        Among ``extended`` elements, whether the bypass result is derived
+        from operand ``a`` or ``b`` (exactly one holds per trivial element;
+        ``use_a`` wins ties).  For multiply-by-zero both are False and the
+        result is a signed zero.
+    """
+
+    conventional: np.ndarray
+    extended: np.ndarray
+    use_a: np.ndarray
+    use_b: np.ndarray
+
+    @property
+    def extended_only(self) -> np.ndarray:
+        """Elements trivial only thanks to the new conditions."""
+        return self.extended & ~self.conventional
+
+
+def _exponent_field(bits: np.ndarray) -> np.ndarray:
+    return (bits & _EXP_MASK) >> np.uint32(MANTISSA_BITS)
+
+
+def add_trivial_masks(
+    abits: np.ndarray, bbits: np.ndarray, precision: int
+) -> TrivialMasks:
+    """Classify an elementwise add/sub over reduced operand encodings.
+
+    ``precision`` is the current number of valid mantissa bits; the new
+    condition fires when ``|Ea - Eb| > precision + 1`` (the +1 accounts for
+    the implicit leading one of the normalized significand).
+    """
+    a_zero = is_zero(abits)
+    b_zero = is_zero(bbits)
+    conventional = a_zero | b_zero
+
+    both_normal = is_normal(abits) & is_normal(bbits)
+    ea = _exponent_field(abits).astype(np.int32)
+    eb = _exponent_field(bbits).astype(np.int32)
+    diff = ea - eb
+    shifted_out = both_normal & (np.abs(diff) > np.int32(precision + 1))
+
+    extended = conventional | shifted_out
+    # Result source: the operand that survives.  Zero cases keep the other
+    # operand; exponent-difference cases keep the larger-magnitude operand.
+    use_a = b_zero | (shifted_out & (diff > 0))
+    use_b = (~use_a) & (a_zero | (shifted_out & (diff < 0)))
+    return TrivialMasks(conventional, extended, use_a & extended,
+                        use_b & extended)
+
+
+def mul_trivial_masks(
+    abits: np.ndarray, bbits: np.ndarray, precision: int
+) -> TrivialMasks:
+    """Classify an elementwise multiply over reduced operand encodings.
+
+    ``precision`` only matters in that the operands are *already* reduced;
+    the new condition checks whether a reduced significand is exactly 1.0
+    (operand ±2^E), generalising the conventional ±1 case to any exponent.
+    """
+    del precision  # operands arrive already reduced
+    a_zero = is_zero(abits)
+    b_zero = is_zero(bbits)
+    a_one = is_pm_one(abits)
+    b_one = is_pm_one(bbits)
+    conventional = a_zero | b_zero | a_one | b_one
+
+    a_pow2 = is_pow2(abits)
+    b_pow2 = is_pow2(bbits)
+    extended = conventional | a_pow2 | b_pow2
+
+    zero_result = a_zero | b_zero
+    # Multiplying by ±2^E keeps the *other* operand's mantissa: result is
+    # derived from b when a is the power of two, and vice versa.  Exact
+    # ±1 operands take priority over reduced powers of two so the bypass
+    # keeps the maximum available precision (X * 1 returns X unrounded).
+    use_a = ~zero_result & (b_one | (~a_one & b_pow2))
+    use_b = ~zero_result & ~use_a & (a_one | a_pow2)
+    return TrivialMasks(conventional, extended, use_a & extended,
+                        use_b & extended)
+
+
+def div_trivial_masks(
+    abits: np.ndarray, bbits: np.ndarray
+) -> TrivialMasks:
+    """Classify an elementwise divide X / Y over *full-precision* encodings.
+
+    Division operands are never precision-reduced (the paper's methodology
+    only reduces add/sub/mul), so the extended check inspects the divisor's
+    full mantissa.
+    """
+    a_zero = is_zero(abits)
+    b_one = is_pm_one(bbits)
+    conventional = a_zero | b_one
+
+    b_pow2 = is_pow2(bbits)
+    extended = conventional | b_pow2
+
+    use_a = ~a_zero & (b_one | b_pow2)
+    use_b = np.zeros_like(use_a)
+    return TrivialMasks(conventional, extended, use_a & extended, use_b)

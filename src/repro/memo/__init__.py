@@ -1,0 +1,16 @@
+"""Value-reuse substrates: memoization tables and the arithmetic LUT."""
+
+from .lookup_table import (
+    DEFAULT_OPERAND_BITS,
+    LOOKUP_PRECISION_LIMIT,
+    LookupTable,
+)
+from .memo_table import MemoBank, MemoTable
+
+__all__ = [
+    "LookupTable",
+    "LOOKUP_PRECISION_LIMIT",
+    "DEFAULT_OPERAND_BITS",
+    "MemoBank",
+    "MemoTable",
+]

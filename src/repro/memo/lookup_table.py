@@ -1,0 +1,229 @@
+"""The 2K-entry arithmetic lookup table (paper Section 4.3.4, Table 5).
+
+When the tuned precision drops below six mantissa bits, a preloaded
+2048-entry x 1-byte table computes FP add and multiply mantissas outright,
+replacing the memoization tables: the operand value space is so small that
+the table covers *all* combinations ("100% of operations sent to the
+look-up table will be satisfied").
+
+Index layout (11 bits): ``[op:1][operand A mantissa:5][operand B field:5]``
+
+* **Multiply** — both reduced mantissas index directly; the entry holds the
+  normalized product mantissa plus a carry (exponent increment) bit.
+* **Add** — the smaller operand is first shifted right by the exponent
+  difference with a small 5-bit shifter, which makes its implicit leading
+  one visible; the 5-bit window below the larger operand's binary point
+  forms the second index field.  Entries again hold mantissa + carry bit
+  (the paper's "additional bit ... to indicate the need to increment the
+  exponent"; entries are 8 bits, so there is room).
+* **Equal exponents** — detected by a zero exponent difference; the
+  smaller operand's raw mantissa indexes the table and external logic adds
+  the now-unrepresented leading one back ("handle the most significant bit
+  after the leading one"), guaranteeing the carry.
+* **Effective subtraction** (opposite signs) needs no table at all at
+  these widths: a narrow integer subtract plus leading-zero normalization
+  reproduces the mantissa, so the L1 unit computes it directly.  (The
+  paper does not spell this case out; see DESIGN.md.)
+
+The table is populated once at "boot" for a given target precision and
+rounding mode and is never written afterwards — hence single rd/wr port
+and the Table 5 area/energy advantage over memoization.
+
+``operand_bits`` generalizes the design beyond the paper's 5-bit fields
+(the paper leaves exploring the table further to future work): a table
+with ``w``-bit operands has ``2^(1 + 2w)`` entries and covers tuned
+precisions below ``w + 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fp.bits import (
+    EXPONENT_BIAS,
+    MANTISSA_BITS,
+    biased_exponent,
+    bits_to_float,
+    compose,
+    float_to_bits,
+    mantissa_field,
+    sign_of,
+)
+from ..fp.rounding import RoundingMode, reduce_bits
+
+__all__ = ["LookupTable", "LOOKUP_PRECISION_LIMIT", "DEFAULT_OPERAND_BITS"]
+
+#: Paper configuration: 5-bit operand fields.
+DEFAULT_OPERAND_BITS = 5
+#: The paper's lookup table applies when precision is below this width.
+LOOKUP_PRECISION_LIMIT = DEFAULT_OPERAND_BITS + 1
+
+
+class LookupTable:
+    """Boot-time populated add/mul mantissa table.
+
+    Parameters
+    ----------
+    precision:
+        Target mantissa width the entries are rounded to (must be at most
+        ``operand_bits``; the full operand width is used even for lower
+        tuned precisions "for a more accurate result").
+    mode:
+        Rounding mode applied when populating entries.
+    operand_bits:
+        Width of each operand index field (paper: 5).  Values up to 7
+        keep entries within one byte (carry bit + mantissa).
+    """
+
+    ENTRY_BYTES = 1
+
+    def __init__(
+        self,
+        precision: int = DEFAULT_OPERAND_BITS,
+        mode: RoundingMode = RoundingMode.JAMMING,
+        operand_bits: int = DEFAULT_OPERAND_BITS,
+    ) -> None:
+        if not 1 <= operand_bits <= 7:
+            raise ValueError("operand_bits must be in [1, 7] to keep "
+                             "1-byte entries")
+        if not 0 <= precision <= operand_bits:
+            raise ValueError(
+                f"lookup table covers precision <= {operand_bits},"
+                f" got {precision}"
+            )
+        self.precision = precision
+        self.mode = mode
+        self.operand_bits = operand_bits
+        self._field_mask = (1 << operand_bits) - 1
+        self._top_shift = MANTISSA_BITS - operand_bits
+        self._denominator = float(1 << operand_bits)
+        self.entries = 1 << (1 + 2 * operand_bits)
+        self.table = np.zeros(self.entries, dtype=np.uint8)
+        self._populate()
+
+    @property
+    def size_bytes(self) -> int:
+        return self.entries * self.ENTRY_BYTES
+
+    # ------------------------------------------------------------------
+    # Population (boot time)
+    # ------------------------------------------------------------------
+    def _encode(self, value: float) -> int:
+        """Pack a normalized magnitude in [1, 4) into carry|mantissa."""
+        carry = 1 if value >= 2.0 else 0
+        frac = value / 2.0 if carry else value
+        bits = float_to_bits(frac)
+        mant = mantissa_field(bits) >> self._top_shift
+        return (carry << self.operand_bits) | mant
+
+    def _rounded(self, value: float) -> float:
+        return bits_to_float(
+            reduce_bits(float_to_bits(value), self.precision, self.mode)
+        )
+
+    def _index(self, op_bit: int, a_field: int, b_field: int) -> int:
+        return ((op_bit << (2 * self.operand_bits))
+                | (a_field << self.operand_bits)
+                | (b_field & self._field_mask))
+
+    def _populate(self) -> None:
+        width = 1 << self.operand_bits
+        denom = self._denominator
+        for a_field in range(width):
+            ma = 1.0 + a_field / denom
+            for b_field in range(width):
+                # Add half: A carries its implicit one, B is the already
+                # shifted window below the binary point.
+                total = self._rounded(ma + b_field / denom)
+                self.table[self._index(0, a_field, b_field)] = \
+                    self._encode(total)
+                # Mul half: both operands carry implicit ones.
+                product = self._rounded(ma * (1.0 + b_field / denom))
+                self.table[self._index(1, a_field, b_field)] = \
+                    self._encode(product)
+
+    # ------------------------------------------------------------------
+    # Entry decode
+    # ------------------------------------------------------------------
+    def _entry_value(self, op_bit: int, a_field: int, b_field: int) -> \
+            float:
+        entry = int(self.table[self._index(op_bit, a_field, b_field)])
+        carry = (entry >> self.operand_bits) & 1
+        mant = entry & self._field_mask
+        return (1.0 + mant / self._denominator) * (2.0 if carry else 1.0)
+
+    # ------------------------------------------------------------------
+    # Functional paths (used for validation and the L1 FPU model)
+    # ------------------------------------------------------------------
+    def covers(self, op: str, precision: int) -> bool:
+        """Whether the unit satisfies ``op`` at the tuned ``precision``."""
+        return op in ("add", "sub", "mul") and (
+            precision <= self.operand_bits
+        )
+
+    def compute_mul(self, a: float, b: float) -> float:
+        """Multiply two reduced float32 values via the table."""
+        abits, bbits = float_to_bits(a), float_to_bits(b)
+        sign = sign_of(abits) ^ sign_of(bbits)
+        if (abits & 0x7FFFFFFF) == 0 or (bbits & 0x7FFFFFFF) == 0:
+            return -0.0 if sign else 0.0
+        a_field = mantissa_field(abits) >> self._top_shift
+        b_field = mantissa_field(bbits) >> self._top_shift
+        value = self._entry_value(1, a_field, b_field)
+        exponent = (
+            biased_exponent(abits) + biased_exponent(bbits) - EXPONENT_BIAS
+        )
+        return self._reconstruct(sign, exponent, value)
+
+    def compute_add(self, a: float, b: float) -> float:
+        """Add two reduced float32 values via the table (any signs)."""
+        abits, bbits = float_to_bits(a), float_to_bits(b)
+        if (abits & 0x7FFFFFFF) == 0:
+            return b
+        if (bbits & 0x7FFFFFFF) == 0:
+            return a
+        # Order so |a| >= |b| (compare exponent then mantissa).
+        if (abits & 0x7FFFFFFF) < (bbits & 0x7FFFFFFF):
+            abits, bbits = bbits, abits
+        diff = biased_exponent(abits) - biased_exponent(bbits)
+        a_field = mantissa_field(abits) >> self._top_shift
+        b_field = mantissa_field(bbits) >> self._top_shift
+        sign = sign_of(abits)
+        effective_sub = sign_of(abits) != sign_of(bbits)
+        implicit_one = 1 << self.operand_bits
+
+        if effective_sub:
+            # Narrow integer subtract; no table access needed.
+            sig_a = implicit_one | a_field
+            sig_b = (implicit_one | b_field) >> diff
+            delta = sig_a - sig_b
+            if delta == 0:
+                return 0.0
+            value = delta / self._denominator
+        elif diff == 0:
+            # Equal-exponent corner case: index with the raw mantissa and
+            # re-add the leading one externally.
+            value = self._entry_value(0, a_field, b_field) + 1.0
+        else:
+            shifted = (implicit_one | b_field) >> diff
+            value = self._entry_value(0, a_field, shifted)
+        exponent = biased_exponent(abits)
+        return self._reconstruct(sign, exponent, value)
+
+    @staticmethod
+    def _reconstruct(sign: int, exponent: int, value: float) -> float:
+        """Normalize ``value`` x 2^(exponent-bias) into a float32."""
+        while value >= 2.0:
+            value /= 2.0
+            exponent += 1
+        while 0.0 < value < 1.0:
+            value *= 2.0
+            exponent -= 1
+        if exponent >= 0xFF:
+            magnitude = float("inf")
+        elif exponent <= 0:
+            magnitude = 0.0  # flush to zero at these tiny widths
+        else:
+            mant = mantissa_field(float_to_bits(value))
+            return bits_to_float(compose(sign, exponent, mant))
+        return -magnitude if sign else magnitude

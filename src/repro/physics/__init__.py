@@ -1,0 +1,52 @@
+"""Constraint-based rigid-body physics engine (the ODE-like substrate).
+
+Built from scratch for this reproduction: broad/narrow-phase collision
+detection, island partitioning, an iteratively relaxed mixed LCP with
+friction, ball/hinge joints, mass-spring cloth, explosions, and total
+energy monitoring — all with every FP add/sub/mul routed through a
+precision-tunable :class:`~repro.fp.FPContext`.
+"""
+
+from .body import BodyStore
+from .cloth import Cloth
+from .energy import EnergyMonitor, EnergyRecord
+from .explosion import Explosion
+from .island import UnionFind, partition_islands
+from .joints import BallJoint, HingeJoint, JointStore
+from .lcp import ConstraintRows, SolverParams
+from .narrowphase import ContactSet
+from .shapes import (
+    Geom,
+    GeomStore,
+    ShapeType,
+    box_inertia,
+    capsule_inertia,
+    sphere_inertia,
+)
+from .world import DEFAULT_TIMESTEP, STEPS_PER_FRAME, SleepParams, World
+
+__all__ = [
+    "BodyStore",
+    "Cloth",
+    "EnergyMonitor",
+    "EnergyRecord",
+    "Explosion",
+    "UnionFind",
+    "partition_islands",
+    "BallJoint",
+    "HingeJoint",
+    "JointStore",
+    "ConstraintRows",
+    "SolverParams",
+    "ContactSet",
+    "Geom",
+    "GeomStore",
+    "ShapeType",
+    "box_inertia",
+    "capsule_inertia",
+    "sphere_inertia",
+    "SleepParams",
+    "World",
+    "DEFAULT_TIMESTEP",
+    "STEPS_PER_FRAME",
+]

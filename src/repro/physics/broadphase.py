@@ -1,0 +1,49 @@
+"""Broad-phase collision culling.
+
+The first collision-detection step: prune geom pairs whose world AABBs
+cannot overlap.  PhysicsBench-scale scenes are small, so an O(n^2)
+vectorized overlap test is both simple and fast; the expensive, massively
+parallel work the paper studies happens in the *narrow* phase that runs on
+the surviving pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .shapes import GeomStore, ShapeType
+
+__all__ = ["candidate_pairs"]
+
+
+def candidate_pairs(
+    geoms: GeomStore, aabbs: np.ndarray
+) -> List[Tuple[int, int]]:
+    """Return geom index pairs whose AABBs overlap and that can collide.
+
+    Pairs are filtered so that (a) a geom never collides with itself,
+    (b) two geoms on the same body never collide, and (c) two static
+    geoms (planes, or geoms on the world body) never collide.
+    """
+    n = len(geoms)
+    if n < 2:
+        return []
+    lo = aabbs[:, 0, :]
+    hi = aabbs[:, 1, :]
+    # overlap[i, j] = AABBs of i and j intersect on every axis
+    overlap = np.all(
+        (lo[:, None, :] <= hi[None, :, :])
+        & (lo[None, :, :] <= hi[:, None, :]),
+        axis=2,
+    )
+    body = np.array([g.body for g in geoms.geoms])
+    static = np.array(
+        [g.body < 0 or g.shape is ShapeType.PLANE for g in geoms.geoms]
+    )
+    same_body = body[:, None] == body[None, :]
+    both_static = static[:, None] & static[None, :]
+    candidate = overlap & ~same_body & ~both_static
+    ii, jj = np.nonzero(np.triu(candidate, k=1))
+    return list(zip(ii.tolist(), jj.tolist()))

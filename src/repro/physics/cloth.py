@@ -1,0 +1,179 @@
+"""Mass-spring cloth (the Deformable workload's substrate).
+
+The paper's modified ODE adds cloth simulation; here a rectangular patch
+of particles is held together by structural and shear distance constraints
+relaxed with the same Jacobi iteration as the rigid-body LCP — cloth rows
+are just extra loosely-coupled relaxation work inside the ``lcp`` phase.
+Collisions against the ground plane and against spheres are resolved by
+projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..fp.context import FPContext
+from . import math3d
+
+__all__ = ["Cloth"]
+
+
+class Cloth:
+    """A (rows x cols) particle grid with distance constraints."""
+
+    def __init__(
+        self,
+        origin,
+        rows: int,
+        cols: int,
+        spacing: float,
+        particle_mass: float = 0.05,
+        pinned: Optional[List[Tuple[int, int]]] = None,
+    ) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.spacing = float(spacing)
+        origin = np.asarray(origin, dtype=np.float32)
+
+        grid = np.stack(
+            np.meshgrid(
+                np.arange(cols, dtype=np.float32) * spacing,
+                np.arange(rows, dtype=np.float32) * -spacing,
+                indexing="xy",
+            ),
+            axis=-1,
+        ).reshape(-1, 2)
+        self.pos = np.zeros((rows * cols, 3), dtype=np.float32)
+        self.pos[:, 0] = origin[0] + grid[:, 0]
+        self.pos[:, 1] = origin[1]
+        self.pos[:, 2] = origin[2] + grid[:, 1]
+        self.vel = np.zeros_like(self.pos)
+        self.mass = np.full(rows * cols, particle_mass, dtype=np.float32)
+        self.invmass = 1.0 / self.mass
+        for r, c in pinned or []:
+            self.invmass[self.index(r, c)] = 0.0
+
+        self._build_constraints()
+
+    def index(self, row: int, col: int) -> int:
+        return row * self.cols + col
+
+    def _build_constraints(self) -> None:
+        pa, pb = [], []
+        for r in range(self.rows):
+            for c in range(self.cols):
+                i = self.index(r, c)
+                if c + 1 < self.cols:  # structural horizontal
+                    pa.append(i)
+                    pb.append(self.index(r, c + 1))
+                if r + 1 < self.rows:  # structural vertical
+                    pa.append(i)
+                    pb.append(self.index(r + 1, c))
+                if r + 1 < self.rows and c + 1 < self.cols:  # shear
+                    pa.append(i)
+                    pb.append(self.index(r + 1, c + 1))
+                    pa.append(self.index(r, c + 1))
+                    pb.append(self.index(r + 1, c))
+        self.edge_a = np.array(pa, dtype=np.int64)
+        self.edge_b = np.array(pb, dtype=np.int64)
+        rest = np.linalg.norm(
+            self.pos[self.edge_a].astype(np.float64)
+            - self.pos[self.edge_b].astype(np.float64),
+            axis=1,
+        )
+        self.rest_length = rest.astype(np.float32)
+
+    @property
+    def particle_count(self) -> int:
+        return len(self.pos)
+
+    # ------------------------------------------------------------------
+    # Simulation (called by World inside the appropriate phases)
+    # ------------------------------------------------------------------
+    def apply_gravity(self, ctx: FPContext, gravity, dt: float) -> None:
+        dv = np.where(
+            (self.invmass > 0)[:, None],
+            np.asarray(gravity, dtype=np.float32)[None, :] * np.float32(dt),
+            np.float32(0.0),
+        )
+        self.vel = ctx.add(self.vel, dv)
+
+    def solve_constraints(self, ctx: FPContext, dt: float,
+                          iterations: int, beta: float = 0.2) -> None:
+        """Velocity-level Jacobi relaxation of the distance constraints."""
+        wa = self.invmass[self.edge_a]
+        wb = self.invmass[self.edge_b]
+        w_sum = np.maximum(wa + wb, 1e-9).astype(np.float32)
+        bias_scale = np.float32(beta / dt)
+
+        for _ in range(iterations):
+            delta = ctx.sub(self.pos[self.edge_b], self.pos[self.edge_a])
+            direction, length = math3d.normalize(ctx, delta)
+            error = ctx.sub(length, self.rest_length)
+            rel = math3d.dot(
+                ctx, direction,
+                ctx.sub(self.vel[self.edge_b], self.vel[self.edge_a]))
+            target = ctx.add(rel, ctx.mul(bias_scale, error))
+            lam = ctx.div(target, w_sum)  # impulse magnitude along edge
+            impulse = math3d.scale(ctx, direction, lam)
+            # Jacobi accumulate with averaging by particle degree.
+            acc = np.zeros_like(self.vel)
+            np.add.at(acc, self.edge_a, impulse * wa[:, None])
+            np.add.at(acc, self.edge_b, -impulse * wb[:, None])
+            degree = np.zeros(len(self.pos), dtype=np.float32)
+            np.add.at(degree, self.edge_a, 1.0)
+            np.add.at(degree, self.edge_b, 1.0)
+            degree = np.maximum(degree, 1.0)
+            self.vel = ctx.add(self.vel, acc / degree[:, None])
+
+    def collide(self, ctx: FPContext, world) -> None:
+        """Resolve particle collisions with the ground plane and spheres.
+
+        Detection (distances, directions, depths) runs in the ``narrow``
+        phase — it *is* narrow-phase collision detection — while the
+        velocity/position response applies at the surrounding (``lcp``)
+        phase precision, mirroring the rigid-body pipeline split.
+        """
+        from .shapes import ShapeType  # local import avoids a cycle
+
+        for geom in world.geoms.geoms:
+            if geom.shape is ShapeType.PLANE:
+                n = geom.params.astype(np.float32)
+                with ctx.in_phase("narrow"):
+                    height = ctx.sub(math3d.dot(ctx, n[None, :], self.pos),
+                                     np.float32(geom.offset))
+                below = height < 0
+                if below.any():
+                    push = math3d.scale(ctx, n[None, :], -height)
+                    self.pos = np.where(below[:, None],
+                                        ctx.add(self.pos, push), self.pos)
+                    vn = math3d.dot(ctx, n[None, :], self.vel)
+                    correction = math3d.scale(ctx, n[None, :], vn)
+                    stopped = ctx.sub(self.vel, correction)
+                    self.vel = np.where(below[:, None] & (vn < 0)[:, None],
+                                        stopped, self.vel)
+            elif geom.shape is ShapeType.SPHERE:
+                center = world.bodies.pos[geom.body]
+                radius = np.float32(geom.params[0] * 1.02)
+                with ctx.in_phase("narrow"):
+                    delta = ctx.sub(self.pos, center[None, :])
+                    direction, dist = math3d.normalize(ctx, delta)
+                    depth = ctx.sub(radius, dist)
+                inside = dist < radius
+                if inside.any():
+                    push = math3d.scale(ctx, direction, depth)
+                    self.pos = np.where(inside[:, None],
+                                        ctx.add(self.pos, push), self.pos)
+                    vn = math3d.dot(ctx, direction, self.vel)
+                    correction = math3d.scale(ctx, direction, vn)
+                    damped = ctx.sub(self.vel, correction)
+                    self.vel = np.where(inside[:, None] & (vn < 0)[:, None],
+                                        damped, self.vel)
+
+    def integrate(self, ctx: FPContext, dt: float) -> None:
+        step = math3d.scale(ctx, self.vel, np.float32(dt))
+        moving = (self.invmass > 0)[:, None]
+        self.pos = np.where(moving, ctx.add(self.pos, step), self.pos)

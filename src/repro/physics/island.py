@@ -1,0 +1,69 @@
+"""Island partitioning (groups of interconnected objects).
+
+"Rigid body simulation involves the solving of forces within each group of
+interconnected objects (island). ... Each island is independent" — the LCP
+phase's parallelism granularity.  A union-find over the contact/joint
+graph labels each dynamic body with its island; static geometry does not
+merge islands (everything resting on the ground would otherwise be one
+island).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["UnionFind", "partition_islands"]
+
+
+class UnionFind:
+    """Classic disjoint-set with path compression and union by size."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+def partition_islands(
+    n_bodies: int,
+    dynamic: np.ndarray,
+    edges: Iterable[Tuple[int, int]],
+) -> np.ndarray:
+    """Label each body with an island id; static bodies get -1.
+
+    ``edges`` are (body_a, body_b) pairs from contacts and joints; indices
+    outside ``[0, n_bodies)`` (the virtual world body) are ignored, as are
+    edges touching non-dynamic bodies — a shared static support does not
+    couple two piles.
+    """
+    uf = UnionFind(n_bodies)
+    for a, b in edges:
+        if 0 <= a < n_bodies and 0 <= b < n_bodies:
+            if dynamic[a] and dynamic[b]:
+                uf.union(a, b)
+    labels = np.full(n_bodies, -1, dtype=np.int32)
+    remap: Dict[int, int] = {}
+    for body in range(n_bodies):
+        if not dynamic[body]:
+            continue
+        root = uf.find(body)
+        labels[body] = remap.setdefault(root, len(remap))
+    return labels

@@ -1,0 +1,123 @@
+"""Articulation joints (ball-and-socket, hinge) for ragdolls and pendulums.
+
+Joints are equality constraints solved by the same LCP relaxation as
+contacts, following ODE's constraint-based approach: each joint
+contributes rows with unbounded Lagrange multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .body import BodyStore
+
+__all__ = ["WORLD", "BallJoint", "HingeJoint", "JointStore"]
+
+#: Sentinel body index meaning "attach to the immovable world".  The
+#: virtual world body's real index grows as bodies are added, so joints
+#: store this stable sentinel and the solver resolves it at row build.
+WORLD = -1
+
+
+@dataclass
+class BallJoint:
+    """Pin two bodies together at a shared anchor point (3 rows)."""
+
+    body_a: int
+    body_b: int
+    #: anchor in each body's local frame (computed at attach time)
+    local_a: np.ndarray
+    local_b: np.ndarray
+
+
+@dataclass
+class HingeJoint:
+    """Ball joint plus a rotation axis (3 + 2 rows).
+
+    The two extra rows keep the hinge axis of body A aligned with body B's
+    by zeroing relative angular velocity along two perpendicular axes.
+    """
+
+    body_a: int
+    body_b: int
+    local_a: np.ndarray
+    local_b: np.ndarray
+    #: hinge axis in each body's local frame
+    axis_a: np.ndarray
+    axis_b: np.ndarray
+
+
+class JointStore:
+    """All joints of a world."""
+
+    def __init__(self) -> None:
+        self.ball_joints: List[BallJoint] = []
+        self.hinge_joints: List[HingeJoint] = []
+
+    def add_ball(self, bodies: BodyStore, body_a: int, body_b: int,
+                 anchor_world) -> BallJoint:
+        """Create a ball joint at a world-space anchor.
+
+        ``body_b`` may be :data:`WORLD` (-1) to pin to the world.
+        """
+        anchor = np.asarray(anchor_world, dtype=np.float32)
+        joint = BallJoint(
+            body_a=body_a,
+            body_b=body_b,
+            local_a=self._to_local(bodies, body_a, anchor),
+            local_b=self._to_local(bodies, body_b, anchor),
+        )
+        self.ball_joints.append(joint)
+        return joint
+
+    def add_hinge(self, bodies: BodyStore, body_a: int, body_b: int,
+                  anchor_world, axis_world) -> HingeJoint:
+        anchor = np.asarray(anchor_world, dtype=np.float32)
+        axis = np.asarray(axis_world, dtype=np.float64)
+        axis = (axis / np.linalg.norm(axis)).astype(np.float32)
+        joint = HingeJoint(
+            body_a=body_a,
+            body_b=body_b,
+            local_a=self._to_local(bodies, body_a, anchor),
+            local_b=self._to_local(bodies, body_b, anchor),
+            axis_a=self._to_local_dir(bodies, body_a, axis),
+            axis_b=self._to_local_dir(bodies, body_b, axis),
+        )
+        self.hinge_joints.append(joint)
+        return joint
+
+    @staticmethod
+    def _rotation_of(bodies: BodyStore, body: int) -> np.ndarray:
+        """Setup-time rotation matrix straight from the quaternion."""
+        w, x, y, z = (float(c) for c in bodies.quat[body])
+        return np.array(
+            [
+                [1 - 2 * (y * y + z * z), 2 * (x * y - w * z),
+                 2 * (x * z + w * y)],
+                [2 * (x * y + w * z), 1 - 2 * (x * x + z * z),
+                 2 * (y * z - w * x)],
+                [2 * (x * z - w * y), 2 * (y * z + w * x),
+                 1 - 2 * (x * x + y * y)],
+            ]
+        )
+
+    @classmethod
+    def _to_local(cls, bodies: BodyStore, body: int, point: np.ndarray):
+        if body == WORLD or body == bodies.world_index:
+            return point.copy()
+        rot = cls._rotation_of(bodies, body)
+        return (rot.T @ (point - bodies.pos[body])).astype(np.float32)
+
+    @classmethod
+    def _to_local_dir(cls, bodies: BodyStore, body: int,
+                      direction: np.ndarray):
+        if body == WORLD or body == bodies.world_index:
+            return direction.copy()
+        return (cls._rotation_of(bodies, body).T @ direction).astype(
+            np.float32)
+
+    def __len__(self) -> int:
+        return len(self.ball_joints) + len(self.hinge_joints)

@@ -1,0 +1,588 @@
+"""Mixed LCP constraint solver (the paper's "LCP" phase).
+
+Contacts and joints are assembled into constraint rows and relaxed
+iteratively, ODE-quickstep style: 20 iterations by default, velocity-level
+with Baumgarte position stabilization.  We use projected *Jacobi with mass
+splitting* instead of strict Gauss-Seidel so the whole row set updates as
+vector operations through the :class:`~repro.fp.FPContext` — every
+elementary add/sub/mul of the solve runs at the tuned ``lcp`` precision
+(see DESIGN.md for why this substitution preserves the paper-relevant
+behaviour: it is the same loosely-coupled relaxation structure).
+
+Row convention: each row ``r`` couples bodies ``ia[r]``/``ib[r]`` with
+Jacobian blocks (Jla, Jaa, Jlb, Jab) such that the constraint-space
+velocity is ``J v = Jla.va + Jaa.wa + Jlb.vb + Jab.wb``; impulses apply as
+``dv = invmass * J_lin * dlambda``, ``dw = I_world^-1 (J_ang * dlambda)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..fp.context import FPContext
+from . import math3d
+from .body import BodyStore
+from .joints import JointStore
+from .narrowphase import ContactSet
+
+__all__ = ["ConstraintRows", "SolverParams", "ContactCache",
+           "build_rows", "solve", "apply_warm_start_impulses"]
+
+_BIG = np.float32(3.0e38)
+
+
+@dataclass
+class SolverParams:
+    """Tunables of the relaxation (ODE-like defaults)."""
+
+    iterations: int = 20
+    #: Baumgarte factor (fraction of position error corrected per step)
+    beta: float = 0.2
+    #: penetration allowed before the bias kicks in
+    slop: float = 0.005
+    #: cap on bias velocity to avoid energy explosions
+    max_bias_velocity: float = 4.0
+    #: constraint force mixing (diagonal regularization)
+    cfm: float = 1.0e-5
+    #: relative normal speed below which restitution is ignored
+    restitution_threshold: float = 0.25
+    #: "jacobi" (mass-split, fully vectorized — the default) or
+    #: "gauss_seidel" (ODE-quickstep-style sequential relaxation,
+    #: realised as conflict-free colored batches)
+    scheme: str = "jacobi"
+    #: carry contact impulses across steps (persistent contacts); speeds
+    #: convergence of resting stacks and strengthens cross-step value
+    #: locality
+    warm_start: bool = False
+    #: fraction of the cached impulse applied on re-match
+    warm_start_factor: float = 0.85
+
+
+@dataclass
+class ConstraintRows:
+    """Struct-of-arrays for all rows of one step."""
+
+    ia: np.ndarray
+    ib: np.ndarray
+    jla: np.ndarray
+    jaa: np.ndarray
+    jlb: np.ndarray
+    jab: np.ndarray
+    rhs: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    mu: np.ndarray
+    normal_index: np.ndarray
+    inv_d: np.ndarray = field(default=None)
+    lam: np.ndarray = field(default=None)
+    #: stacked Jacobian blocks (R, 12): [Jla | Jaa | Jlb | Jab]
+    jacobian: np.ndarray = field(default=None, repr=False)
+    #: M^-1 J^T blocks (R, 12), true (unsplit) masses
+    inv_mass_jt: np.ndarray = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.rhs)
+
+    @property
+    def contact_normal_rows(self) -> np.ndarray:
+        """Mask of unilateral (contact normal) rows."""
+        return (self.lo == 0) & (self.normal_index < 0)
+
+
+def _orthonormal_tangents(normals: np.ndarray):
+    """Two unit tangents per normal (plain numpy; frame choice only).
+
+    Degenerate normals (zero or non-finite, possible transiently at very
+    low precisions) yield zero tangents: their friction rows apply no
+    impulse instead of poisoning the solve with NaNs.
+    """
+    n = np.nan_to_num(normals.astype(np.float64))
+    helper = np.where(
+        (np.abs(n[:, 0]) < 0.9)[:, None],
+        np.array([1.0, 0.0, 0.0])[None, :],
+        np.array([0.0, 1.0, 0.0])[None, :],
+    )
+    t1 = np.cross(n, helper)
+    lengths = np.linalg.norm(t1, axis=1, keepdims=True)
+    t1 /= np.maximum(lengths, 1e-12)
+    t1[lengths[:, 0] < 1e-9] = 0.0
+    t2 = np.cross(n, t1)
+    return t1.astype(np.float32), t2.astype(np.float32)
+
+
+def build_rows(
+    ctx: FPContext,
+    bodies: BodyStore,
+    contacts: ContactSet,
+    joints: Optional[JointStore],
+    dt: float,
+    params: SolverParams,
+) -> ConstraintRows:
+    """Assemble contact (normal + 2 friction) and joint rows."""
+    blocks = []
+
+    if len(contacts):
+        blocks.append(_contact_rows(ctx, bodies, contacts, dt, params))
+    if joints is not None and len(joints):
+        blocks.append(_joint_rows(ctx, bodies, joints, dt, params))
+    if not blocks:
+        empty3 = np.empty((0, 3), dtype=np.float32)
+        empty = np.empty(0, dtype=np.float32)
+        rows = ConstraintRows(
+            ia=np.empty(0, dtype=np.int32), ib=np.empty(0, dtype=np.int32),
+            jla=empty3, jaa=empty3, jlb=empty3, jab=empty3,
+            rhs=empty, lo=empty, hi=empty, mu=empty,
+            normal_index=np.empty(0, dtype=np.int32),
+        )
+        rows.inv_d = empty
+        rows.lam = empty
+        return rows
+
+    offset = 0
+    merged = {}
+    for name in ("ia", "ib", "jla", "jaa", "jlb", "jab", "rhs", "lo",
+                 "hi", "mu"):
+        merged[name] = np.concatenate([blk[name] for blk in blocks])
+    adjusted = []
+    for blk in blocks:
+        ni = blk["normal_index"].copy()
+        ni[ni >= 0] += offset
+        adjusted.append(ni)
+        offset += len(blk["rhs"])
+    merged["normal_index"] = np.concatenate(adjusted)
+
+    rows = ConstraintRows(**merged)
+    _finalize(ctx, bodies, rows, params)
+    return rows
+
+
+def _contact_rows(ctx, bodies, contacts, dt, params):
+    """Normal + two friction rows per contact point."""
+    m = len(contacts)
+    pos = bodies.view("pos")
+    linvel = bodies.view("linvel")
+    angvel = bodies.view("angvel")
+
+    ia, ib = contacts.body_a, contacts.body_b
+    n = contacts.normal
+    ra = ctx.sub(contacts.pos, pos[ia])
+    rb = ctx.sub(contacts.pos, pos[ib])
+
+    t1, t2 = _orthonormal_tangents(n)
+
+    # Negations are sign-bit flips (MIPS neg.s), not FPU multiplies, so
+    # they intentionally bypass the context.
+    jla_n, jaa_n = -n, -math3d.cross(ctx, ra, n)
+    jlb_n, jab_n = n, math3d.cross(ctx, rb, n)
+
+    # Pre-solve relative normal velocity for restitution.
+    rel_n = (
+        math3d.dot(ctx, jla_n, linvel[ia])
+        + math3d.dot(ctx, jaa_n, angvel[ia])
+        + math3d.dot(ctx, jlb_n, linvel[ib])
+        + math3d.dot(ctx, jab_n, angvel[ib])
+    ).astype(np.float32)
+
+    bias = params.beta / dt * np.maximum(contacts.depth - params.slop, 0.0)
+    bias = np.minimum(bias, params.max_bias_velocity)
+    bounce = contacts.restitution * np.maximum(
+        -rel_n - params.restitution_threshold, 0.0
+    )
+    rhs_n = (-np.maximum(bias, bounce)).astype(np.float32)
+
+    def _friction_block(t):
+        return (-t, -math3d.cross(ctx, ra, t), t, math3d.cross(ctx, rb, t))
+
+    jla_1, jaa_1, jlb_1, jab_1 = _friction_block(t1)
+    jla_2, jaa_2, jlb_2, jab_2 = _friction_block(t2)
+
+    zeros = np.zeros(m, dtype=np.float32)
+    normal_idx = np.arange(m, dtype=np.int32)
+    return {
+        "ia": np.concatenate([ia, ia, ia]).astype(np.int32),
+        "ib": np.concatenate([ib, ib, ib]).astype(np.int32),
+        "jla": np.concatenate([jla_n, jla_1, jla_2]),
+        "jaa": np.concatenate([jaa_n, jaa_1, jaa_2]),
+        "jlb": np.concatenate([jlb_n, jlb_1, jlb_2]),
+        "jab": np.concatenate([jab_n, jab_1, jab_2]),
+        "rhs": np.concatenate([rhs_n, zeros, zeros]),
+        "lo": np.concatenate([zeros, zeros, zeros]),  # friction lo set live
+        "hi": np.concatenate([np.full(m, _BIG, np.float32), zeros, zeros]),
+        "mu": np.concatenate([zeros, contacts.friction, contacts.friction]),
+        "normal_index": np.concatenate(
+            [np.full(m, -1, np.int32), normal_idx, normal_idx]
+        ),
+    }
+
+
+def _joint_rows(ctx, bodies, joints, dt, params):
+    """Three equality rows per ball joint; five per hinge."""
+    pos = bodies.view("pos")
+    rot = bodies.view("rot")
+    rows = {k: [] for k in ("ia", "ib", "jla", "jaa", "jlb", "jab", "rhs")}
+
+    world_index = bodies.world_index
+
+    def _resolve(body):
+        return world_index if body < 0 else body
+
+    def _point_rows(body_a, body_b, local_a, local_b):
+        body_a, body_b = _resolve(body_a), _resolve(body_b)
+        ra = math3d.matvec(ctx, rot[body_a][None], local_a[None])[0]
+        rb = math3d.matvec(ctx, rot[body_b][None], local_b[None])[0]
+        wa = ctx.add(pos[body_a], ra)
+        wb = ctx.add(pos[body_b], rb)
+        error = ctx.sub(wb, wa)  # want -> 0
+        for axis in range(3):
+            e = np.zeros(3, dtype=np.float32)
+            e[axis] = 1.0
+            rows["ia"].append(body_a)
+            rows["ib"].append(body_b)
+            rows["jla"].append(-e)
+            rows["jaa"].append(-np.cross(ra, e).astype(np.float32))
+            rows["jlb"].append(e)
+            rows["jab"].append(np.cross(rb, e).astype(np.float32))
+            rows["rhs"].append(
+                np.float32(params.beta / dt) * error[axis])
+
+    def _axis_rows(body_a, body_b, axis_a, axis_b):
+        body_a, body_b = _resolve(body_a), _resolve(body_b)
+        world_a = math3d.matvec(ctx, rot[body_a][None], axis_a[None])[0]
+        world_b = math3d.matvec(ctx, rot[body_b][None], axis_b[None])[0]
+        # Two directions perpendicular to the hinge axis of body A.
+        p, q = _orthonormal_tangents(world_a[None, :])
+        p, q = p[0], q[0]
+        misalign = np.cross(world_a, world_b).astype(np.float32)
+        zero3 = np.zeros(3, dtype=np.float32)
+        for direction in (p, q):
+            rows["ia"].append(body_a)
+            rows["ib"].append(body_b)
+            rows["jla"].append(zero3)
+            rows["jaa"].append(-direction)
+            rows["jlb"].append(zero3)
+            rows["jab"].append(direction)
+            rows["rhs"].append(
+                np.float32(params.beta / dt) * float(misalign @ direction))
+
+    for joint in joints.ball_joints:
+        _point_rows(joint.body_a, joint.body_b, joint.local_a, joint.local_b)
+    for joint in joints.hinge_joints:
+        _point_rows(joint.body_a, joint.body_b, joint.local_a, joint.local_b)
+        _axis_rows(joint.body_a, joint.body_b, joint.axis_a, joint.axis_b)
+
+    count = len(rows["rhs"])
+    return {
+        "ia": np.array(rows["ia"], dtype=np.int32),
+        "ib": np.array(rows["ib"], dtype=np.int32),
+        "jla": np.stack(rows["jla"]).astype(np.float32),
+        "jaa": np.stack(rows["jaa"]).astype(np.float32),
+        "jlb": np.stack(rows["jlb"]).astype(np.float32),
+        "jab": np.stack(rows["jab"]).astype(np.float32),
+        "rhs": np.array(rows["rhs"], dtype=np.float32),
+        "lo": np.full(count, -_BIG, dtype=np.float32),
+        "hi": np.full(count, _BIG, dtype=np.float32),
+        "mu": np.zeros(count, dtype=np.float32),
+        "normal_index": np.full(count, -1, dtype=np.int32),
+    }
+
+
+def _tree_sum(ctx, arr: np.ndarray) -> np.ndarray:
+    """Sum an (R, W) array over axis 1 with reduced pairwise adds."""
+    while arr.shape[1] > 1:
+        width = arr.shape[1]
+        half = width // 2
+        summed = ctx.add(arr[:, :half], arr[:, half: 2 * half])
+        if width % 2:
+            summed = np.concatenate([summed, arr[:, -1:]], axis=1)
+        arr = summed
+    return arr[:, 0]
+
+
+def _finalize(ctx, bodies, rows: ConstraintRows, params) -> None:
+    """Stack Jacobians, compute M^-1 J^T and the mass-split diagonal."""
+    invmass = bodies.view("invmass")
+    inv_inertia = bodies.view("inv_inertia_world")
+    n_slots = bodies.world_index + 1
+
+    rows.jacobian = np.concatenate(
+        [rows.jla, rows.jaa, rows.jlb, rows.jab], axis=1
+    ).astype(np.float32)
+
+    im_a = invmass[rows.ia].astype(np.float32)
+    im_b = invmass[rows.ib].astype(np.float32)
+    lin_a = math3d.scale(ctx, rows.jla, im_a)
+    ang_a = math3d.matvec(ctx, inv_inertia[rows.ia], rows.jaa)
+    lin_b = math3d.scale(ctx, rows.jlb, im_b)
+    ang_b = math3d.matvec(ctx, inv_inertia[rows.ib], rows.jab)
+    rows.inv_mass_jt = np.concatenate(
+        [lin_a, ang_a, lin_b, ang_b], axis=1
+    ).astype(np.float32)
+
+    # Constraint degree per body: Jacobi mass splitting scales the
+    # effective-mass diagonal up so simultaneous row updates contract.
+    # Gauss-Seidel updates rows sequentially and needs no splitting.
+    if params.scheme == "gauss_seidel":
+        degree = np.ones(n_slots, dtype=np.float32)
+    else:
+        degree = np.zeros(n_slots, dtype=np.float32)
+        np.add.at(degree, rows.ia, 1.0)
+        np.add.at(degree, rows.ib, 1.0)
+        degree = np.maximum(degree, 1.0)
+
+    d_a = _tree_sum(ctx, ctx.mul(rows.jacobian[:, :6],
+                                 rows.inv_mass_jt[:, :6]))
+    d_b = _tree_sum(ctx, ctx.mul(rows.jacobian[:, 6:],
+                                 rows.inv_mass_jt[:, 6:]))
+    d = ctx.add(ctx.mul(d_a, degree[rows.ia]), ctx.mul(d_b, degree[rows.ib]))
+    d = ctx.add(d, np.float32(params.cfm))
+    rows.inv_d = ctx.div(np.float32(1.0), d)
+    rows.lam = np.zeros(len(rows), dtype=np.float32)
+
+
+class _Scatter:
+    """Precomputed incidence waves for vectorized impulse scatter.
+
+    The 2R (row, side) incidences are sorted by body; wave ``k`` applies
+    the k-th incidence of every body that has one.  Each wave is a single
+    reduced ``ctx.add`` with no zero padding, so the trivialization census
+    sees exactly the adds real hardware would execute.
+    """
+
+    def __init__(self, rows: ConstraintRows, n_slots: int) -> None:
+        inc_body = np.concatenate([rows.ia, rows.ib]).astype(np.int64)
+        self.order = np.argsort(inc_body, kind="stable")
+        sorted_body = inc_body[self.order]
+        counts = np.bincount(sorted_body, minlength=n_slots)
+        starts = np.zeros(n_slots, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        self.waves = []
+        max_degree = int(counts.max()) if len(counts) else 0
+        for k in range(max_degree):
+            body_idx = np.nonzero(counts > k)[0]
+            self.waves.append((body_idx, starts[body_idx] + k))
+
+
+def _color_rows(rows: ConstraintRows, world_index: int):
+    """Partition rows into batches with no body shared inside a batch.
+
+    Rows touching only the immovable world body never conflict through
+    it (its velocity is pinned), so ground contacts parallelize freely.
+    Within a batch the vectorized update has exact Gauss-Seidel
+    semantics; batches execute sequentially in row order.
+    """
+    batches = []        # list of lists of row indices
+    occupancy = []      # per batch: set of body ids
+    for r in range(len(rows)):
+        touched = {int(rows.ia[r]), int(rows.ib[r])} - {world_index}
+        for color, bodies_in_batch in enumerate(occupancy):
+            if not (touched & bodies_in_batch):
+                batches[color].append(r)
+                bodies_in_batch |= touched
+                break
+        else:
+            batches.append([r])
+            occupancy.append(set(touched))
+    return [np.array(batch, dtype=np.int64) for batch in batches]
+
+
+def solve(
+    ctx: FPContext,
+    bodies: BodyStore,
+    rows: ConstraintRows,
+    params: SolverParams,
+) -> None:
+    """Relax the mixed LCP, updating body velocities in place."""
+    if len(rows) == 0:
+        return
+    if params.scheme == "gauss_seidel":
+        _solve_gauss_seidel(ctx, bodies, rows, params)
+        return
+    if params.scheme != "jacobi":
+        raise ValueError(f"unknown solver scheme: {params.scheme!r}")
+    n_slots = bodies.world_index + 1
+    linvel = bodies.view("linvel")
+    angvel = bodies.view("angvel")
+    vel = np.concatenate([linvel, angvel], axis=1).astype(np.float32)
+
+    scatter = _Scatter(rows, n_slots)
+    jac = rows.jacobian
+    inv_mass_jt = rows.inv_mass_jt
+    ia, ib = rows.ia, rows.ib
+
+    friction_idx = np.nonzero(rows.normal_index >= 0)[0]
+    friction_normals = rows.normal_index[friction_idx]
+    mu_f = rows.mu[friction_idx]
+    lo = rows.lo.copy()
+    hi = rows.hi.copy()
+    lam = rows.lam
+
+    for _ in range(params.iterations):
+        # Constraint-space velocity of every row: J . v as one big
+        # elementwise multiply plus a pairwise reduction tree.
+        gathered = np.concatenate([vel[ia], vel[ib]], axis=1)
+        rel = _tree_sum(ctx, ctx.mul(jac, gathered))
+        dlam = ctx.mul(ctx.add(rel, rows.rhs), -rows.inv_d)
+
+        if len(friction_idx):
+            # Coulomb box bounds follow the live normal impulses.
+            bound = ctx.mul(mu_f, lam[friction_normals])
+            lo[friction_idx] = -bound
+            hi[friction_idx] = bound
+
+        new_lam = np.clip(ctx.add(lam, dlam), lo, hi)
+        delta = ctx.sub(new_lam, lam)
+        lam = new_lam
+
+        # Per-row velocity deltas, scattered one incidence wave at a time
+        # (each wave is a real, precision-reduced FP add).
+        dvw = ctx.mul(inv_mass_jt, delta[:, None])
+        inc = np.concatenate([dvw[:, :6], dvw[:, 6:]], axis=0)[scatter.order]
+        for body_idx, inc_pos in scatter.waves:
+            vel[body_idx] = ctx.add(vel[body_idx], inc[inc_pos])
+        vel[bodies.world_index] = 0.0  # keep the virtual world body pinned
+
+    rows.lam = lam
+    linvel[:] = vel[:, :3]
+    angvel[:] = vel[:, 3:]
+
+
+def _solve_gauss_seidel(
+    ctx: FPContext,
+    bodies: BodyStore,
+    rows: ConstraintRows,
+    params: SolverParams,
+) -> None:
+    """Sequential (ODE-quickstep-style) relaxation via colored batches."""
+    world_index = bodies.world_index
+    linvel = bodies.view("linvel")
+    angvel = bodies.view("angvel")
+    vel = np.concatenate([linvel, angvel], axis=1).astype(np.float32)
+
+    batches = _color_rows(rows, world_index)
+    jac = rows.jacobian
+    inv_mass_jt = rows.inv_mass_jt
+    lam = rows.lam
+    lo = rows.lo.copy()
+    hi = rows.hi.copy()
+
+    for _ in range(params.iterations):
+        for batch in batches:
+            ia = rows.ia[batch]
+            ib = rows.ib[batch]
+            gathered = np.concatenate([vel[ia], vel[ib]], axis=1)
+            rel = _tree_sum(ctx, ctx.mul(jac[batch], gathered))
+            dlam = ctx.mul(ctx.add(rel, rows.rhs[batch]),
+                           -rows.inv_d[batch])
+
+            friction = rows.normal_index[batch] >= 0
+            if friction.any():
+                f_rows = batch[friction]
+                bound = ctx.mul(rows.mu[f_rows],
+                                lam[rows.normal_index[f_rows]])
+                lo[f_rows] = -bound
+                hi[f_rows] = bound
+
+            new_lam = np.clip(ctx.add(lam[batch], dlam), lo[batch],
+                              hi[batch])
+            delta = ctx.sub(new_lam, lam[batch])
+            lam[batch] = new_lam
+
+            dvw = ctx.mul(inv_mass_jt[batch], delta[:, None])
+            # Bodies are unique within a batch (except the pinned world
+            # body), so direct indexed adds are conflict-free.
+            vel[ia] = ctx.add(vel[ia], dvw[:, :6])
+            vel[ib] = ctx.add(vel[ib], dvw[:, 6:])
+            vel[world_index] = 0.0
+
+    rows.lam = lam
+    linvel[:] = vel[:, :3]
+    angvel[:] = vel[:, 3:]
+
+
+class ContactCache:
+    """Persistent-contact impulse cache for warm starting.
+
+    Contacts are matched across steps by body pair and world-space
+    proximity (our narrow phase regenerates contact sets each step, so
+    there are no stable feature ids to key on).  Matched contacts start
+    the new solve from a fraction of last step's impulses — ODE-style
+    warm starting, which both converges resting stacks faster and
+    increases the cross-step value locality the paper's memoization
+    leans on.
+    """
+
+    def __init__(self, match_tolerance: float = 0.08) -> None:
+        self.match_tolerance = match_tolerance
+        self._store = {}
+
+    def warm_start(self, contacts: ContactSet, rows: ConstraintRows,
+                   params: SolverParams) -> int:
+        """Seed ``rows.lam`` from cached impulses; returns match count."""
+        if not params.warm_start or not len(contacts):
+            return 0
+        m = len(contacts)
+        matches = 0
+        factor = np.float32(params.warm_start_factor)
+        tol2 = self.match_tolerance ** 2
+        for k in range(m):
+            key = (int(contacts.body_a[k]), int(contacts.body_b[k]))
+            cached = self._store.get(key)
+            if not cached:
+                continue
+            best = None
+            best_d2 = tol2
+            for pos, impulses in cached:
+                delta = contacts.pos[k] - pos
+                d2 = float(delta @ delta)
+                if d2 < best_d2:
+                    best_d2 = d2
+                    best = impulses
+            if best is not None:
+                # rows are laid out [normals | friction1 | friction2]
+                rows.lam[k] = factor * best[0]
+                rows.lam[m + k] = factor * best[1]
+                rows.lam[2 * m + k] = factor * best[2]
+                matches += 1
+        return matches
+
+    def store(self, contacts: ContactSet, rows: ConstraintRows) -> None:
+        """Remember this step's converged impulses."""
+        self._store.clear()
+        m = len(contacts)
+        for k in range(m):
+            key = (int(contacts.body_a[k]), int(contacts.body_b[k]))
+            self._store.setdefault(key, []).append((
+                contacts.pos[k].copy(),
+                (float(rows.lam[k]), float(rows.lam[m + k]),
+                 float(rows.lam[2 * m + k])),
+            ))
+
+
+def apply_warm_start_impulses(
+    ctx: FPContext,
+    bodies: BodyStore,
+    rows: ConstraintRows,
+) -> None:
+    """Apply the seeded ``rows.lam`` to body velocities before iterating.
+
+    Warm starting only helps if the cached impulses act immediately;
+    otherwise the first iterations re-derive them from scratch.
+    """
+    seeded = np.nonzero(rows.lam != 0)[0]
+    if len(seeded) == 0:
+        return
+    vel = np.concatenate(
+        [bodies.view("linvel"), bodies.view("angvel")], axis=1
+    ).astype(np.float32)
+    dvw = ctx.mul(rows.inv_mass_jt[seeded], rows.lam[seeded][:, None])
+    # Sequential per-row application keeps conflicting rows correct.
+    for i, r in enumerate(seeded):
+        ia, ib = int(rows.ia[r]), int(rows.ib[r])
+        vel[ia] = ctx.add(vel[ia], dvw[i, :6])
+        vel[ib] = ctx.add(vel[ib], dvw[i, 6:])
+    vel[bodies.world_index] = 0.0
+    bodies.view("linvel")[:] = vel[:, :3]
+    bodies.view("angvel")[:] = vel[:, 3:]

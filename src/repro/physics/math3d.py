@@ -1,0 +1,172 @@
+"""Vector/quaternion math routed through an :class:`~repro.fp.FPContext`.
+
+Every elementary add/sub/mul executed here is performed at the precision of
+the context's *current phase*, so the same code path serves full-precision
+reference runs and reduced-precision experiments.  Shapes follow numpy
+broadcasting with the geometric axis last: ``(..., 3)`` vectors and
+``(..., 4)`` quaternions (w, x, y, z).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fp.context import FPContext
+
+__all__ = [
+    "dot",
+    "cross",
+    "scale",
+    "norm",
+    "normalize",
+    "matvec",
+    "quat_mul",
+    "quat_rotate_matrix",
+    "quat_normalize",
+    "quat_integrate",
+    "skew_apply",
+]
+
+
+def dot(ctx: FPContext, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Inner product over the last axis, one add at a time."""
+    prod = ctx.mul(a, b)
+    acc = prod[..., 0]
+    for k in range(1, prod.shape[-1]):
+        acc = ctx.add(acc, prod[..., k])
+    return acc
+
+
+def cross(ctx: FPContext, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cross product of ``(..., 3)`` vectors."""
+    ax, ay, az = a[..., 0], a[..., 1], a[..., 2]
+    bx, by, bz = b[..., 0], b[..., 1], b[..., 2]
+    cx = ctx.sub(ctx.mul(ay, bz), ctx.mul(az, by))
+    cy = ctx.sub(ctx.mul(az, bx), ctx.mul(ax, bz))
+    cz = ctx.sub(ctx.mul(ax, by), ctx.mul(ay, bx))
+    return np.stack([cx, cy, cz], axis=-1)
+
+
+def scale(ctx: FPContext, v: np.ndarray, s) -> np.ndarray:
+    """Multiply vectors by (broadcast) scalars."""
+    s = np.asarray(s, dtype=np.float32)
+    if s.ndim == v.ndim - 1:
+        s = s[..., None]
+    return ctx.mul(v, s)
+
+
+def norm(ctx: FPContext, v: np.ndarray) -> np.ndarray:
+    """Euclidean norm over the last axis (sqrt at full precision)."""
+    return ctx.sqrt(dot(ctx, v, v))
+
+
+def normalize(ctx: FPContext, v: np.ndarray, eps: float = 1e-12):
+    """Return ``(unit vector, length)``; zero vectors stay zero."""
+    length = norm(ctx, v)
+    safe = np.where(length > eps, length, np.float32(1.0))
+    return ctx.div(v, safe[..., None]), length
+
+
+def matvec(ctx: FPContext, m: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Apply ``(..., 3, 3)`` matrices to ``(..., 3)`` vectors."""
+    cols = []
+    for i in range(3):
+        cols.append(dot(ctx, m[..., i, :], v))
+    return np.stack(cols, axis=-1)
+
+
+def skew_apply(ctx: FPContext, w: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """``w x r`` — angular velocity applied to a lever arm."""
+    return cross(ctx, w, r)
+
+
+def quat_mul(ctx: FPContext, q: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Hamilton product of ``(..., 4)`` quaternions (w, x, y, z)."""
+    qw, qx, qy, qz = (q[..., k] for k in range(4))
+    pw, px, py, pz = (p[..., k] for k in range(4))
+
+    def _sum4(t0, t1, t2, t3):
+        return ctx.add(ctx.add(t0, t1), ctx.add(t2, t3))
+
+    w = _sum4(ctx.mul(qw, pw), ctx.mul(-qx, px), ctx.mul(-qy, py),
+              ctx.mul(-qz, pz))
+    x = _sum4(ctx.mul(qw, px), ctx.mul(qx, pw), ctx.mul(qy, pz),
+              ctx.mul(-qz, py))
+    y = _sum4(ctx.mul(qw, py), ctx.mul(-qx, pz), ctx.mul(qy, pw),
+              ctx.mul(qz, px))
+    z = _sum4(ctx.mul(qw, pz), ctx.mul(qx, py), ctx.mul(-qy, px),
+              ctx.mul(qz, pw))
+    return np.stack([w, x, y, z], axis=-1)
+
+
+def quat_normalize(ctx: FPContext, q: np.ndarray) -> np.ndarray:
+    """Renormalize quaternions; degenerate ones reset to identity."""
+    length = ctx.sqrt(dot(ctx, q, q))
+    bad = length < 1e-12
+    safe = np.where(bad, np.float32(1.0), length)
+    out = ctx.div(q, safe[..., None])
+    if np.any(bad):
+        out = out.copy()
+        out[bad] = np.array([1.0, 0.0, 0.0, 0.0], dtype=np.float32)
+    return out
+
+
+def quat_rotate_matrix(ctx: FPContext, q: np.ndarray) -> np.ndarray:
+    """Rotation matrices ``(..., 3, 3)`` of unit quaternions."""
+    w, x, y, z = (q[..., k] for k in range(4))
+    two = np.float32(2.0)
+    one = np.float32(1.0)
+
+    xx = ctx.mul(x, x)
+    yy = ctx.mul(y, y)
+    zz = ctx.mul(z, z)
+    xy = ctx.mul(x, y)
+    xz = ctx.mul(x, z)
+    yz = ctx.mul(y, z)
+    wx = ctx.mul(w, x)
+    wy = ctx.mul(w, y)
+    wz = ctx.mul(w, z)
+
+    def _entry(d1, d2):  # 1 - 2*(d1 + d2)
+        return ctx.sub(one, ctx.mul(two, ctx.add(d1, d2)))
+
+    def _pair(p1, p2, sign):  # 2*(p1 +/- p2)
+        inner = ctx.add(p1, p2) if sign > 0 else ctx.sub(p1, p2)
+        return ctx.mul(two, inner)
+
+    m00 = _entry(yy, zz)
+    m11 = _entry(xx, zz)
+    m22 = _entry(xx, yy)
+    m01 = _pair(xy, wz, -1)
+    m02 = _pair(xz, wy, +1)
+    m10 = _pair(xy, wz, +1)
+    m12 = _pair(yz, wx, -1)
+    m20 = _pair(xz, wy, -1)
+    m21 = _pair(yz, wx, +1)
+
+    rows = np.stack(
+        [
+            np.stack([m00, m01, m02], axis=-1),
+            np.stack([m10, m11, m12], axis=-1),
+            np.stack([m20, m21, m22], axis=-1),
+        ],
+        axis=-2,
+    )
+    return rows
+
+
+def quat_integrate(
+    ctx: FPContext, q: np.ndarray, omega: np.ndarray, dt: float
+) -> np.ndarray:
+    """Advance unit quaternions by angular velocity ``omega`` over ``dt``.
+
+    Uses the first-order update ``q' = normalize(q + dt/2 * (0, w) * q)``,
+    the same scheme ODE's explicit integrator applies.
+    """
+    zeros = np.zeros_like(omega[..., 0])
+    omega_q = np.stack([zeros, omega[..., 0], omega[..., 1], omega[..., 2]],
+                       axis=-1)
+    dq = quat_mul(ctx, omega_q, q)
+    half_dt = np.float32(0.5 * dt)
+    stepped = ctx.add(q, ctx.mul(dq, half_dt))
+    return quat_normalize(ctx, stepped)

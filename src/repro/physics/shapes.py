@@ -1,0 +1,164 @@
+"""Collision geometry attached to rigid bodies.
+
+Three primitive shapes cover the PhysicsBench-style scenarios: spheres,
+boxes (half extents) and static planes.  A :class:`GeomStore` keeps the
+geoms plus cached world-space bounding boxes for the broad phase.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["ShapeType", "Geom", "GeomStore", "box_inertia",
+           "capsule_inertia", "sphere_inertia"]
+
+
+class ShapeType(enum.Enum):
+    SPHERE = "sphere"
+    BOX = "box"
+    PLANE = "plane"
+    CAPSULE = "capsule"
+
+
+@dataclass
+class Geom:
+    """One collision shape bound to a body (or static, body = -1)."""
+
+    shape: ShapeType
+    body: int
+    #: sphere: [radius, 0, 0]; box: half extents; plane: unit normal;
+    #: capsule: [radius, half segment length, 0] (axis = local y).
+    params: np.ndarray
+    #: plane only: signed offset so that points satisfy n . x = offset.
+    offset: float = 0.0
+    #: Coulomb friction coefficient used when this geom is in contact.
+    friction: float = 0.5
+    #: restitution (bounciness) blended as the max of the two geoms.
+    restitution: float = 0.1
+
+    def __post_init__(self) -> None:
+        self.params = np.asarray(self.params, dtype=np.float32)
+
+
+class GeomStore:
+    """All collision geometry of a world, with world AABBs."""
+
+    def __init__(self) -> None:
+        self.geoms: List[Geom] = []
+
+    def add_sphere(self, body: int, radius: float, **props) -> int:
+        return self._append(
+            Geom(ShapeType.SPHERE, body, [radius, 0.0, 0.0], **props)
+        )
+
+    def add_box(self, body: int, half_extents, **props) -> int:
+        return self._append(Geom(ShapeType.BOX, body, half_extents, **props))
+
+    def add_capsule(self, body: int, radius: float, half_height: float,
+                    **props) -> int:
+        """A capsule along the body's local y axis.
+
+        ``half_height`` is half the inner segment length (the cylinder
+        part); the total capsule half-length is ``half_height + radius``.
+        """
+        return self._append(
+            Geom(ShapeType.CAPSULE, body, [radius, half_height, 0.0],
+                 **props))
+
+    def add_plane(self, normal, offset: float, **props) -> int:
+        normal = np.asarray(normal, dtype=np.float64)
+        normal = normal / np.linalg.norm(normal)
+        return self._append(
+            Geom(ShapeType.PLANE, -1, normal, offset=offset, **props)
+        )
+
+    def _append(self, geom: Geom) -> int:
+        self.geoms.append(geom)
+        return len(self.geoms) - 1
+
+    def __len__(self) -> int:
+        return len(self.geoms)
+
+    def __getitem__(self, index: int) -> Geom:
+        return self.geoms[index]
+
+    # ------------------------------------------------------------------
+    # World AABBs (full-precision bookkeeping; not part of the studied
+    # phases, mirrors ODE's broad-phase being outside the LCP/narrow loop)
+    # ------------------------------------------------------------------
+    def world_aabbs(self, pos: np.ndarray, rot: np.ndarray) -> np.ndarray:
+        """Axis-aligned bounds per geom; planes get infinite extents.
+
+        ``pos``/``rot`` are the body arrays (world body row included).
+        """
+        n = len(self.geoms)
+        lo = np.full((n, 3), -np.inf, dtype=np.float32)
+        hi = np.full((n, 3), np.inf, dtype=np.float32)
+        for k, geom in enumerate(self.geoms):
+            if geom.shape is ShapeType.PLANE:
+                continue
+            center = pos[geom.body]
+            if geom.shape is ShapeType.SPHERE:
+                radius = geom.params[0]
+                lo[k] = center - radius
+                hi[k] = center + radius
+            elif geom.shape is ShapeType.CAPSULE:
+                radius, half_height = geom.params[0], geom.params[1]
+                axis_extent = np.abs(rot[geom.body][:, 1]) * half_height
+                extent = axis_extent + radius
+                lo[k] = center - extent
+                hi[k] = center + extent
+            else:  # box: |R| @ half_extents bounds the rotated box
+                extent = np.abs(rot[geom.body]) @ geom.params
+                lo[k] = center - extent
+                hi[k] = center + extent
+        return np.stack([lo, hi], axis=1)
+
+
+def sphere_inertia(mass: float, radius: float) -> np.ndarray:
+    """Diagonal inertia of a solid sphere."""
+    i = 0.4 * mass * radius * radius
+    return np.array([i, i, i], dtype=np.float32)
+
+
+def box_inertia(mass: float, half_extents) -> np.ndarray:
+    """Diagonal inertia of a solid box from half extents."""
+    hx, hy, hz = (float(h) for h in half_extents)
+    factor = mass / 3.0
+    return np.array(
+        [
+            factor * (hy * hy + hz * hz),
+            factor * (hx * hx + hz * hz),
+            factor * (hx * hx + hy * hy),
+        ],
+        dtype=np.float32,
+    )
+
+
+def capsule_inertia(mass: float, radius: float,
+                    half_height: float) -> np.ndarray:
+    """Diagonal inertia of a solid capsule (axis = y).
+
+    Mass splits between the cylinder and the two hemispherical caps by
+    volume; standard solid formulas with the parallel-axis shift for the
+    caps.
+    """
+    r, h = float(radius), 2.0 * float(half_height)
+    v_cyl = np.pi * r * r * h
+    v_caps = (4.0 / 3.0) * np.pi * r ** 3
+    total = v_cyl + v_caps
+    m_cyl = mass * v_cyl / total if total else 0.0
+    m_caps = mass - m_cyl
+
+    # Standard solid-capsule formulas (cylinder + two hemispherical end
+    # caps with the parallel-axis terms folded in).
+    i_axial = 0.5 * m_cyl * r * r + 0.4 * m_caps * r * r
+    i_trans = (
+        m_cyl * (h * h / 12.0 + r * r / 4.0)
+        + m_caps * (0.4 * r * r + h * h / 4.0 + 0.375 * h * r)
+    )
+    return np.array([i_trans, i_axial, i_trans], dtype=np.float32)

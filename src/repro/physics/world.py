@@ -1,0 +1,278 @@
+"""The simulation world: ODE-like phase pipeline with per-phase precision.
+
+``World.step()`` runs the paper's Figure 1 flow for one 0.01 s timestep:
+
+1. **broad**  — AABB pair culling (serial bookkeeping, full precision);
+2. **narrow** — contact generation (massively parallel, precision-tuned);
+3. islands    — union-find grouping (integer work);
+4. **lcp**    — constraint relaxation, 20 iterations (precision-tuned);
+5. **integrate** — semi-implicit Euler + energy monitoring.
+
+The world owns one :class:`~repro.fp.FPContext`; phases switch the
+context's label so the narrow/LCP work executes at whatever mantissa
+width the tuner (or an experiment) installed, while everything else stays
+at full precision — exactly the paper's per-phase control-register design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..fp.context import FPContext
+from . import broadphase, integrator, lcp, math3d, narrowphase
+from .body import BodyStore
+from .cloth import Cloth
+from .energy import EnergyMonitor
+from .explosion import Explosion
+from .island import partition_islands
+from .joints import JointStore
+from .shapes import GeomStore, box_inertia, capsule_inertia, sphere_inertia
+
+__all__ = ["World", "SleepParams"]
+
+DEFAULT_TIMESTEP = 0.01
+STEPS_PER_FRAME = 3
+
+
+@dataclass
+class SleepParams:
+    """Object disabling (the paper's Table 4 runs use object-disabling)."""
+
+    enabled: bool = True
+    linear_threshold: float = 0.03
+    angular_threshold: float = 0.05
+    steps_to_sleep: int = 15
+
+
+class World:
+    """A complete rigid-body + cloth simulation world."""
+
+    def __init__(
+        self,
+        ctx: Optional[FPContext] = None,
+        gravity=(0.0, -9.8, 0.0),
+        dt: float = DEFAULT_TIMESTEP,
+        solver: Optional[lcp.SolverParams] = None,
+        sleep: Optional[SleepParams] = None,
+    ) -> None:
+        self.ctx = ctx if ctx is not None else FPContext()
+        self.gravity = np.asarray(gravity, dtype=np.float32)
+        self.dt = float(dt)
+        self.solver = solver or lcp.SolverParams()
+        self.sleep = sleep or SleepParams()
+
+        self.bodies = BodyStore()
+        self.geoms = GeomStore()
+        self.joints = JointStore()
+        self.cloths: List[Cloth] = []
+        self.explosions: List[Explosion] = []
+        self.monitor = EnergyMonitor(self.gravity)
+        self.contact_cache = lcp.ContactCache()
+
+        self.step_count = 0
+        self.island_labels = np.empty(0, dtype=np.int32)
+        self.last_contact_count = 0
+        #: per-step max contact penetration depth (believability input)
+        self.penetration_series: List[float] = []
+        #: called after each step with (world, energy_record)
+        self.on_step: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # Scene construction conveniences
+    # ------------------------------------------------------------------
+    def add_ground_plane(self, y: float = 0.0, **props) -> int:
+        return self.geoms.add_plane([0.0, 1.0, 0.0], y, **props)
+
+    def add_sphere(self, pos, radius: float, mass: float = 1.0,
+                   **props) -> int:
+        velocity_props = {
+            k: props.pop(k) for k in ("linvel", "angvel") if k in props
+        }
+        body = self.bodies.add_body(
+            pos, mass, sphere_inertia(max(mass, 1e-9), radius),
+            **velocity_props)
+        self.geoms.add_sphere(body, radius, **props)
+        return body
+
+    def add_box(self, pos, half_extents, mass: float = 1.0, quat=None,
+                **props) -> int:
+        velocity_props = {
+            k: props.pop(k) for k in ("linvel", "angvel") if k in props
+        }
+        body = self.bodies.add_body(
+            pos, mass, box_inertia(max(mass, 1e-9), half_extents),
+            quat=quat, **velocity_props)
+        self.geoms.add_box(body, half_extents, **props)
+        return body
+
+    def add_capsule(self, pos, radius: float, half_height: float,
+                    mass: float = 1.0, quat=None, **props) -> int:
+        velocity_props = {
+            k: props.pop(k) for k in ("linvel", "angvel") if k in props
+        }
+        body = self.bodies.add_body(
+            pos, mass, capsule_inertia(max(mass, 1e-9), radius,
+                                       half_height),
+            quat=quat, **velocity_props)
+        self.geoms.add_capsule(body, radius, half_height, **props)
+        return body
+
+    def add_cloth(self, cloth: Cloth) -> Cloth:
+        self.cloths.append(cloth)
+        return cloth
+
+    def schedule_explosion(self, explosion: Explosion) -> Explosion:
+        self.explosions.append(explosion)
+        return explosion
+
+    def apply_impulse(self, body: int, impulse, point=None) -> float:
+        """Inject an impulse; returns (and records) the energy added."""
+        impulse = np.asarray(impulse, dtype=np.float64)
+        m = float(self.bodies.mass[body])
+        if m <= 0:
+            return 0.0
+        v0 = self.bodies.linvel[body].astype(np.float64)
+        v1 = v0 + impulse / m
+        self.bodies.linvel[body] = v1.astype(np.float32)
+        if point is not None:
+            r = np.asarray(point, np.float64) - self.bodies.pos[body]
+            torque_impulse = np.cross(r, impulse)
+            rot = self.bodies.rot[body].astype(np.float64)
+            inv_i = np.where(self.bodies.inertia_body[body] > 0,
+                             1.0 / self.bodies.inertia_body[body], 0.0)
+            dw = rot @ (inv_i * (rot.T @ torque_impulse))
+            self.bodies.angvel[body] = (
+                self.bodies.angvel[body].astype(np.float64) + dw
+            ).astype(np.float32)
+        self.bodies.asleep[body] = False
+        self.bodies.low_motion_steps[body] = 0
+        injected = 0.5 * m * (float(v1 @ v1) - float(v0 @ v0))
+        self.monitor.note_injection(injected)
+        return injected
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the world by one ``dt`` timestep."""
+        ctx = self.ctx
+        self.bodies.ensure_world_row()
+
+        for explosion in self.explosions:
+            if explosion.trigger_step == self.step_count:
+                explosion.apply(self)
+
+        with ctx.in_phase("integrate"):
+            self.bodies.refresh_derived(ctx)
+            integrator.apply_gravity(ctx, self.bodies, self.gravity, self.dt)
+            for cloth in self.cloths:
+                cloth.apply_gravity(ctx, self.gravity, self.dt)
+
+        # --- collision detection -------------------------------------
+        aabbs = self.geoms.world_aabbs(
+            self.bodies.view("pos"), self.bodies.view("rot"))
+        pairs = broadphase.candidate_pairs(self.geoms, aabbs)
+
+        with ctx.in_phase("narrow"):
+            contacts = narrowphase.generate_contacts(
+                ctx, self.bodies, self.geoms, pairs)
+        self.last_contact_count = len(contacts)
+        self.penetration_series.append(
+            float(contacts.depth.max()) if len(contacts) else 0.0)
+
+        # --- islands ---------------------------------------------------
+        edges: List[Tuple[int, int]] = list(
+            zip(contacts.body_a.tolist(), contacts.body_b.tolist()))
+        for joint in self.joints.ball_joints:
+            edges.append((joint.body_a, joint.body_b))
+        for joint in self.joints.hinge_joints:
+            edges.append((joint.body_a, joint.body_b))
+        self.island_labels = partition_islands(
+            self.bodies.count, self.bodies.dynamic_mask(), edges)
+
+        # --- constraint solve ------------------------------------------
+        with ctx.in_phase("lcp"):
+            rows = lcp.build_rows(ctx, self.bodies, contacts, self.joints,
+                                  self.dt, self.solver)
+            if self.solver.warm_start:
+                matched = self.contact_cache.warm_start(
+                    contacts, rows, self.solver)
+                if matched:
+                    lcp.apply_warm_start_impulses(ctx, self.bodies, rows)
+            lcp.solve(ctx, self.bodies, rows, self.solver)
+            if self.solver.warm_start:
+                self.contact_cache.store(contacts, rows)
+            for cloth in self.cloths:
+                cloth.solve_constraints(ctx, self.dt,
+                                        self.solver.iterations)
+                cloth.collide(ctx, self)
+
+        # Sleep bookkeeping uses post-solve velocities (pre-solve ones
+        # carry the just-applied gravity kick even for resting bodies).
+        self._update_sleep_state(contacts)
+
+        # --- integration ------------------------------------------------
+        with ctx.in_phase("integrate"):
+            integrator.integrate(ctx, self.bodies, self.dt)
+            for cloth in self.cloths:
+                cloth.integrate(ctx, self.dt)
+
+        record = self.monitor.measure(self, self.step_count)
+        self.step_count += 1
+        if self.on_step is not None:
+            self.on_step(self, record)
+
+    def step_frame(self) -> None:
+        """Advance one rendered frame (3 substeps, the paper's setting)."""
+        for _ in range(STEPS_PER_FRAME):
+            self.step()
+
+    # ------------------------------------------------------------------
+    def _update_sleep_state(self, contacts) -> None:
+        """Object disabling: quiet bodies stop simulating until disturbed."""
+        if not self.sleep.enabled:
+            return
+        n = self.bodies.count
+        if n == 0:
+            return
+        lin = np.linalg.norm(self.bodies.linvel[:n], axis=1)
+        ang = np.linalg.norm(self.bodies.angvel[:n], axis=1)
+        quiet = (lin < self.sleep.linear_threshold) & (
+            ang < self.sleep.angular_threshold)
+        self.bodies.low_motion_steps[:n] = np.where(
+            quiet, self.bodies.low_motion_steps[:n] + 1, 0)
+        dynamic = self.bodies.invmass[:n] > 0
+        going_to_sleep = dynamic & (
+            self.bodies.low_motion_steps[:n] >= self.sleep.steps_to_sleep)
+        if going_to_sleep.any():
+            self.bodies.asleep[:n] |= going_to_sleep
+            self.bodies.linvel[:n][going_to_sleep] = 0.0
+            self.bodies.angvel[:n][going_to_sleep] = 0.0
+
+        # Wake anything touched by a moving body.
+        if len(contacts):
+            moving = ~self.bodies.asleep[:n]
+            speed = lin + ang
+            for a, b in zip(contacts.body_a, contacts.body_b):
+                a, b = int(a), int(b)
+                a_live = a < n and moving[a] and speed[a] > 0.2
+                b_live = b < n and moving[b] and speed[b] > 0.2
+                if a_live and b < n:
+                    self._wake(b)
+                if b_live and a < n:
+                    self._wake(a)
+
+    def _wake(self, body: int) -> None:
+        if self.bodies.asleep[body]:
+            self.bodies.asleep[body] = False
+        self.bodies.low_motion_steps[body] = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def island_count(self) -> int:
+        labels = self.island_labels
+        return int(labels.max()) + 1 if len(labels) and labels.max() >= 0 \
+            else 0

@@ -1,0 +1,174 @@
+"""Dynamic precision adaptation (paper Section 4.2).
+
+Hardware/software co-design, modelled end to end:
+
+* At development time the programmer profiles the application and stores
+  the minimum believable precision per phase in a *control register*
+  (:attr:`PrecisionController.register`).
+* At run time the application monitors its own simulation quality via the
+  per-step energy difference.  On a violation of the threshold (10 %),
+  the significand precision throttles **up to full** to prevent blow-up;
+  once the simulation stabilizes, precision is reduced by one bit per
+  simulation step until it reaches the register minimum.
+* Fail-safe: if the simulation blows up without warning, the previous
+  step is re-executed at full precision ("functional correctness is
+  maintained by re-executing the previous simulation step at full
+  precision").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..fp.context import FPContext
+from ..fp.rounding import FULL_PRECISION
+
+__all__ = ["PrecisionController", "ControlledSimulation"]
+
+
+@dataclass
+class _StepLog:
+    step: int
+    precisions: Dict[str, int]
+    violation: bool
+    reexecuted: bool
+
+
+class PrecisionController:
+    """Adapts per-phase FP precision from the energy-difference signal."""
+
+    def __init__(
+        self,
+        ctx: FPContext,
+        register: Mapping[str, int],
+        threshold: float = 0.10,
+        blowup_threshold: float = 1.0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        ctx:
+            The context whose phase precisions this controller drives.
+        register:
+            The control register: minimum mantissa bits per phase, chosen
+            by static profiling (e.g. Table 1 values).
+        threshold:
+            Relative per-step energy difference that triggers throttling
+            to full precision (the paper uses 10 %).
+        blowup_threshold:
+            Relative difference treated as an outright blow-up, invoking
+            the re-execution fail-safe.
+        """
+        self.ctx = ctx
+        self.register = dict(register)
+        self.threshold = threshold
+        self.blowup_threshold = blowup_threshold
+        self.history: List[_StepLog] = []
+        self.violations = 0
+        self.reexecutions = 0
+        # Start at the register minimum (the steady-state setting).
+        for phase, bits in self.register.items():
+            ctx.set_precision(phase, bits)
+
+    # ------------------------------------------------------------------
+    def observe(self, relative_difference: Optional[float],
+                step: int, reexecuted: bool = False) -> None:
+        """Feed one post-step energy observation and retune precision."""
+        violation = (
+            relative_difference is not None
+            and relative_difference > self.threshold
+        )
+        if violation:
+            self.violations += 1
+            for phase in self.register:
+                self.ctx.set_precision(phase, FULL_PRECISION)
+        else:
+            # Stable: step precision back down, one bit per step.
+            for phase, minimum in self.register.items():
+                current = self.ctx.precision_for(phase)
+                if current > minimum:
+                    self.ctx.set_precision(phase, current - 1)
+        self.history.append(
+            _StepLog(step, dict(self.ctx.phase_precision), violation,
+                     reexecuted))
+
+    def current_precision(self, phase: str) -> int:
+        return self.ctx.precision_for(phase)
+
+
+class ControlledSimulation:
+    """Couples a world to a controller, with the re-execution fail-safe."""
+
+    def __init__(self, world, controller: PrecisionController) -> None:
+        self.world = world
+        self.controller = controller
+
+    # ------------------------------------------------------------------
+    def _snapshot(self):
+        bodies = self.world.bodies
+        bodies.ensure_world_row()
+        n = bodies.count + 1  # include the world row
+        state = {
+            name: getattr(bodies, name)[:n].copy()
+            for name in ("pos", "quat", "linvel", "angvel", "asleep",
+                         "low_motion_steps")
+        }
+        cloth_state = [
+            (cloth.pos.copy(), cloth.vel.copy())
+            for cloth in self.world.cloths
+        ]
+        return state, cloth_state, self.world.step_count
+
+    def _restore(self, snapshot) -> None:
+        state, cloth_state, step_count = snapshot
+        bodies = self.world.bodies
+        n = len(state["pos"])
+        for name, data in state.items():
+            getattr(bodies, name)[:n] = data
+        for cloth, (pos, vel) in zip(self.world.cloths, cloth_state):
+            cloth.pos = pos.copy()
+            cloth.vel = vel.copy()
+        self.world.step_count = step_count
+        # Drop the bad energy record so the series stays consistent.
+        if self.world.monitor.records:
+            self.world.monitor.records.pop()
+
+    # ------------------------------------------------------------------
+    def _blew_up(self, diff: Optional[float]) -> bool:
+        bodies = self.world.bodies
+        n = bodies.count
+        if n and not (
+            np.isfinite(bodies.pos[:n]).all()
+            and np.isfinite(bodies.linvel[:n]).all()
+        ):
+            return True
+        return diff is not None and diff > self.controller.blowup_threshold
+
+    def step(self) -> None:
+        """One timestep with quality monitoring and the fail-safe."""
+        snapshot = self._snapshot()
+        self.world.step()
+        diff = self.world.monitor.relative_step_difference()
+        reexecuted = False
+
+        if self._blew_up(diff):
+            # Fail-safe: rewind and redo this step at full precision.
+            self._restore(snapshot)
+            saved = dict(self.controller.ctx.phase_precision)
+            for phase in self.controller.register:
+                self.controller.ctx.set_precision(phase, FULL_PRECISION)
+            self.world.step()
+            self.controller.ctx.phase_precision.update(saved)
+            diff = self.world.monitor.relative_step_difference()
+            reexecuted = True
+            self.controller.reexecutions += 1
+
+        self.controller.observe(diff, self.world.step_count - 1,
+                                reexecuted)
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()

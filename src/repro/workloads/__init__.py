@@ -1,0 +1,17 @@
+"""The eight PhysicsBench-equivalent workloads."""
+
+from .scenarios import (
+    DEFAULT_STEPS,
+    SCENARIO_ABBREVIATIONS,
+    SCENARIO_NAMES,
+    build,
+    default_steps,
+)
+
+__all__ = [
+    "DEFAULT_STEPS",
+    "SCENARIO_ABBREVIATIONS",
+    "SCENARIO_NAMES",
+    "build",
+    "default_steps",
+]

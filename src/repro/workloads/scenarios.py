@@ -1,0 +1,328 @@
+"""PhysicsBench-equivalent scenarios (paper Section 3).
+
+The paper evaluates on the eight PhysicsBench 2 scenarios — "a set of
+eight physical scenarios that span different physical actions and
+situations, covering a wide range of game genres".  The original suite is
+a set of ODE scenes; these builders recreate each scenario's *physical
+character* on our engine (see DESIGN.md, substitutions):
+
+=============  =====================================================
+Breakable      brick wall broken apart by a projectile
+Continuous     a steady stream of objects falling onto the ground
+Deformable     cloth draping over an obstacle
+Everything     a mixture of all of the above in one scene
+Explosions     a stack of crates blown apart by a scheduled blast
+Highspeed      very fast projectiles striking resting objects
+Periodic       pendulums swinging under articulation constraints
+Ragdoll        articulated figures collapsing onto the ground
+=============  =====================================================
+
+Every builder takes ``scale`` to shrink/grow body counts (tests use small
+scales, benchmarks the default) and returns a ready-to-step
+:class:`~repro.physics.World`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..fp.context import FPContext
+from ..physics import Cloth, Explosion, World
+from ..physics.joints import WORLD
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "SCENARIO_ABBREVIATIONS",
+    "build",
+    "default_steps",
+]
+
+#: Paper Table 1/4 order.
+SCENARIO_NAMES = [
+    "breakable",
+    "continuous",
+    "deformable",
+    "everything",
+    "explosions",
+    "highspeed",
+    "periodic",
+    "ragdoll",
+]
+
+#: Table 4 abbreviations.
+SCENARIO_ABBREVIATIONS = {
+    "breakable": "Bre",
+    "continuous": "Con",
+    "deformable": "Def",
+    "everything": "Eve",
+    "explosions": "Exp",
+    "highspeed": "Hig",
+    "periodic": "Per",
+    "ragdoll": "Rag",
+}
+
+#: 30 frames x 3 substeps, the paper's believability window.
+DEFAULT_STEPS = 90
+
+
+def default_steps(frames: int = 30) -> int:
+    """Simulation steps for a frame count at the paper's 3 steps/frame."""
+    return 3 * frames
+
+
+def _count(base: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(base * scale)))
+
+
+# ----------------------------------------------------------------------
+# Scene fragments
+# ----------------------------------------------------------------------
+def _add_wall(world: World, rows: int, cols: int, brick=(0.4, 0.25, 0.25),
+              origin=(0.0, 0.0, 0.0), mass: float = 1.5) -> List[int]:
+    """A running-bond brick wall standing on y = origin.y."""
+    hx, hy, hz = brick
+    bodies = []
+    ox, oy, oz = origin
+    for r in range(rows):
+        stagger = (r % 2) * hx
+        for c in range(cols):
+            x = ox + c * 2 * hx * 1.01 + stagger - cols * hx
+            y = oy + hy + r * 2 * hy * 1.005
+            bodies.append(
+                world.add_box([x, y, oz], [hx, hy, hz], mass,
+                              friction=0.6, restitution=0.05))
+    return bodies
+
+
+def _add_ragdoll(world: World, base=(0.0, 1.6, 0.0)) -> List[int]:
+    """A six-body articulated figure (torso, head, two arms, two legs)."""
+    bx, by, bz = base
+    torso = world.add_box([bx, by, bz], [0.18, 0.3, 0.12], 6.0,
+                          friction=0.6, restitution=0.05)
+    head = world.add_sphere([bx, by + 0.45, bz], 0.13, 1.2,
+                            friction=0.6, restitution=0.05)
+    arm_l = world.add_box([bx - 0.36, by + 0.15, bz], [0.18, 0.06, 0.06],
+                          1.0, friction=0.6, restitution=0.05)
+    arm_r = world.add_box([bx + 0.36, by + 0.15, bz], [0.18, 0.06, 0.06],
+                          1.0, friction=0.6, restitution=0.05)
+    leg_l = world.add_box([bx - 0.1, by - 0.62, bz], [0.07, 0.32, 0.07],
+                          2.0, friction=0.6, restitution=0.05)
+    leg_r = world.add_box([bx + 0.1, by - 0.62, bz], [0.07, 0.32, 0.07],
+                          2.0, friction=0.6, restitution=0.05)
+
+    joints = world.joints
+    bodies = world.bodies
+    joints.add_ball(bodies, torso, head, [bx, by + 0.32, bz])
+    joints.add_ball(bodies, torso, arm_l, [bx - 0.19, by + 0.15, bz])
+    joints.add_ball(bodies, torso, arm_r, [bx + 0.19, by + 0.15, bz])
+    joints.add_ball(bodies, torso, leg_l, [bx - 0.1, by - 0.31, bz])
+    joints.add_ball(bodies, torso, leg_r, [bx + 0.1, by - 0.31, bz])
+    return [torso, head, arm_l, arm_r, leg_l, leg_r]
+
+
+def _add_pendulum(world: World, anchor=(0.0, 3.0, 0.0), links: int = 2,
+                  swing: float = 0.9) -> List[int]:
+    """A chain of spheres ball-jointed to a world anchor, set swinging."""
+    ax, ay, az = anchor
+    length = 0.5
+    bodies = []
+    prev = WORLD
+    # Chain hangs at an initial angle so it swings periodically.
+    dx, dy = math.sin(swing), -math.cos(swing)
+    px, py = ax, ay
+    for k in range(links):
+        px += dx * length
+        py += dy * length
+        body = world.add_sphere([px, py, az], 0.12, 1.0,
+                                friction=0.3, restitution=0.1)
+        world.joints.add_ball(
+            world.bodies, body, prev,
+            [px - dx * length / 2, py - dy * length / 2, az])
+        bodies.append(body)
+        prev = body
+    return bodies
+
+
+# ----------------------------------------------------------------------
+# Scenario builders
+# ----------------------------------------------------------------------
+def _breakable(world: World, scale: float) -> None:
+    world.add_ground_plane(0.0, friction=0.8)
+    rows = _count(4, scale, minimum=2)
+    cols = _count(3, scale, minimum=2)
+    _add_wall(world, rows, cols)
+    world.add_sphere([0.0, 0.8, -6.0], 0.3, 4.0, linvel=[0.0, 1.0, 14.0],
+                     friction=0.4, restitution=0.2)
+
+
+def _continuous(world: World, scale: float) -> None:
+    world.add_ground_plane(0.0, friction=0.5)
+    n = _count(10, scale, minimum=3)
+    rng = np.random.default_rng(7)
+    for k in range(n):
+        x = float(rng.uniform(-1.2, 1.2))
+        z = float(rng.uniform(-1.2, 1.2))
+        y = 0.45 + 0.35 * k  # staggered heights: a stream of arrivals
+        world.add_sphere([x, y, z], 0.25, 0.8, friction=0.5,
+                         restitution=0.4)
+
+
+def _deformable(world: World, scale: float) -> None:
+    world.add_ground_plane(0.0, friction=0.6)
+    world.add_sphere([0.0, 0.8, 0.0], 0.8, 0.0)  # static obstacle
+    side = _count(8, scale, minimum=4)
+    cloth = Cloth(
+        origin=(-side * 0.25 / 2, 2.0, side * 0.25 / 2),
+        rows=side, cols=side, spacing=0.25,
+    )
+    world.add_cloth(cloth)
+
+
+def _everything(world: World, scale: float) -> None:
+    world.add_ground_plane(0.0, friction=0.7)
+    _add_wall(world, _count(3, scale, minimum=2), _count(2, scale, 2),
+              origin=(-2.0, 0.0, 0.0))
+    _add_ragdoll(world, base=(2.0, 1.6, 0.5))
+    cloth = Cloth(origin=(1.0, 1.5, -1.5), rows=_count(5, scale, 3),
+                  cols=_count(5, scale, 3), spacing=0.22,
+                  pinned=[(0, 0), (0, _count(5, scale, 3) - 1)])
+    world.add_cloth(cloth)
+    world.add_sphere([-2.0, 0.6, -5.0], 0.3, 3.0, linvel=[0.0, 1.0, 10.0],
+                     friction=0.4, restitution=0.2)
+    world.schedule_explosion(
+        Explosion(center=[2.0, 0.3, 0.5], impulse=8.0, radius=2.5,
+                  trigger_step=45))
+
+
+def _explosions(world: World, scale: float) -> None:
+    world.add_ground_plane(0.0, friction=0.7)
+    side = _count(3, scale, minimum=2)
+    for i in range(side):
+        for j in range(side):
+            for k in range(max(1, side - 1)):
+                world.add_box(
+                    [i * 0.62 - side * 0.3, 0.3 + k * 0.62, j * 0.62],
+                    [0.3, 0.3, 0.3], 1.0, friction=0.6, restitution=0.1)
+    world.schedule_explosion(
+        Explosion(center=[0.0, 0.2, side * 0.3], impulse=12.0, radius=4.0,
+                  trigger_step=30))
+
+
+def _highspeed(world: World, scale: float) -> None:
+    world.add_ground_plane(0.0, friction=0.5)
+    _add_wall(world, _count(2, scale, 2), _count(2, scale, 2))
+    n = _count(3, scale, minimum=2)
+    for k in range(n):
+        world.add_sphere(
+            [-0.8 + 0.8 * k, 1.0 + 0.3 * k, -8.0], 0.2, 1.5,
+            linvel=[0.0, 0.0, 35.0], friction=0.3, restitution=0.3)
+
+
+def _periodic(world: World, scale: float) -> None:
+    world.add_ground_plane(0.0, friction=0.5)
+    n = _count(3, scale, minimum=2)
+    for k in range(n):
+        # Newton's-cradle pairs: a swinging chain strikes a hanging one
+        # near the bottom of its arc every pass, so both studied phases
+        # see recurring, periodic work.
+        anchor = (k * 2.6 - n * 1.3, 3.0, k * 1.5)
+        _add_pendulum(world, anchor=anchor, links=2,
+                      swing=0.9 - 0.2 * (k % 3))
+        _add_pendulum(world, anchor=(anchor[0] + 0.27, 3.0, anchor[2]),
+                      links=2, swing=0.0)
+
+
+def _ragdoll(world: World, scale: float) -> None:
+    world.add_ground_plane(0.0, friction=0.7)
+    n = _count(2, scale, minimum=1)
+    for k in range(n):
+        _add_ragdoll(world, base=(k * 1.5 - n * 0.75, 1.6 + 0.3 * k,
+                                  k * 0.4))
+
+
+def _add_capsule_ragdoll(world: World, base=(0.0, 1.9, 0.0)) -> List[int]:
+    """A richer articulated figure: capsule limbs with hinged knees."""
+    bx, by, bz = base
+    torso = world.add_capsule([bx, by, bz], 0.16, 0.25, 6.0,
+                              friction=0.6, restitution=0.05)
+    head = world.add_sphere([bx, by + 0.55, bz], 0.13, 1.2,
+                            friction=0.6, restitution=0.05)
+    legs = []
+    for side in (-1, 1):
+        x = bx + side * 0.1
+        thigh = world.add_capsule([x, by - 0.66, bz], 0.07, 0.18, 1.6,
+                                  friction=0.6, restitution=0.05)
+        shin = world.add_capsule([x, by - 1.16, bz], 0.06, 0.17, 1.2,
+                                 friction=0.6, restitution=0.05)
+        world.joints.add_ball(world.bodies, torso, thigh,
+                              [x, by - 0.41, bz])
+        # Hinged knee about the lateral (x) axis.
+        world.joints.add_hinge(world.bodies, thigh, shin,
+                               [x, by - 0.91, bz], [1.0, 0.0, 0.0])
+        legs += [thigh, shin]
+    world.joints.add_ball(world.bodies, torso, head, [bx, by + 0.41, bz])
+    return [torso, head] + legs
+
+
+def _ragdoll_capsules(world: World, scale: float) -> None:
+    """Bonus (non-paper) workload exercising capsules and hinges."""
+    world.add_ground_plane(0.0, friction=0.7)
+    n = _count(2, scale, minimum=1)
+    for k in range(n):
+        _add_capsule_ragdoll(world, base=(k * 1.6 - n * 0.8, 1.9 + 0.3 * k,
+                                          k * 0.5))
+
+
+_BUILDERS: Dict[str, Callable[[World, float], None]] = {
+    "breakable": _breakable,
+    "continuous": _continuous,
+    "deformable": _deformable,
+    "everything": _everything,
+    "explosions": _explosions,
+    "highspeed": _highspeed,
+    "periodic": _periodic,
+    "ragdoll": _ragdoll,
+    # Extra workload (not part of the paper's eight, hence not in
+    # SCENARIO_NAMES): capsule-limbed, hinge-kneed ragdolls.
+    "ragdoll_capsules": _ragdoll_capsules,
+}
+
+#: PhysicsBench calls the most complex scenario "Mix".
+_ALIASES = {"mix": "everything"}
+
+
+def build(
+    name: str,
+    ctx: Optional[FPContext] = None,
+    scale: float = 1.0,
+    solver=None,
+) -> World:
+    """Construct a named scenario world.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SCENARIO_NAMES` (case-insensitive; "mix" aliases
+        "everything").
+    ctx:
+        FP context to simulate with; defaults to a fresh full-precision
+        context.
+    scale:
+        Body-count multiplier (1.0 = benchmark size).
+    solver:
+        Optional :class:`~repro.physics.SolverParams` override (e.g. the
+        Gauss-Seidel scheme for solver ablations).
+    """
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        builder = _BUILDERS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; pick from {SCENARIO_NAMES}"
+        ) from None
+    world = World(ctx=ctx, solver=solver)
+    builder(world, scale)
+    return world

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext
+from repro.physics import World
+
+# Keep experiment disk caching out of the repo during tests.
+os.environ.setdefault("REPRO_CACHE_DIR", "/tmp/repro_test_cache")
+
+
+@pytest.fixture
+def ctx():
+    """A full-precision census context."""
+    return FPContext()
+
+
+@pytest.fixture
+def fast_ctx():
+    """A census-free full-precision context."""
+    return FPContext(census=False)
+
+
+@pytest.fixture
+def reduced_ctx():
+    """A census context with both studied phases at 6 bits, jamming."""
+    return FPContext({"lcp": 6, "narrow": 6})
+
+
+@pytest.fixture
+def empty_world(fast_ctx):
+    return World(ctx=fast_ctx)
+
+
+@pytest.fixture
+def ground_world(fast_ctx):
+    world = World(ctx=fast_ctx)
+    world.add_ground_plane(0.0)
+    return world
+
+
+@pytest.fixture
+def resting_box_world(fast_ctx):
+    world = World(ctx=fast_ctx)
+    world.add_ground_plane(0.0)
+    world.add_box([0.0, 0.5, 0.0], [0.5, 0.5, 0.5], 2.0)
+    return world
+
+
+def assert_finite(array):
+    assert np.isfinite(np.asarray(array)).all()

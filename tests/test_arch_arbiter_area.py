@@ -1,0 +1,154 @@
+"""Tests for arbitration and the area model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import params
+from repro.arch.arbiter import DIV_WINDOW_CYCLES, RoundRobinArbiter
+from repro.arch.area import (
+    cores_in_same_area,
+    die_area_mm2,
+    per_core_area_mm2,
+)
+from repro.arch.l1fpu import CONJOIN, LOOKUP_TRIV, REDUCED_TRIV, mini_fpu
+
+
+class TestArbiter:
+    def test_private_fpu_no_wait(self):
+        arb = RoundRobinArbiter(1)
+        assert all(arb.pipelined_wait(c) == 0 for c in range(10))
+        assert all(arb.divide_wait(c) == 0 for c in range(10))
+
+    def test_slot_alignment(self):
+        arb = RoundRobinArbiter(4, slot=2)
+        assert arb.pipelined_wait(2) == 0
+        assert arb.pipelined_wait(3) == 3
+        assert arb.pipelined_wait(6) == 0
+
+    def test_wait_bounded_by_period(self):
+        arb = RoundRobinArbiter(8, slot=5)
+        for cycle in range(40):
+            assert 0 <= arb.pipelined_wait(cycle) < 8
+
+    def test_expected_pipelined_wait(self):
+        arb = RoundRobinArbiter(4)
+        empirical = sum(arb.pipelined_wait(c) for c in range(4)) / 4
+        assert arb.expected_pipelined_wait() == pytest.approx(empirical)
+
+    def test_divide_window_open_inside(self):
+        arb = RoundRobinArbiter(4, slot=1)
+        # slot 1's window covers cycles 3, 4, 5 of each 12-cycle period
+        assert arb.divide_wait(3) == 0
+        assert arb.divide_wait(4) == 0
+        assert arb.divide_wait(5) == 0
+        assert arb.divide_wait(6) == 9  # wait till cycle 15
+
+    def test_divide_window_period(self):
+        arb = RoundRobinArbiter(2, slot=0)
+        period = DIV_WINDOW_CYCLES * 2
+        for cycle in range(20):
+            assert arb.divide_wait(cycle) == arb.divide_wait(cycle + period)
+
+    def test_expected_divide_wait_matches_enumeration(self):
+        arb = RoundRobinArbiter(4, slot=3)
+        period = DIV_WINDOW_CYCLES * 4
+        empirical = sum(arb.divide_wait(c) for c in range(period)) / period
+        assert arb.expected_divide_wait() == pytest.approx(empirical)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(4, slot=4)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=200))
+    @settings(max_examples=150, deadline=None)
+    def test_wait_lands_on_owned_slot(self, cores, cycle):
+        for slot in range(cores):
+            arb = RoundRobinArbiter(cores, slot)
+            grant = cycle + arb.pipelined_wait(cycle)
+            assert grant % cores == slot
+
+
+class TestInterconnect:
+    def test_table7_values(self):
+        assert params.interconnect_latency(1) == 0
+        assert params.interconnect_latency(2) == 0
+        assert params.interconnect_latency(4) == 1
+        assert params.interconnect_latency(8) == 2
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ValueError):
+            params.interconnect_latency(3)
+
+
+class TestAreaModel:
+    def test_baseline_die_areas_match_paper(self):
+        # "472 mm2 for the 1.5 mm2 FPU, 408 ... 376 ... 328"
+        assert die_area_mm2(1.5) == pytest.approx(472.32, abs=0.5)
+        assert die_area_mm2(1.0) == pytest.approx(408.32, abs=0.5)
+        assert die_area_mm2(0.75) == pytest.approx(376.32, abs=0.5)
+        assert die_area_mm2(0.375) == pytest.approx(328.32, abs=0.5)
+
+    def test_per_core_area_private(self):
+        area = per_core_area_mm2(1.0, 1, CONJOIN)
+        assert area == pytest.approx(2.0 + 0.19 + 1.0)
+
+    def test_sharing_reduces_per_core_area(self):
+        assert per_core_area_mm2(1.0, 4, CONJOIN) < \
+            per_core_area_mm2(1.0, 1, CONJOIN)
+
+    def test_l1_overhead_added(self):
+        base = per_core_area_mm2(1.0, 4, CONJOIN)
+        lookup = per_core_area_mm2(1.0, 4, LOOKUP_TRIV)
+        assert lookup == pytest.approx(base + 0.0079 + 0.080)
+
+    def test_baseline_core_count(self):
+        for area in params.FPU_AREAS_MM2:
+            assert cores_in_same_area(area, 1, CONJOIN) == 128
+
+    def test_sharing_increases_core_count(self):
+        counts = [cores_in_same_area(1.5, n, CONJOIN) for n in (1, 2, 4, 8)]
+        assert counts == sorted(counts)
+        assert counts[-1] > 160  # paper Figure 6a peaks near 176-200
+
+    def test_core_count_multiple_of_sharing(self):
+        for n in (2, 4, 8):
+            assert cores_in_same_area(1.0, n, LOOKUP_TRIV) % n == 0
+
+    def test_mini_fpu_packs_fewer_cores(self):
+        assert cores_in_same_area(1.0, 4, mini_fpu(1)) < \
+            cores_in_same_area(1.0, 4, LOOKUP_TRIV)
+
+    def test_shared_mini_recovers_area(self):
+        assert cores_in_same_area(1.0, 4, mini_fpu(4)) > \
+            cores_in_same_area(1.0, 4, mini_fpu(1))
+
+    def test_larger_fpu_bigger_sharing_gain(self):
+        def gain(fpu):
+            return (cores_in_same_area(fpu, 8, CONJOIN)
+                    / cores_in_same_area(fpu, 1, CONJOIN))
+        assert gain(1.5) > gain(0.375)
+
+    def test_invalid_sharing(self):
+        with pytest.raises(ValueError):
+            per_core_area_mm2(1.0, 0, CONJOIN)
+
+
+class TestL1AreaOverheads:
+    def test_table8_values(self):
+        assert CONJOIN.area_overhead_mm2(1.0) == 0.0
+        assert REDUCED_TRIV.area_overhead_mm2(1.0) == \
+            pytest.approx(0.0079)
+        assert LOOKUP_TRIV.area_overhead_mm2(1.0) == \
+            pytest.approx(0.0079 + 0.080)
+        assert mini_fpu(1).area_overhead_mm2(1.0) == \
+            pytest.approx(0.0079 + 0.6)
+        assert mini_fpu(2).area_overhead_mm2(1.0) == \
+            pytest.approx(0.0079 + 0.3)
+
+    def test_mini_scales_with_fpu_area(self):
+        assert mini_fpu(1).area_overhead_mm2(0.375) == \
+            pytest.approx(0.0079 + 0.6 * 0.375)

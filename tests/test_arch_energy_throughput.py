@@ -1,0 +1,130 @@
+"""Tests for the energy model and throughput evaluation."""
+
+import pytest
+
+from repro.arch import params
+from repro.arch.energy import (
+    baseline_energy,
+    energy_reduction,
+    phase_energy,
+    trivialized_fraction,
+)
+from repro.arch.l1fpu import (
+    CONJOIN,
+    CONV_TRIV,
+    LOOKUP_TRIV,
+    REDUCED_TRIV,
+    mini_fpu,
+)
+from repro.arch.throughput import baseline_throughput, evaluate_config
+from repro.arch.trace import OpProfile, PhaseWorkload
+
+
+def workload(precision=5, conv=0.3, ext=0.5, fp_fraction=0.31):
+    ops = {
+        "add": OpProfile(0.45, conv, ext),
+        "sub": OpProfile(0.05, conv, ext),
+        "mul": OpProfile(0.45, conv, ext),
+        "div": OpProfile(0.05, 0.05, 0.1),
+    }
+    return PhaseWorkload("lcp", precision, fp_fraction, ops)
+
+
+class TestEnergyModel:
+    def test_baseline_is_weighted_fpu_energy(self):
+        wl = workload()
+        expected = (0.45 * 0.40 + 0.05 * 0.40 + 0.45 * 0.55 + 0.05 * 2.0)
+        assert baseline_energy(wl) == pytest.approx(expected)
+
+    def test_conjoin_no_reduction(self):
+        wl = workload()
+        assert energy_reduction(wl, CONJOIN) == pytest.approx(0.0)
+
+    def test_triv_logic_charged_to_all_ops(self):
+        wl = workload(precision=10, conv=0.0, ext=0.0)
+        breakdown = phase_energy(wl, REDUCED_TRIV)
+        assert breakdown.trivialization_nj == pytest.approx(
+            params.TRIV_LOGIC_ENERGY_NJ)
+
+    def test_reduction_ordering(self):
+        wl = workload(precision=5)
+        conv = energy_reduction(wl, CONV_TRIV)
+        reduced = energy_reduction(wl, REDUCED_TRIV)
+        lookup = energy_reduction(wl, LOOKUP_TRIV)
+        assert 0 < conv < reduced < lookup < 1
+
+    def test_lookup_inactive_above_limit(self):
+        wl = workload(precision=6)
+        assert energy_reduction(wl, LOOKUP_TRIV) == pytest.approx(
+            energy_reduction(wl, REDUCED_TRIV))
+
+    def test_lookup_active_below_limit(self):
+        wl = workload(precision=5)
+        breakdown = phase_energy(wl, LOOKUP_TRIV)
+        assert breakdown.lookup_nj > 0
+        # only divides reach the FPU
+        assert breakdown.fpu_nj == pytest.approx(
+            0.05 * (1 - 0.1) * params.FPU_OP_ENERGY_NJ["div"])
+
+    def test_mini_energy_discount(self):
+        wl = workload(precision=10, conv=0.0, ext=0.0)
+        mini = phase_energy(wl, mini_fpu(1))
+        full = phase_energy(wl, REDUCED_TRIV)
+        assert mini.total_nj < full.total_nj
+
+    def test_trivialized_fraction_matches_rates(self):
+        wl = workload(precision=10, conv=0.3, ext=0.5)
+        frac = trivialized_fraction(wl, REDUCED_TRIV)
+        expected = 0.95 * 0.5 + 0.05 * 0.1
+        assert frac == pytest.approx(expected, abs=1e-6)
+
+    def test_lookup_trivializes_everything_but_div(self):
+        wl = workload(precision=5)
+        frac = trivialized_fraction(wl, LOOKUP_TRIV)
+        assert frac == pytest.approx(0.95 * 1.0 + 0.05 * 0.1, abs=1e-6)
+
+
+class TestThroughput:
+    def test_baseline_128_cores(self):
+        wl = workload()
+        base = baseline_throughput(wl, trace_length=4000)
+        assert base > 128 * 0.3  # sane IPC range
+        assert base < 128 * 1.0
+
+    def test_conjoin_at_one_is_baseline(self):
+        wl = workload()
+        result = evaluate_config(wl, CONJOIN, 1.0, 1, trace_length=4000)
+        assert result.improvement == pytest.approx(0.0, abs=1e-9)
+        assert result.cores == 128
+
+    def test_lookup_sharing_wins(self):
+        wl = workload(precision=5)
+        result = evaluate_config(wl, LOOKUP_TRIV, 1.5, 4,
+                                 trace_length=4000)
+        assert result.improvement > 0.2
+
+    def test_conjoin_eight_way_loses_small_fpu(self):
+        wl = workload(precision=23, conv=0.0, ext=0.0)
+        result = evaluate_config(wl, CONJOIN, 0.375, 8, trace_length=4000)
+        assert result.improvement < 0.0
+
+    def test_reuses_supplied_baseline(self):
+        wl = workload()
+        base = baseline_throughput(wl, trace_length=4000)
+        r1 = evaluate_config(wl, CONJOIN, 1.0, 2, trace_length=4000,
+                             baseline=base)
+        r2 = evaluate_config(wl, CONJOIN, 1.0, 2, trace_length=4000)
+        assert r1.improvement == pytest.approx(r2.improvement)
+
+    def test_improvement_percent(self):
+        wl = workload()
+        result = evaluate_config(wl, CONJOIN, 1.0, 2, trace_length=4000)
+        assert result.improvement_percent == pytest.approx(
+            100 * result.improvement)
+
+    def test_interconnect_override_hurts(self):
+        wl = workload(precision=23, conv=0.0, ext=0.0)
+        nominal = evaluate_config(wl, CONJOIN, 1.0, 4, trace_length=4000)
+        slowed = evaluate_config(wl, CONJOIN, 1.0, 4, trace_length=4000,
+                                 interconnect=4)
+        assert slowed.throughput < nominal.throughput

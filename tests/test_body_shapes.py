@@ -1,0 +1,184 @@
+"""Tests for body storage, shapes and the broad phase."""
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext
+from repro.physics import broadphase
+from repro.physics.body import BodyStore
+from repro.physics.shapes import (
+    GeomStore,
+    ShapeType,
+    box_inertia,
+    sphere_inertia,
+)
+
+
+class TestBodyStore:
+    def test_add_dynamic_body(self):
+        store = BodyStore()
+        i = store.add_body([1, 2, 3], 2.0, [0.1, 0.1, 0.1])
+        assert i == 0
+        assert store.mass[0] == 2.0
+        assert store.invmass[0] == 0.5
+        assert store.pos[0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_add_static_body(self):
+        store = BodyStore()
+        i = store.add_body([0, 0, 0], 0.0, [0, 0, 0])
+        assert store.invmass[i] == 0.0
+        assert not store.dynamic_mask()[i]
+
+    def test_world_index_tracks_count(self):
+        store = BodyStore()
+        store.add_body([0, 0, 0], 1.0, [1, 1, 1])
+        assert store.world_index == 1
+        store.add_body([0, 0, 0], 1.0, [1, 1, 1])
+        assert store.world_index == 2
+
+    def test_growth_preserves_state(self):
+        store = BodyStore(capacity=2)
+        for k in range(40):
+            store.add_body([k, 0, 0], 1.0, [1, 1, 1])
+        assert store.count == 40
+        assert store.pos[17, 0] == 17.0
+
+    def test_world_row_is_inert(self):
+        store = BodyStore()
+        store.add_body([0, 5, 0], 1.0, [1, 1, 1], linvel=[1, 0, 0])
+        store.refresh_derived(FPContext(census=False))
+        w = store.world_index
+        assert store.invmass[w] == 0.0
+        assert np.all(store.linvel[w] == 0.0)
+        assert np.all(store.inv_inertia_world[w] == 0.0)
+
+    def test_refresh_derived_identity_rotation(self):
+        store = BodyStore()
+        store.add_body([0, 0, 0], 2.0, [0.4, 0.4, 0.4])
+        store.refresh_derived(FPContext(census=False))
+        assert np.allclose(store.rot[0], np.eye(3))
+        assert np.allclose(store.inv_inertia_world[0],
+                           np.eye(3) * 2.5, atol=1e-5)
+
+    def test_refresh_derived_rotated_inertia(self):
+        store = BodyStore()
+        # 90 degrees about z swaps the x/y inertia terms.
+        angle = np.pi / 2
+        quat = [np.cos(angle / 2), 0.0, 0.0, np.sin(angle / 2)]
+        store.add_body([0, 0, 0], 1.0, [1.0, 4.0, 8.0], quat=quat)
+        store.refresh_derived(FPContext(census=False))
+        diag = np.diag(store.inv_inertia_world[0])
+        assert diag[0] == pytest.approx(0.25, abs=1e-4)
+        assert diag[1] == pytest.approx(1.0, abs=1e-4)
+        assert diag[2] == pytest.approx(0.125, abs=1e-4)
+
+
+class TestInertia:
+    def test_sphere_inertia(self):
+        inertia = sphere_inertia(5.0, 2.0)
+        assert np.allclose(inertia, 0.4 * 5.0 * 4.0)
+
+    def test_box_inertia_cube_symmetric(self):
+        inertia = box_inertia(3.0, [0.5, 0.5, 0.5])
+        assert inertia[0] == inertia[1] == inertia[2]
+
+    def test_box_inertia_slab(self):
+        inertia = box_inertia(1.0, [1.0, 0.1, 0.1])
+        # long axis has the smallest moment
+        assert inertia[0] < inertia[1]
+        assert inertia[0] < inertia[2]
+
+
+class TestGeomStore:
+    def test_add_shapes(self):
+        geoms = GeomStore()
+        s = geoms.add_sphere(0, 0.5)
+        b = geoms.add_box(1, [1, 2, 3])
+        p = geoms.add_plane([0, 1, 0], 0.0)
+        assert geoms[s].shape is ShapeType.SPHERE
+        assert geoms[b].shape is ShapeType.BOX
+        assert geoms[p].shape is ShapeType.PLANE
+        assert geoms[p].body == -1
+        assert len(geoms) == 3
+
+    def test_plane_normal_normalized(self):
+        geoms = GeomStore()
+        p = geoms.add_plane([0, 2, 0], 1.0)
+        assert np.allclose(geoms[p].params, [0, 1, 0])
+
+    def test_sphere_aabb(self):
+        geoms = GeomStore()
+        geoms.add_sphere(0, 0.5)
+        pos = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+        rot = np.eye(3, dtype=np.float32)[None]
+        aabbs = geoms.world_aabbs(pos, rot)
+        assert np.allclose(aabbs[0, 0], [0.5, 1.5, 2.5])
+        assert np.allclose(aabbs[0, 1], [1.5, 2.5, 3.5])
+
+    def test_rotated_box_aabb_grows(self):
+        geoms = GeomStore()
+        geoms.add_box(0, [1.0, 1.0, 1.0])
+        pos = np.zeros((1, 3), dtype=np.float32)
+        angle = np.pi / 4
+        rot = np.array([[[np.cos(angle), -np.sin(angle), 0],
+                         [np.sin(angle), np.cos(angle), 0],
+                         [0, 0, 1]]], dtype=np.float32)
+        aabbs = geoms.world_aabbs(pos, rot)
+        assert aabbs[0, 1, 0] == pytest.approx(np.sqrt(2), abs=1e-5)
+
+    def test_plane_aabb_infinite(self):
+        geoms = GeomStore()
+        geoms.add_plane([0, 1, 0], 0.0)
+        aabbs = geoms.world_aabbs(np.zeros((1, 3), np.float32),
+                                  np.eye(3, dtype=np.float32)[None])
+        assert np.all(np.isinf(aabbs[0, 0]))
+
+
+class TestBroadphase:
+    def _setup(self, positions, radius=0.5):
+        geoms = GeomStore()
+        pos = np.array(positions, dtype=np.float32)
+        for k in range(len(positions)):
+            geoms.add_sphere(k, radius)
+        rot = np.tile(np.eye(3, dtype=np.float32), (len(positions), 1, 1))
+        aabbs = geoms.world_aabbs(pos, rot)
+        return geoms, aabbs
+
+    def test_overlapping_pair_found(self):
+        geoms, aabbs = self._setup([[0, 0, 0], [0.6, 0, 0]])
+        assert broadphase.candidate_pairs(geoms, aabbs) == [(0, 1)]
+
+    def test_distant_pair_pruned(self):
+        geoms, aabbs = self._setup([[0, 0, 0], [5, 0, 0]])
+        assert broadphase.candidate_pairs(geoms, aabbs) == []
+
+    def test_same_body_excluded(self):
+        geoms = GeomStore()
+        geoms.add_sphere(0, 0.5)
+        geoms.add_box(0, [0.5, 0.5, 0.5])
+        pos = np.zeros((1, 3), dtype=np.float32)
+        rot = np.eye(3, dtype=np.float32)[None]
+        aabbs = geoms.world_aabbs(pos, rot)
+        assert broadphase.candidate_pairs(geoms, aabbs) == []
+
+    def test_two_planes_excluded(self):
+        geoms = GeomStore()
+        geoms.add_plane([0, 1, 0], 0.0)
+        geoms.add_plane([1, 0, 0], 0.0)
+        aabbs = geoms.world_aabbs(np.zeros((1, 3), np.float32),
+                                  np.eye(3, dtype=np.float32)[None])
+        assert broadphase.candidate_pairs(geoms, aabbs) == []
+
+    def test_plane_sphere_pair_found(self):
+        geoms = GeomStore()
+        geoms.add_plane([0, 1, 0], 0.0)
+        geoms.add_sphere(0, 0.5)
+        pos = np.array([[0.0, 0.3, 0.0]], dtype=np.float32)
+        rot = np.eye(3, dtype=np.float32)[None]
+        aabbs = geoms.world_aabbs(pos, rot)
+        assert broadphase.candidate_pairs(geoms, aabbs) == [(0, 1)]
+
+    def test_touching_aabbs_count(self):
+        geoms, aabbs = self._setup([[0, 0, 0], [1.0, 0, 0]])
+        # AABBs touch exactly (0.5 + 0.5): inclusive overlap
+        assert broadphase.candidate_pairs(geoms, aabbs) == [(0, 1)]

@@ -1,0 +1,199 @@
+"""Tests for capsule geometry, inertia and collisions."""
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext
+from repro.physics import World, capsule_inertia, sphere_inertia
+from repro.physics.narrowphase import (
+    _closest_between_segments,
+    _closest_on_segment,
+)
+from repro.physics.shapes import GeomStore, ShapeType
+
+
+def make_world():
+    return World(ctx=FPContext(census=False))
+
+
+def contacts_of(world):
+    from repro.physics import broadphase, narrowphase
+    world.bodies.ensure_world_row()
+    world.bodies.refresh_derived(world.ctx)
+    aabbs = world.geoms.world_aabbs(world.bodies.view("pos"),
+                                    world.bodies.view("rot"))
+    pairs = broadphase.candidate_pairs(world.geoms, aabbs)
+    return narrowphase.generate_contacts(world.ctx, world.bodies,
+                                         world.geoms, pairs)
+
+
+class TestSegmentMath:
+    def test_closest_on_segment_interior(self):
+        p = _closest_on_segment(np.array([0.0, 0, 0]),
+                                np.array([2.0, 0, 0]),
+                                np.array([1.0, 1.0, 0]))
+        assert np.allclose(p, [1.0, 0, 0])
+
+    def test_closest_on_segment_clamped(self):
+        p = _closest_on_segment(np.array([0.0, 0, 0]),
+                                np.array([2.0, 0, 0]),
+                                np.array([5.0, 1.0, 0]))
+        assert np.allclose(p, [2.0, 0, 0])
+
+    def test_degenerate_segment(self):
+        p = _closest_on_segment(np.array([1.0, 1, 1]),
+                                np.array([1.0, 1, 1]),
+                                np.array([5.0, 0, 0]))
+        assert np.allclose(p, [1.0, 1, 1])
+
+    def test_segments_crossing(self):
+        qa, qb = _closest_between_segments(
+            np.array([-1.0, 0, 0]), np.array([1.0, 0, 0]),
+            np.array([0.0, -1, 1]), np.array([0.0, 1, 1]))
+        assert np.allclose(qa, [0, 0, 0], atol=1e-9)
+        assert np.allclose(qb, [0, 0, 1], atol=1e-9)
+
+    def test_parallel_segments(self):
+        qa, qb = _closest_between_segments(
+            np.array([0.0, 0, 0]), np.array([2.0, 0, 0]),
+            np.array([0.0, 1, 0]), np.array([2.0, 1, 0]))
+        assert np.linalg.norm(qa - qb) == pytest.approx(1.0)
+
+    def test_endpoint_case(self):
+        qa, qb = _closest_between_segments(
+            np.array([0.0, 0, 0]), np.array([1.0, 0, 0]),
+            np.array([3.0, 0, 0]), np.array([4.0, 0, 0]))
+        assert np.allclose(qa, [1.0, 0, 0])
+        assert np.allclose(qb, [3.0, 0, 0])
+
+
+class TestCapsuleInertia:
+    def test_reduces_to_sphere(self):
+        # Zero segment length: a capsule is a sphere.
+        cap = capsule_inertia(2.0, 0.5, 0.0)
+        sph = sphere_inertia(2.0, 0.5)
+        assert np.allclose(cap, sph, rtol=1e-5)
+
+    def test_long_capsule_transverse_dominates(self):
+        inertia = capsule_inertia(1.0, 0.1, 1.0)
+        assert inertia[0] > 5 * inertia[1]
+        assert inertia[0] == inertia[2]
+
+    def test_positive(self):
+        assert np.all(capsule_inertia(1.0, 0.2, 0.3) > 0)
+
+
+class TestCapsuleGeometry:
+    def test_store_and_aabb(self):
+        geoms = GeomStore()
+        geoms.add_capsule(0, 0.2, 0.5)
+        pos = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+        rot = np.eye(3, dtype=np.float32)[None]
+        aabbs = geoms.world_aabbs(pos, rot)
+        assert np.allclose(aabbs[0, 0], [0.8, 1.3, 2.8])
+        assert np.allclose(aabbs[0, 1], [1.2, 2.7, 3.2])
+
+    def test_rotated_aabb(self):
+        geoms = GeomStore()
+        geoms.add_capsule(0, 0.2, 0.5)
+        # Rotate axis onto x.
+        rot = np.array([[[0, 1, 0], [-1, 0, 0], [0, 0, 1]]],
+                       dtype=np.float32)
+        aabbs = geoms.world_aabbs(np.zeros((1, 3), np.float32), rot)
+        assert aabbs[0, 1, 0] == pytest.approx(0.7, abs=1e-5)
+        assert aabbs[0, 1, 1] == pytest.approx(0.2, abs=1e-5)
+
+
+class TestCapsuleCollisions:
+    def test_capsule_plane_two_contacts(self):
+        world = make_world()
+        world.add_ground_plane(0.0)
+        # Horizontal capsule (axis on x) lying partly in the floor.
+        quat = [np.cos(np.pi / 4), 0.0, 0.0, np.sin(np.pi / 4)]
+        world.add_capsule([0, 0.15, 0], 0.2, 0.5, quat=quat)
+        contacts = contacts_of(world)
+        assert len(contacts) == 2
+        assert np.allclose(contacts.depth, 0.05, atol=1e-4)
+        assert np.allclose(contacts.normal[:, 1], 1.0)
+
+    def test_upright_capsule_single_contact(self):
+        world = make_world()
+        world.add_ground_plane(0.0)
+        world.add_capsule([0, 0.6, 0], 0.2, 0.5)
+        contacts = contacts_of(world)
+        assert len(contacts) == 1
+        assert contacts.depth[0] == pytest.approx(0.1, abs=1e-4)
+
+    def test_capsule_sphere(self):
+        world = make_world()
+        cap = world.add_capsule([0, 0, 0], 0.2, 0.5)
+        sph = world.add_sphere([0.35, 0.3, 0], 0.2)
+        contacts = contacts_of(world)
+        assert len(contacts) == 1
+        assert contacts.body_a[0] == cap and contacts.body_b[0] == sph
+        assert contacts.depth[0] == pytest.approx(0.05, abs=1e-4)
+        assert contacts.normal[0, 0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_capsule_capsule_crossed(self):
+        world = make_world()
+        quat = [np.cos(np.pi / 4), 0.0, 0.0, np.sin(np.pi / 4)]
+        world.add_capsule([0, 0, 0], 0.2, 0.5, quat=quat)  # along x
+        world.add_capsule([0, 0.0, 0.3], 0.2, 0.5)         # along y
+        contacts = contacts_of(world)
+        assert len(contacts) == 1
+        assert contacts.depth[0] == pytest.approx(0.1, abs=1e-4)
+        assert contacts.normal[0, 2] == pytest.approx(1.0, abs=1e-4)
+
+    def test_capsule_capsule_separated(self):
+        world = make_world()
+        world.add_capsule([0, 0, 0], 0.2, 0.5)
+        world.add_capsule([2.0, 0, 0], 0.2, 0.5)
+        assert len(contacts_of(world)) == 0
+
+    def test_capsule_box_side(self):
+        world = make_world()
+        box = world.add_box([0, 0, 0], [0.5, 0.5, 0.5])
+        # Surface of the capsule reaches x = 0.6 - 0.2 = 0.4 < 0.5.
+        cap = world.add_capsule([0.6, 0, 0], 0.2, 0.4)
+        contacts = contacts_of(world)
+        assert len(contacts) == 1
+        assert contacts.body_a[0] == box and contacts.body_b[0] == cap
+        assert contacts.normal[0, 0] == pytest.approx(1.0, abs=1e-3)
+        assert contacts.depth[0] == pytest.approx(0.1, abs=0.02)
+
+
+class TestCapsuleDynamics:
+    def test_capsule_settles_on_ground(self):
+        world = make_world()
+        world.add_ground_plane(0.0, friction=0.6)
+        quat = [np.cos(np.pi / 4), 0.0, 0.0, np.sin(np.pi / 4)]
+        world.add_capsule([0, 1.0, 0], 0.2, 0.5, 1.0, quat=quat,
+                          friction=0.6)
+        for _ in range(150):
+            world.step()
+        assert world.bodies.pos[0, 1] == pytest.approx(0.2, abs=0.05)
+
+    def test_standing_capsule_falls_over(self):
+        world = make_world()
+        world.add_ground_plane(0.0, friction=0.4)
+        # Slightly tilted tall capsule topples.
+        tilt = 0.12
+        quat = [np.cos(tilt / 2), 0.0, 0.0, np.sin(tilt / 2)]
+        world.add_capsule([0, 0.72, 0], 0.15, 0.55, 1.0, quat=quat,
+                          friction=0.4)
+        for _ in range(300):
+            world.step()
+        # Ends up lying: height near the radius, axis near horizontal.
+        assert world.bodies.pos[0, 1] < 0.45
+        assert np.isfinite(world.bodies.pos[0]).all()
+
+    def test_capsule_reduced_precision_stable(self):
+        world = World(ctx=FPContext({"lcp": 8, "narrow": 8},
+                                    census=False))
+        world.add_ground_plane(0.0)
+        quat = [np.cos(np.pi / 4), 0.0, 0.0, np.sin(np.pi / 4)]
+        world.add_capsule([0, 0.8, 0], 0.2, 0.5, 1.0, quat=quat)
+        for _ in range(120):
+            world.step()
+        assert np.isfinite(world.bodies.pos[0]).all()
+        assert world.bodies.pos[0, 1] < 1.0

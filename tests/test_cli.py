@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import ARTIFACTS, main
+
+
+class TestCli:
+    def test_scenarios_lists_all(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("breakable", "ragdoll", "periodic"):
+            assert name in out
+
+    def test_run_full_precision(self, capsys):
+        assert main(["run", "continuous", "--steps", "10",
+                     "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "energy:" in out
+
+    def test_run_reduced_with_census(self, capsys):
+        assert main(["run", "ragdoll", "--steps", "8", "--scale", "0.4",
+                     "--lcp-bits", "6", "--census"]) == 0
+        out = capsys.readouterr().out
+        assert "trivial" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "continuous", "--steps", "10",
+                     "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum believable precision" in out
+
+    def test_table5_artifact(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_artifact_commands_registered(self):
+        assert set(ARTIFACTS) == {
+            "table1", "table3", "table4", "table5", "table8",
+            "figure5", "figure6", "figure7", "figure8",
+        }

@@ -1,0 +1,59 @@
+"""Smoke tests: the example scripts run end to end.
+
+The two heavyweight examples (hfpu_design_space, cloth_and_wall) simulate
+for tens of seconds; their building blocks are covered by the experiment
+tests, so here only their importability/structure is checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    return runpy.run_path(str(EXAMPLES / name), run_name="not_main")
+
+
+class TestQuickstart:
+    def test_runs_and_is_believable(self, capsys):
+        module = runpy.run_path(str(EXAMPLES / "quickstart.py"),
+                                run_name="__main__")
+        out = capsys.readouterr().out
+        assert "BELIEVABLE" in out
+        assert "NOT" not in out
+
+    def test_simulate_returns_trace(self):
+        module = run_example("quickstart.py")
+        from repro.fp import FPContext
+        trace = module["simulate"](FPContext(census=False), steps=10)
+        assert len(trace) == 10
+
+
+class TestAdaptiveGameLoop:
+    def test_module_structure(self):
+        module = run_example("adaptive_game_loop.py")
+        assert callable(module["main"])
+
+
+class TestHfpuDesignSpace:
+    def test_module_structure(self):
+        module = run_example("hfpu_design_space.py")
+        assert callable(module["main"])
+        assert module["PRECISION"]["lcp"] < 23
+
+
+class TestClothAndWall:
+    def test_draw_side_view(self, capsys):
+        module = run_example("cloth_and_wall.py")
+        from repro.fp import FPContext
+        from repro.physics import World
+        world = World(ctx=FPContext(census=False))
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, 1.0, 0], 0.3, 1.0)
+        module["draw_side_view"](world)
+        out = capsys.readouterr().out
+        assert "o" in out  # the sphere appears in the ASCII view

@@ -1,0 +1,135 @@
+"""Failure-injection tests: the system's behaviour when things go wrong."""
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext
+from repro.fp.rounding import FULL_PRECISION
+from repro.physics import SolverParams, World
+from repro.tuning import ControlledSimulation, PrecisionController
+
+
+class TestNumericalAbuse:
+    def test_extreme_mass_ratio_stays_finite(self):
+        world = World(ctx=FPContext(census=False))
+        world.add_ground_plane(0.0)
+        world.add_box([0, 0.5, 0], [0.5, 0.5, 0.5], 1000.0)
+        world.add_sphere([0, 1.3, 0], 0.3, 0.001)
+        for _ in range(60):
+            world.step()
+        assert np.isfinite(world.bodies.pos[:2]).all()
+
+    def test_deep_initial_penetration_resolves(self):
+        world = World(ctx=FPContext(census=False))
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, -0.2, 0], 0.5, 1.0)  # buried in the ground
+        for _ in range(150):
+            world.step()
+        assert world.bodies.pos[0, 1] > 0.3
+        # bias clamping prevents a popcorn launch
+        assert world.bodies.pos[0, 1] < 2.0
+
+    def test_coincident_spheres_do_not_nan(self):
+        world = World(ctx=FPContext(census=False))
+        world.add_sphere([0, 1, 0], 0.3, 1.0)
+        world.add_sphere([0, 1, 0], 0.3, 1.0)  # exactly coincident
+        for _ in range(30):
+            world.step()
+        assert np.isfinite(world.bodies.pos[:2]).all()
+
+    def test_one_bit_precision_does_not_crash(self):
+        world = World(ctx=FPContext({"lcp": 1, "narrow": 1},
+                                    census=False))
+        world.add_ground_plane(0.0)
+        world.add_box([0, 0.8, 0], [0.4, 0.4, 0.4], 2.0)
+        for _ in range(40):
+            world.step()  # results may be absurd; they must be defined
+
+    def test_huge_velocity_capped_by_believability_check(self):
+        from repro.tuning.believability import (
+            BelievabilityCriteria,
+            energy_trace,
+        )
+        # a criteria with a tiny max speed flags an ordinary scene
+        criteria = BelievabilityCriteria(max_speed=0.001)
+        trace = energy_trace("highspeed", steps=5, scale=0.4,
+                             criteria=criteria)
+        assert trace.blew_up
+
+    def test_zero_sized_world_monitor(self):
+        world = World(ctx=FPContext(census=False))
+        record = world.monitor.measure(world, 0)
+        assert record.total == 0.0
+
+
+class TestControllerFailSafe:
+    def _sim(self, register, **kwargs):
+        ctx = FPContext()
+        world = World(ctx=ctx)
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, 1.2, 0], 0.3, 1.0)
+        controller = PrecisionController(ctx, register, **kwargs)
+        return world, controller, ControlledSimulation(world, controller)
+
+    def test_snapshot_restore_roundtrip(self):
+        world, controller, sim = self._sim({"lcp": 8})
+        for _ in range(5):
+            world.step()
+        snapshot = sim._snapshot()
+        pos_before = world.bodies.pos[:1].copy()
+        world.step()
+        world.monitor.measure(world, 99)  # extra record to pop
+        sim._restore(snapshot)
+        assert np.array_equal(world.bodies.pos[:1], pos_before)
+        assert world.step_count == 5
+
+    def test_reexecution_bounds_state(self):
+        world, controller, sim = self._sim({"lcp": 1, "narrow": 1},
+                                           blowup_threshold=0.5)
+        sim.run(30)
+        assert np.isfinite(world.bodies.pos[0]).all()
+        assert len(world.monitor.records) == 30
+
+    def test_violation_history_monotone_steps(self):
+        world, controller, sim = self._sim({"lcp": 6, "narrow": 6})
+        sim.run(10)
+        steps = [log.step for log in controller.history]
+        assert steps == sorted(steps)
+
+    def test_controller_reaches_register_floor(self):
+        world, controller, sim = self._sim({"lcp": 20, "narrow": 20})
+        sim.run(20)
+        # quiet scene: precision should sit at the floor by the end
+        assert controller.current_precision("lcp") == 20
+
+
+class TestDegenerateSolverInput:
+    def test_all_static_scene(self):
+        world = World(ctx=FPContext(census=False))
+        world.add_ground_plane(0.0)
+        world.add_box([0, 0.5, 0], [0.5, 0.5, 0.5], 0.0)  # static box
+        for _ in range(10):
+            world.step()
+        assert world.last_contact_count >= 0  # plane/static filtered
+
+    def test_zero_cfm_guarded_by_mass_splitting(self):
+        world = World(ctx=FPContext(census=False),
+                      solver=SolverParams(cfm=0.0))
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, 0.4, 0], 0.5, 1.0)
+        for _ in range(30):
+            world.step()
+        assert np.isfinite(world.bodies.linvel[0]).all()
+
+    def test_contact_with_sleeping_neighbour(self):
+        world = World(ctx=FPContext(census=False))
+        world.add_ground_plane(0.0)
+        world.add_box([0, 0.499, 0], [0.5, 0.5, 0.5], 1.0)
+        for _ in range(80):
+            world.step()  # box falls asleep
+        world.add_box([0, 1.6, 0], [0.5, 0.5, 0.5], 1.0)  # lands on it
+        for _ in range(80):
+            world.step()
+        ys = world.bodies.pos[:2, 1]
+        assert ys[1] > ys[0]  # stacked, not merged
+        assert np.isfinite(ys).all()

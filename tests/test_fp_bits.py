@@ -1,0 +1,134 @@
+"""Unit tests for binary32 bit manipulation."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.fp.bits import (
+    EXPONENT_BIAS,
+    EXPONENT_MASK,
+    MANTISSA_BITS,
+    MANTISSA_MASK,
+    SIGN_MASK,
+    array_to_bits,
+    biased_exponent,
+    bits_to_array,
+    bits_to_float,
+    compose,
+    float_to_bits,
+    is_finite_bits,
+    mantissa_field,
+    sign_of,
+    to_float32,
+)
+
+
+class TestConstants:
+    def test_mantissa_width(self):
+        assert MANTISSA_BITS == 23
+
+    def test_masks_are_disjoint(self):
+        assert MANTISSA_MASK & EXPONENT_MASK == 0
+        assert MANTISSA_MASK & SIGN_MASK == 0
+        assert EXPONENT_MASK & SIGN_MASK == 0
+
+    def test_masks_cover_word(self):
+        assert MANTISSA_MASK | EXPONENT_MASK | SIGN_MASK == 0xFFFFFFFF
+
+    def test_bias(self):
+        assert EXPONENT_BIAS == 127
+
+
+class TestScalarConversion:
+    def test_one(self):
+        assert float_to_bits(1.0) == 0x3F800000
+
+    def test_minus_two(self):
+        assert float_to_bits(-2.0) == 0xC0000000
+
+    def test_zero(self):
+        assert float_to_bits(0.0) == 0
+
+    def test_roundtrip(self):
+        for value in (0.0, 1.0, -1.5, 3.14159, 1e-20, -7e12):
+            narrowed = to_float32(value)
+            assert bits_to_float(float_to_bits(value)) == narrowed
+
+    def test_narrowing_matches_struct(self):
+        value = 0.1
+        expected = struct.unpack("<f", struct.pack("<f", value))[0]
+        assert to_float32(value) == expected
+
+    def test_infinity(self):
+        assert float_to_bits(math.inf) == 0x7F800000
+        assert bits_to_float(0xFF800000) == -math.inf
+
+    def test_nan_roundtrip(self):
+        assert math.isnan(bits_to_float(0x7FC00000))
+
+
+class TestFieldExtraction:
+    def test_sign(self):
+        assert sign_of(float_to_bits(-1.0)) == 1
+        assert sign_of(float_to_bits(1.0)) == 0
+
+    def test_exponent_of_one(self):
+        assert biased_exponent(float_to_bits(1.0)) == EXPONENT_BIAS
+
+    def test_exponent_of_two(self):
+        assert biased_exponent(float_to_bits(2.0)) == EXPONENT_BIAS + 1
+
+    def test_mantissa_of_power_of_two(self):
+        assert mantissa_field(float_to_bits(4.0)) == 0
+
+    def test_mantissa_of_one_and_half(self):
+        assert mantissa_field(float_to_bits(1.5)) == 1 << 22
+
+
+class TestCompose:
+    def test_roundtrip_fields(self):
+        bits = float_to_bits(-6.25)
+        rebuilt = compose(sign_of(bits), biased_exponent(bits),
+                          mantissa_field(bits))
+        assert rebuilt == bits
+
+    def test_exponent_range_checked(self):
+        with pytest.raises(ValueError):
+            compose(0, 256, 0)
+
+    def test_mantissa_range_checked(self):
+        with pytest.raises(ValueError):
+            compose(0, 127, 1 << 23)
+
+
+class TestFiniteCheck:
+    def test_finite(self):
+        assert is_finite_bits(float_to_bits(123.0))
+
+    def test_inf_not_finite(self):
+        assert not is_finite_bits(0x7F800000)
+
+    def test_nan_not_finite(self):
+        assert not is_finite_bits(0x7FC00001)
+
+
+class TestArrayConversion:
+    def test_roundtrip(self):
+        values = np.array([0.0, 1.0, -2.5, 3e7], dtype=np.float32)
+        assert np.array_equal(bits_to_array(array_to_bits(values)), values)
+
+    def test_matches_scalar_path(self):
+        values = np.array([1.0, -1.0, 0.5], dtype=np.float32)
+        bits = array_to_bits(values)
+        for value, b in zip(values, bits):
+            assert float_to_bits(float(value)) == int(b)
+
+    def test_accepts_float64_input(self):
+        bits = array_to_bits(np.array([1.0], dtype=np.float64))
+        assert bits[0] == 0x3F800000
+
+    def test_shape_preserved(self):
+        values = np.zeros((2, 3), dtype=np.float32)
+        assert array_to_bits(values).shape == (2, 3)

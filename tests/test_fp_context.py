@@ -1,0 +1,154 @@
+"""Tests for the per-phase FPContext."""
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext, RoundingMode
+from repro.fp.rounding import FULL_PRECISION
+from repro.memo.memo_table import MemoBank
+
+
+def arr(*values):
+    return np.array(values, dtype=np.float32)
+
+
+class TestPhasePlumbing:
+    def test_default_full_precision(self):
+        ctx = FPContext()
+        assert ctx.precision == FULL_PRECISION
+
+    def test_phase_precision_applies(self):
+        ctx = FPContext({"lcp": 4})
+        with ctx.in_phase("lcp"):
+            assert ctx.precision == 4
+        assert ctx.precision == FULL_PRECISION
+
+    def test_in_phase_restores_on_exception(self):
+        ctx = FPContext({"lcp": 4})
+        with pytest.raises(RuntimeError):
+            with ctx.in_phase("lcp"):
+                raise RuntimeError("boom")
+        assert ctx.phase == "other"
+
+    def test_nested_phases(self):
+        ctx = FPContext({"lcp": 4, "narrow": 9})
+        with ctx.in_phase("narrow"):
+            assert ctx.precision == 9
+            with ctx.in_phase("lcp"):
+                assert ctx.precision == 4
+            assert ctx.precision == 9
+
+    def test_set_precision(self):
+        ctx = FPContext()
+        ctx.set_precision("lcp", 7)
+        assert ctx.precision_for("lcp") == 7
+
+    def test_set_precision_validates(self):
+        ctx = FPContext()
+        with pytest.raises(ValueError):
+            ctx.set_precision("lcp", 24)
+
+    def test_mode_parse_in_constructor(self):
+        assert FPContext(mode="rn").mode is RoundingMode.NEAREST
+
+
+class TestOperations:
+    def test_results_reduced_in_phase(self):
+        ctx = FPContext({"lcp": 3})
+        with ctx.in_phase("lcp"):
+            result = ctx.mul(arr(1.23), arr(2.47))
+        mantissa_bits = np.frombuffer(result.tobytes(), dtype=np.uint32)[0]
+        assert mantissa_bits & ((1 << 20) - 1) == 0
+
+    def test_census_and_fast_numerics_match_at_full_precision(self):
+        a = arr(1.5, -2.25, 0.0)
+        b = arr(0.25, 4.0, 9.0)
+        census = FPContext()
+        fast = FPContext(census=False)
+        for op in ("add", "sub", "mul", "div"):
+            assert np.array_equal(getattr(census, op)(a, b),
+                                  getattr(fast, op)(a, b))
+
+    def test_sqrt_full_precision(self):
+        ctx = FPContext({"lcp": 3})
+        with ctx.in_phase("lcp"):
+            assert ctx.sqrt(arr(2.0))[0] == np.float32(np.sqrt(2.0))
+
+    def test_div_full_precision(self):
+        ctx = FPContext({"lcp": 3})
+        with ctx.in_phase("lcp"):
+            assert ctx.div(arr(1.0), arr(3.0))[0] == np.float32(1.0 / 3.0)
+
+
+class TestCensus:
+    def test_counts_accumulate_per_phase(self):
+        ctx = FPContext()
+        with ctx.in_phase("lcp"):
+            ctx.add(arr(1.0, 2.0), arr(3.0, 4.0))
+            ctx.mul(arr(1.0), arr(3.0))
+        with ctx.in_phase("narrow"):
+            ctx.add(arr(1.0), arr(3.0))
+        assert ctx.counter("lcp", "add").total == 2
+        assert ctx.counter("lcp", "mul").total == 1
+        assert ctx.counter("narrow", "add").total == 1
+
+    def test_trivial_counted(self):
+        ctx = FPContext()
+        with ctx.in_phase("lcp"):
+            ctx.mul(arr(1.0, 3.3), arr(5.0, 2.2))
+        counter = ctx.counter("lcp", "mul")
+        assert counter.conventional_trivial == 1
+        assert counter.total == 2
+
+    def test_sqrt_counted_as_div(self):
+        ctx = FPContext()
+        with ctx.in_phase("lcp"):
+            ctx.sqrt(arr(4.0, 9.0))
+        assert ctx.counter("lcp", "div").total == 2
+
+    def test_phase_totals_merge(self):
+        ctx = FPContext()
+        with ctx.in_phase("lcp"):
+            ctx.add(arr(1.0), arr(2.0))
+            ctx.mul(arr(1.0), arr(2.0))
+        assert ctx.phase_totals("lcp").total == 2
+
+    def test_reset(self):
+        ctx = FPContext()
+        ctx.add(arr(1.0), arr(2.0))
+        ctx.reset_stats()
+        assert ctx.stats == {}
+
+    def test_census_off_keeps_no_stats(self):
+        ctx = FPContext(census=False)
+        ctx.add(arr(1.0), arr(2.0))
+        assert ctx.stats == {}
+
+
+class TestMemoIntegration:
+    def test_memo_streams_nontrivial_ops(self):
+        ctx = FPContext({"lcp": 8}, memo=MemoBank())
+        with ctx.in_phase("lcp"):
+            ctx.add(arr(1.37, 1.37), arr(2.21, 2.21))
+        counter = ctx.counter("lcp", "add")
+        assert counter.memo_lookups == 2
+        assert counter.memo_hits == 1  # identical pair repeats
+
+    def test_trivial_filtered_from_memo(self):
+        ctx = FPContext({"lcp": 8}, memo=MemoBank())
+        with ctx.in_phase("lcp"):
+            ctx.add(arr(0.0), arr(2.21))
+        assert ctx.counter("lcp", "add").memo_lookups == 0
+
+    def test_memo_budget_caps_probes(self):
+        ctx = FPContext({"lcp": 8}, memo=MemoBank(), memo_budget=3)
+        with ctx.in_phase("lcp"):
+            ctx.add(arr(*np.linspace(1.01, 1.9, 10)),
+                    arr(*np.linspace(2.01, 2.9, 10)))
+        assert ctx.counter("lcp", "add").memo_lookups == 3
+
+    def test_div_not_memoized(self):
+        ctx = FPContext({"lcp": 8}, memo=MemoBank())
+        with ctx.in_phase("lcp"):
+            ctx.div(arr(1.3), arr(2.7))
+        assert ctx.counter("lcp", "div").memo_lookups == 0

@@ -1,0 +1,177 @@
+"""Unit + property tests for trivial-operation detection (Table 2 + new
+conditions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.bits import array_to_bits
+from repro.fp.rounding import RoundingMode, reduce_array
+from repro.fp.trivial import (
+    add_trivial_masks,
+    div_trivial_masks,
+    is_normal,
+    is_pm_one,
+    is_pow2,
+    is_zero,
+    mul_trivial_masks,
+)
+
+
+def bits_of(*values):
+    return array_to_bits(np.array(values, dtype=np.float32))
+
+
+class TestPredicates:
+    def test_is_zero(self):
+        assert is_zero(bits_of(0.0))[0]
+        assert is_zero(bits_of(-0.0))[0]
+        assert not is_zero(bits_of(1e-20))[0]
+
+    def test_is_pm_one(self):
+        flags = is_pm_one(bits_of(1.0, -1.0, 2.0, 0.0))
+        assert flags.tolist() == [True, True, False, False]
+
+    def test_is_pow2(self):
+        flags = is_pow2(bits_of(2.0, -8.0, 0.25, 3.0, 0.0, 1.0))
+        assert flags.tolist() == [True, True, True, False, False, True]
+
+    def test_is_normal(self):
+        flags = is_normal(bits_of(1.0, 0.0, np.inf, 1e-40))
+        assert flags.tolist() == [True, False, False, False]
+
+
+class TestAddConditions:
+    def test_zero_operand_conventional(self):
+        masks = add_trivial_masks(bits_of(0.0, 5.0), bits_of(3.0, 0.0), 23)
+        assert masks.conventional.tolist() == [True, True]
+        assert masks.use_b.tolist() == [True, False]
+        assert masks.use_a.tolist() == [False, True]
+
+    def test_exponent_difference_new_condition(self):
+        # |Ea - Eb| = 12 > 5 + 1 -> trivial under the new condition only.
+        masks = add_trivial_masks(bits_of(4096.0), bits_of(1.0), 5)
+        assert not masks.conventional[0]
+        assert masks.extended[0]
+        assert masks.use_a[0] and not masks.use_b[0]
+
+    def test_exponent_difference_threshold_exact(self):
+        # diff == precision + 1 is NOT trivial (strict inequality).
+        a = bits_of(2.0 ** 6)
+        b = bits_of(1.0)
+        masks = add_trivial_masks(a, b, 5)
+        assert not masks.extended[0]
+        masks = add_trivial_masks(a, b, 4)
+        assert masks.extended[0]
+
+    def test_smaller_operand_side(self):
+        masks = add_trivial_masks(bits_of(1.0), bits_of(4096.0), 5)
+        assert masks.use_b[0] and not masks.use_a[0]
+
+    def test_non_trivial(self):
+        masks = add_trivial_masks(bits_of(1.5), bits_of(2.5), 10)
+        assert not masks.extended[0]
+
+    def test_extended_only_property(self):
+        masks = add_trivial_masks(bits_of(4096.0, 0.0),
+                                  bits_of(1.0, 1.0), 5)
+        assert masks.extended_only.tolist() == [True, False]
+
+
+class TestMulConditions:
+    def test_conventional_cases(self):
+        a = bits_of(0.0, 1.0, -1.0, 3.0)
+        b = bits_of(5.0, 5.0, 5.0, 1.0)
+        masks = mul_trivial_masks(a, b, 23)
+        assert masks.conventional.tolist() == [True] * 4
+
+    def test_power_of_two_new_condition(self):
+        masks = mul_trivial_masks(bits_of(4.0), bits_of(3.3), 23)
+        assert not masks.conventional[0]
+        assert masks.extended[0]
+        assert masks.use_b[0]  # result = the other operand scaled
+
+    def test_zero_result_has_no_source(self):
+        masks = mul_trivial_masks(bits_of(0.0), bits_of(5.0), 23)
+        assert masks.extended[0]
+        assert not masks.use_a[0] and not masks.use_b[0]
+
+    def test_general_value_not_trivial(self):
+        masks = mul_trivial_masks(bits_of(3.3), bits_of(2.7), 23)
+        assert not masks.extended[0]
+
+    def test_reduction_creates_triviality(self):
+        # 2.04 is not a power of two, but at 3 bits it reduces to 2.0.
+        value = np.array([2.04], dtype=np.float32)
+        reduced = reduce_array(value, 3, RoundingMode.TRUNCATION)
+        masks = mul_trivial_masks(array_to_bits(reduced), bits_of(3.3), 3)
+        assert masks.extended[0]
+
+
+class TestDivConditions:
+    def test_divisor_one(self):
+        masks = div_trivial_masks(bits_of(7.0), bits_of(1.0))
+        assert masks.conventional[0] and masks.use_a[0]
+
+    def test_zero_dividend(self):
+        masks = div_trivial_masks(bits_of(0.0), bits_of(9.0))
+        assert masks.conventional[0]
+
+    def test_power_of_two_divisor_new_condition(self):
+        masks = div_trivial_masks(bits_of(7.0), bits_of(4.0))
+        assert not masks.conventional[0]
+        assert masks.extended[0] and masks.use_a[0]
+
+    def test_general_divisor_not_trivial(self):
+        masks = div_trivial_masks(bits_of(7.0), bits_of(3.0))
+        assert not masks.extended[0]
+
+    def test_pow2_dividend_alone_not_trivial(self):
+        # Only the divisor's mantissa matters for the new condition.
+        masks = div_trivial_masks(bits_of(4.0), bits_of(3.0))
+        assert not masks.extended[0]
+
+
+values32 = st.floats(min_value=-(2.0 ** 60), max_value=2.0 ** 60,
+                     allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestMaskInvariants:
+    @given(st.lists(values32, min_size=1, max_size=30),
+           st.lists(values32, min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=23))
+    @settings(max_examples=200, deadline=None)
+    def test_add_masks_consistent(self, avals, bvals, precision):
+        n = min(len(avals), len(bvals))
+        a = bits_of(*avals[:n])
+        b = bits_of(*bvals[:n])
+        masks = add_trivial_masks(a, b, precision)
+        # conventional implies extended
+        assert not np.any(masks.conventional & ~masks.extended)
+        # a source is only claimed on trivial lanes
+        assert not np.any((masks.use_a | masks.use_b) & ~masks.extended)
+        # never both sources at once
+        assert not np.any(masks.use_a & masks.use_b)
+
+    @given(st.lists(values32, min_size=1, max_size=30),
+           st.lists(values32, min_size=1, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_mul_masks_consistent(self, avals, bvals):
+        n = min(len(avals), len(bvals))
+        a = bits_of(*avals[:n])
+        b = bits_of(*bvals[:n])
+        masks = mul_trivial_masks(a, b, 23)
+        assert not np.any(masks.conventional & ~masks.extended)
+        assert not np.any(masks.use_a & masks.use_b)
+
+    @given(st.integers(min_value=1, max_value=22))
+    @settings(max_examples=23, deadline=None)
+    def test_lower_precision_never_reduces_add_triviality(self, precision):
+        rng = np.random.default_rng(3)
+        a = bits_of(*rng.uniform(-1e4, 1e4, 200))
+        b = bits_of(*rng.uniform(-1e-2, 1e-2, 200))
+        hi = add_trivial_masks(a, b, precision)
+        lo = add_trivial_masks(a, b, precision - 1)
+        # Every lane trivial at the higher precision stays trivial lower.
+        assert not np.any(hi.extended & ~lo.extended)

@@ -1,0 +1,301 @@
+"""Tests for the LCP constraint solver and dynamic behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext
+from repro.physics import SolverParams, World
+from repro.physics.joints import WORLD
+
+
+def make_world(**kwargs):
+    return World(ctx=FPContext(census=False), **kwargs)
+
+
+class TestRestingContact:
+    def test_sphere_settles_on_ground(self):
+        world = make_world()
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, 2.0, 0], 0.5, 1.0)
+        for _ in range(150):
+            world.step()
+        assert world.bodies.pos[0, 1] == pytest.approx(0.5, abs=0.02)
+        assert np.linalg.norm(world.bodies.linvel[0]) < 0.1
+
+    def test_box_settles_on_ground(self):
+        world = make_world()
+        world.add_ground_plane(0.0)
+        world.add_box([0, 1.5, 0], [0.5, 0.5, 0.5], 2.0)
+        for _ in range(150):
+            world.step()
+        assert world.bodies.pos[0, 1] == pytest.approx(0.5, abs=0.03)
+
+    def test_no_tunnelling_through_ground(self):
+        world = make_world()
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, 1.5, 0], 0.3, 1.0, linvel=[0, -8.0, 0])
+        for _ in range(200):
+            world.step()
+            assert world.bodies.pos[0, 1] > 0.0
+
+    def test_stack_remains_ordered(self):
+        world = make_world()
+        world.add_ground_plane(0.0)
+        for k in range(3):
+            world.add_box([0, 0.5 + 1.01 * k, 0], [0.5, 0.5, 0.5], 1.0)
+        for _ in range(150):
+            world.step()
+        ys = world.bodies.pos[:3, 1]
+        assert ys[0] < ys[1] < ys[2]
+        assert ys[2] == pytest.approx(2.5, abs=0.2)
+
+
+class TestRestitution:
+    def test_bouncy_sphere_bounces(self):
+        world = make_world()
+        world.add_ground_plane(0.0, restitution=0.0)
+        world.add_sphere([0, 1.5, 0], 0.25, 1.0, restitution=0.8)
+        peak_after_bounce = 0.0
+        bounced = False
+        for _ in range(300):
+            world.step()
+            y = float(world.bodies.pos[0, 1])
+            vy = float(world.bodies.linvel[0, 1])
+            if bounced:
+                peak_after_bounce = max(peak_after_bounce, y)
+            elif vy > 0.5:
+                bounced = True
+        assert bounced
+        assert peak_after_bounce > 0.5
+
+    def test_dead_sphere_stops(self):
+        world = make_world()
+        world.add_ground_plane(0.0, restitution=0.0)
+        world.add_sphere([0, 1.0, 0], 0.25, 1.0, restitution=0.0)
+        for _ in range(200):
+            world.step()
+        assert abs(world.bodies.linvel[0, 1]) < 0.2
+        assert world.bodies.pos[0, 1] == pytest.approx(0.25, abs=0.03)
+
+
+class TestFriction:
+    def test_friction_stops_slide(self):
+        world = make_world()
+        world.add_ground_plane(0.0, friction=1.0)
+        world.add_box([0, 0.49, 0], [0.5, 0.5, 0.5], 1.0,
+                      linvel=[4.0, 0, 0], friction=1.0)
+        for _ in range(250):
+            world.step()
+        assert abs(world.bodies.linvel[0, 0]) < 0.2
+
+    def test_frictionless_keeps_sliding(self):
+        world = make_world()
+        world.add_ground_plane(0.0, friction=0.0)
+        world.add_box([0, 0.49, 0], [0.5, 0.5, 0.5], 1.0,
+                      linvel=[4.0, 0, 0], friction=0.0)
+        for _ in range(100):
+            world.step()
+        assert world.bodies.linvel[0, 0] > 3.0
+
+    def test_friction_dissipates_energy_not_creates(self):
+        world = make_world()
+        world.add_ground_plane(0.0, friction=0.8)
+        world.add_box([0, 0.49, 0], [0.5, 0.5, 0.5], 1.0,
+                      linvel=[4.0, 0, 0], friction=0.8)
+        for _ in range(120):
+            world.step()
+        energies = world.monitor.totals()
+        assert energies[-1] < energies[0] * 1.02
+
+
+class TestMomentum:
+    def test_equal_mass_collision_transfers_momentum(self):
+        world = make_world(solver=SolverParams())
+        world.gravity[:] = 0.0
+        world.monitor.gravity[:] = 0.0
+        a = world.add_sphere([0, 1, 0], 0.3, 1.0, linvel=[2.0, 0, 0],
+                             restitution=0.9, friction=0.0)
+        b = world.add_sphere([1.0, 1, 0], 0.3, 1.0, restitution=0.9,
+                             friction=0.0)
+        momentum0 = world.bodies.linvel[:2, 0].sum()
+        for _ in range(120):
+            world.step()
+        momentum1 = world.bodies.linvel[:2, 0].sum()
+        assert momentum1 == pytest.approx(momentum0, abs=0.1)
+        # target ball picks up most of the speed in a near-elastic hit
+        assert world.bodies.linvel[b, 0] > 1.2
+        assert abs(world.bodies.linvel[a, 0]) < 1.0
+
+    def test_static_body_immovable(self):
+        world = make_world()
+        world.add_ground_plane(0.0)
+        anchor = world.add_box([0, 0.5, 0], [0.5, 0.5, 0.5], 0.0)
+        world.add_sphere([-2.0, 0.6, 0], 0.3, 2.0, linvel=[6.0, 0, 0])
+        for _ in range(120):
+            world.step()
+        assert np.allclose(world.bodies.pos[anchor], [0, 0.5, 0])
+        assert np.all(world.bodies.linvel[anchor] == 0.0)
+
+
+class TestJoints:
+    def test_ball_joint_holds_anchor(self):
+        world = make_world()
+        b = world.add_sphere([0.5, 2.0, 0], 0.1, 1.0)
+        world.joints.add_ball(world.bodies, b, WORLD, [0, 2.0, 0])
+        for _ in range(200):
+            world.step()
+        dist = np.linalg.norm(world.bodies.pos[b] - np.array([0, 2.0, 0]))
+        assert dist == pytest.approx(0.5, abs=0.05)
+
+    def test_pendulum_conserves_energy(self):
+        world = make_world()
+        b = world.add_sphere([0.4, 2.7, 0], 0.1, 1.0)
+        world.joints.add_ball(world.bodies, b, WORLD, [0, 3.0, 0])
+        for _ in range(250):
+            world.step()
+        energies = world.monitor.totals()
+        assert abs(energies[-1] - energies[0]) < 0.05 * abs(energies[0])
+
+    def test_body_body_joint_keeps_distance(self):
+        world = make_world()
+        world.add_ground_plane(0.0)
+        a = world.add_sphere([0, 1.5, 0], 0.1, 1.0)
+        b = world.add_sphere([0, 1.0, 0], 0.1, 1.0)
+        world.joints.add_ball(world.bodies, a, b, [0, 1.25, 0])
+        for _ in range(150):
+            world.step()
+        dist = np.linalg.norm(world.bodies.pos[a] - world.bodies.pos[b])
+        assert dist == pytest.approx(0.5, abs=0.08)
+
+    def test_hinge_restricts_axis(self):
+        world = make_world()
+        world.gravity[:] = [0, -9.8, 0]
+        # A bar hinged to the world about the z axis swings in the xy
+        # plane only.
+        b = world.add_box([0.4, 2.0, 0], [0.4, 0.05, 0.05], 1.0)
+        world.joints.add_hinge(world.bodies, b, WORLD, [0, 2.0, 0],
+                               [0, 0, 1])
+        for _ in range(150):
+            world.step()
+        assert abs(world.bodies.pos[b, 2]) < 0.05
+        # angular velocity stays along z
+        w = world.bodies.angvel[b]
+        assert abs(w[0]) < 0.3 and abs(w[1]) < 0.3
+
+
+class TestSolverRobustness:
+    def test_empty_world_steps(self):
+        world = make_world()
+        for _ in range(10):
+            world.step()
+        assert world.step_count == 10
+
+    def test_zero_iterations_no_crash(self):
+        world = make_world(solver=SolverParams(iterations=0))
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, 0.4, 0], 0.5)
+        world.step()
+
+    def test_more_iterations_less_penetration(self):
+        def worst_penetration(iterations):
+            world = make_world(solver=SolverParams(iterations=iterations))
+            world.add_ground_plane(0.0)
+            for k in range(3):
+                world.add_box([0, 0.5 + 1.0 * k, 0], [0.5, 0.5, 0.5], 4.0)
+            for _ in range(120):
+                world.step()
+            return max(world.penetration_series[60:])
+
+        assert worst_penetration(20) <= worst_penetration(2) + 1e-5
+
+    def test_reduced_precision_still_stable(self):
+        world = World(ctx=FPContext({"lcp": 8, "narrow": 8},
+                                    census=False))
+        world.add_ground_plane(0.0)
+        world.add_box([0, 1.0, 0], [0.5, 0.5, 0.5], 2.0)
+        world.add_sphere([0.2, 2.2, 0.1], 0.3, 1.0)
+        for _ in range(150):
+            world.step()
+        assert np.isfinite(world.bodies.pos[:2]).all()
+        assert world.bodies.pos[:2, 1].max() < 3.0
+
+
+class TestGaussSeidelScheme:
+    def test_unknown_scheme_rejected(self):
+        world = make_world(solver=SolverParams(scheme="sor"))
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, 0.4, 0], 0.5, 1.0)
+        with pytest.raises(ValueError):
+            world.step()
+
+    def test_stack_settles(self):
+        world = make_world(solver=SolverParams(scheme="gauss_seidel"))
+        world.add_ground_plane(0.0)
+        for k in range(3):
+            world.add_box([0, 0.5 + 1.01 * k, 0], [0.5, 0.5, 0.5], 1.0)
+        for _ in range(120):
+            world.step()
+        ys = world.bodies.pos[:3, 1]
+        assert ys[0] < ys[1] < ys[2]
+        assert ys[2] == pytest.approx(2.5, abs=0.1)
+
+    def test_tighter_than_jacobi(self):
+        def run(scheme):
+            world = make_world(solver=SolverParams(scheme=scheme))
+            world.add_ground_plane(0.0)
+            for k in range(3):
+                world.add_box([0, 0.5 + 1.0 * k, 0], [0.5, 0.5, 0.5], 3.0)
+            for _ in range(120):
+                world.step()
+            return max(world.penetration_series[60:])
+
+        assert run("gauss_seidel") <= run("jacobi") + 1e-4
+
+    def test_pendulum_energy_conserved(self):
+        world = make_world(solver=SolverParams(scheme="gauss_seidel"))
+        b = world.add_sphere([0.4, 2.7, 0], 0.1, 1.0)
+        world.joints.add_ball(world.bodies, b, WORLD, [0, 3.0, 0])
+        for _ in range(200):
+            world.step()
+        energies = world.monitor.totals()
+        assert abs(energies[-1] - energies[0]) < 0.05 * abs(energies[0])
+
+    def test_coloring_batches_conflict_free(self):
+        from repro.physics import lcp as lcp_mod
+        world = make_world()
+        world.add_ground_plane(0.0)
+        for k in range(4):
+            world.add_box([0, 0.5 + 1.0 * k, 0], [0.5, 0.5, 0.5], 1.0)
+        world.bodies.ensure_world_row()
+        world.bodies.refresh_derived(world.ctx)
+        from repro.physics import broadphase, narrowphase
+        aabbs = world.geoms.world_aabbs(world.bodies.view("pos"),
+                                        world.bodies.view("rot"))
+        pairs = broadphase.candidate_pairs(world.geoms, aabbs)
+        contacts = narrowphase.generate_contacts(
+            world.ctx, world.bodies, world.geoms, pairs)
+        rows = lcp_mod.build_rows(world.ctx, world.bodies, contacts,
+                                  world.joints, world.dt, world.solver)
+        batches = lcp_mod._color_rows(rows, world.bodies.world_index)
+        world_index = world.bodies.world_index
+        seen_rows = set()
+        for batch in batches:
+            bodies_in_batch = set()
+            for r in batch:
+                seen_rows.add(int(r))
+                for body in (int(rows.ia[r]), int(rows.ib[r])):
+                    if body == world_index:
+                        continue
+                    assert body not in bodies_in_batch
+                    bodies_in_batch.add(body)
+        assert seen_rows == set(range(len(rows)))
+
+    def test_reduced_precision_gauss_seidel_stable(self):
+        world = World(ctx=FPContext({"lcp": 8, "narrow": 8},
+                                    census=False),
+                      solver=SolverParams(scheme="gauss_seidel"))
+        world.add_ground_plane(0.0)
+        world.add_box([0, 1.0, 0], [0.5, 0.5, 0.5], 2.0)
+        for _ in range(80):
+            world.step()
+        assert np.isfinite(world.bodies.pos[0]).all()

@@ -1,0 +1,151 @@
+"""Unit + property tests for the 2K-entry arithmetic lookup table."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.rounding import RoundingMode, reduce_scalar
+from repro.memo.lookup_table import LOOKUP_PRECISION_LIMIT, LookupTable
+
+JAM = RoundingMode.JAMMING
+
+
+@pytest.fixture(scope="module")
+def lut():
+    return LookupTable(5, JAM)
+
+
+def reduced(value, precision=5):
+    return reduce_scalar(np.float32(value), precision, JAM)
+
+
+class TestStructure:
+    def test_paper_geometry(self, lut):
+        assert lut.entries == 2048
+        assert lut.table.dtype == np.uint8
+        assert lut.size_bytes == 2048  # 1 byte per entry
+
+    def test_precision_limit_enforced(self):
+        with pytest.raises(ValueError):
+            LookupTable(6)
+        with pytest.raises(ValueError):
+            LookupTable(-1)
+
+    def test_covers(self, lut):
+        assert lut.covers("add", 5)
+        assert lut.covers("mul", 3)
+        assert not lut.covers("add", 6)
+        assert not lut.covers("div", 3)
+
+    def test_limit_constant(self):
+        assert LOOKUP_PRECISION_LIMIT == 6
+
+    def test_boot_time_population_is_deterministic(self):
+        assert np.array_equal(LookupTable(5, JAM).table,
+                              LookupTable(5, JAM).table)
+
+
+class TestMultiply:
+    def test_simple_product(self, lut):
+        a, b = reduced(1.5), reduced(2.0)
+        assert lut.compute_mul(a, b) == np.float32(a) * np.float32(b)
+
+    def test_sign_logic(self, lut):
+        a, b = reduced(1.5), reduced(-2.5)
+        direct = reduce_scalar(np.float32(a) * np.float32(b), 5, JAM)
+        assert lut.compute_mul(a, b) == direct
+
+    def test_zero(self, lut):
+        assert lut.compute_mul(0.0, 3.5) == 0.0
+        assert np.signbit(lut.compute_mul(-0.0, 3.5))
+
+    def test_exhaustive_exactness(self, lut):
+        """Every reduced operand pair matches direct reduced execution."""
+        for a5, b5 in itertools.product(range(0, 32, 3), repeat=2):
+            a = (1.0 + a5 / 32.0) * 4.0
+            b = (1.0 + b5 / 32.0) * 0.5
+            direct = reduce_scalar(np.float32(a) * np.float32(b), 5, JAM)
+            assert lut.compute_mul(a, b) == direct
+
+
+class TestAdd:
+    def test_same_exponent_carry(self, lut):
+        # 1.5 + 1.5 = 3.0: equal exponents, guaranteed carry.
+        assert lut.compute_add(1.5, 1.5) == 3.0
+
+    def test_zero_operand(self, lut):
+        assert lut.compute_add(0.0, 2.5) == 2.5
+        assert lut.compute_add(2.5, 0.0) == 2.5
+
+    def test_ordering_symmetric(self, lut):
+        a, b = reduced(1.75), reduced(3.5)
+        assert lut.compute_add(a, b) == lut.compute_add(b, a)
+
+    def test_shifted_small_operand(self, lut):
+        a, b = reduced(4.0), reduced(1.0)
+        assert lut.compute_add(a, b) == 5.0
+
+    def test_effective_subtract(self, lut):
+        assert lut.compute_add(3.0, -1.0) == 2.0
+
+    def test_subtract_to_zero(self, lut):
+        assert lut.compute_add(1.5, -1.5) == 0.0
+
+    def test_subtract_with_cancellation(self, lut):
+        # 1.0 - 0.9375 needs left normalization.
+        a = reduced(1.0)
+        b = reduced(-0.9375)
+        result = lut.compute_add(a, b)
+        assert result == pytest.approx(0.0625, rel=0.5)
+
+    def test_close_to_direct_execution(self, lut):
+        rng = np.random.default_rng(0)
+        worst = 0.0
+        for _ in range(300):
+            a = reduced(float(rng.uniform(1.0, 8.0)))
+            b = reduced(float(rng.uniform(0.25, 8.0)))
+            direct = reduce_scalar(np.float32(a) + np.float32(b), 5, JAM)
+            result = lut.compute_add(a, b)
+            if direct != 0:
+                worst = max(worst, abs(result - direct) / abs(direct))
+        # The 5-bit shifted-operand window loses at most ~1 reduced ulp.
+        assert worst <= 2.0 ** -4
+
+
+values = st.floats(min_value=0.015625, max_value=16384.0, allow_nan=False,
+                   allow_infinity=False, width=32)
+
+
+class TestLutProperties:
+    @given(values, values)
+    @settings(max_examples=200, deadline=None)
+    def test_mul_matches_direct(self, a, b):
+        lut = _module_lut()
+        ra, rb = reduced(a), reduced(b)
+        direct = reduce_scalar(np.float32(ra) * np.float32(rb), 5, JAM)
+        result = lut.compute_mul(ra, rb)
+        if direct == 0.0 or not np.isfinite(direct):
+            return
+        assert result == pytest.approx(direct, rel=2.0 ** -5)
+
+    @given(values, values, st.sampled_from([1, -1]))
+    @settings(max_examples=200, deadline=None)
+    def test_add_close_to_direct(self, a, b, sign):
+        lut = _module_lut()
+        ra, rb = reduced(a), reduced(sign * b)
+        direct = np.float32(ra) + np.float32(rb)
+        result = lut.compute_add(ra, rb)
+        scale = max(abs(ra), abs(rb))
+        assert abs(result - direct) <= scale * 2.0 ** -3.5
+
+
+_LUT_CACHE = {}
+
+
+def _module_lut():
+    if "lut" not in _LUT_CACHE:
+        _LUT_CACHE["lut"] = LookupTable(5, JAM)
+    return _LUT_CACHE["lut"]

@@ -1,0 +1,145 @@
+"""Tests for context-routed 3D math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp import FPContext
+from repro.physics import math3d
+
+unit = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                 width=32)
+vec3 = st.tuples(unit, unit, unit).map(
+    lambda t: np.array(t, dtype=np.float32))
+
+
+@pytest.fixture
+def ctx():
+    return FPContext(census=False)
+
+
+class TestDotCross:
+    def test_dot_basis(self, ctx):
+        x = np.array([1.0, 0.0, 0.0], dtype=np.float32)
+        y = np.array([0.0, 1.0, 0.0], dtype=np.float32)
+        assert math3d.dot(ctx, x[None], y[None])[0] == 0.0
+        assert math3d.dot(ctx, x[None], x[None])[0] == 1.0
+
+    def test_dot_batched(self, ctx):
+        a = np.arange(6, dtype=np.float32).reshape(2, 3)
+        b = np.ones((2, 3), dtype=np.float32)
+        assert math3d.dot(ctx, a, b).tolist() == [3.0, 12.0]
+
+    def test_cross_right_handed(self, ctx):
+        x = np.array([[1.0, 0.0, 0.0]], dtype=np.float32)
+        y = np.array([[0.0, 1.0, 0.0]], dtype=np.float32)
+        z = math3d.cross(ctx, x, y)[0]
+        assert z.tolist() == [0.0, 0.0, 1.0]
+
+    @given(vec3, vec3)
+    @settings(max_examples=100, deadline=None)
+    def test_cross_orthogonal(self, a, b):
+        ctx = FPContext(census=False)
+        c = math3d.cross(ctx, a[None], b[None])[0].astype(np.float64)
+        # c is orthogonal to both inputs (up to fp noise)
+        scale = (np.linalg.norm(a) * np.linalg.norm(b)) or 1.0
+        assert abs(c @ a) <= 1e-3 * scale * max(np.abs(c).max(), 1)
+        assert abs(c @ b) <= 1e-3 * scale * max(np.abs(c).max(), 1)
+
+    @given(vec3)
+    @settings(max_examples=100, deadline=None)
+    def test_cross_self_is_zero(self, a):
+        ctx = FPContext(census=False)
+        c = math3d.cross(ctx, a[None], a[None])[0]
+        assert np.allclose(c, 0.0, atol=1e-2)
+
+
+class TestNormNormalize:
+    def test_norm(self, ctx):
+        v = np.array([[3.0, 4.0, 0.0]], dtype=np.float32)
+        assert math3d.norm(ctx, v)[0] == 5.0
+
+    def test_normalize_unit_length(self, ctx):
+        v = np.array([[3.0, 4.0, 0.0]], dtype=np.float32)
+        unit_v, length = math3d.normalize(ctx, v)
+        assert length[0] == 5.0
+        assert math3d.norm(ctx, unit_v)[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_normalize_zero_vector_safe(self, ctx):
+        v = np.zeros((1, 3), dtype=np.float32)
+        unit_v, length = math3d.normalize(ctx, v)
+        assert length[0] == 0.0
+        assert np.all(unit_v == 0.0)
+
+    def test_scale(self, ctx):
+        v = np.array([[1.0, -2.0, 3.0]], dtype=np.float32)
+        assert math3d.scale(ctx, v, np.float32(2.0))[0].tolist() == \
+            [2.0, -4.0, 6.0]
+
+
+class TestMatvec:
+    def test_identity(self, ctx):
+        m = np.eye(3, dtype=np.float32)[None]
+        v = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+        assert math3d.matvec(ctx, m, v)[0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_rotation_90_about_z(self, ctx):
+        m = np.array([[[0.0, -1.0, 0.0],
+                       [1.0, 0.0, 0.0],
+                       [0.0, 0.0, 1.0]]], dtype=np.float32)
+        v = np.array([[1.0, 0.0, 0.0]], dtype=np.float32)
+        assert math3d.matvec(ctx, m, v)[0].tolist() == [0.0, 1.0, 0.0]
+
+
+class TestQuaternions:
+    def test_identity_product(self, ctx):
+        q = np.array([[1.0, 0.0, 0.0, 0.0]], dtype=np.float32)
+        p = np.array([[0.5, 0.5, 0.5, 0.5]], dtype=np.float32)
+        assert np.allclose(math3d.quat_mul(ctx, q, p), p)
+
+    def test_rotation_matrix_identity(self, ctx):
+        q = np.array([[1.0, 0.0, 0.0, 0.0]], dtype=np.float32)
+        assert np.allclose(math3d.quat_rotate_matrix(ctx, q)[0], np.eye(3))
+
+    def test_rotation_matrix_orthonormal(self, ctx):
+        angle = 0.7
+        q = np.array([[np.cos(angle / 2), 0.0, np.sin(angle / 2), 0.0]],
+                     dtype=np.float32)
+        m = math3d.quat_rotate_matrix(ctx, q)[0].astype(np.float64)
+        assert np.allclose(m @ m.T, np.eye(3), atol=1e-5)
+        assert np.linalg.det(m) == pytest.approx(1.0, abs=1e-5)
+
+    def test_quat_normalize(self, ctx):
+        q = np.array([[2.0, 0.0, 0.0, 0.0]], dtype=np.float32)
+        assert np.allclose(math3d.quat_normalize(ctx, q)[0],
+                           [1.0, 0.0, 0.0, 0.0])
+
+    def test_quat_normalize_degenerate_resets(self, ctx):
+        q = np.zeros((1, 4), dtype=np.float32)
+        assert np.allclose(math3d.quat_normalize(ctx, q)[0],
+                           [1.0, 0.0, 0.0, 0.0])
+
+    def test_integrate_preserves_unit_norm(self, ctx):
+        q = np.array([[1.0, 0.0, 0.0, 0.0]], dtype=np.float32)
+        omega = np.array([[0.0, 3.0, 0.0]], dtype=np.float32)
+        for _ in range(100):
+            q = math3d.quat_integrate(ctx, q, omega, 0.01)
+        norm = float(np.linalg.norm(q[0]))
+        assert norm == pytest.approx(1.0, abs=1e-5)
+
+    def test_integrate_rotates_correct_direction(self, ctx):
+        q = np.array([[1.0, 0.0, 0.0, 0.0]], dtype=np.float32)
+        omega = np.array([[0.0, 0.0, np.pi]], dtype=np.float32)
+        # half a turn about z takes 1 second
+        for _ in range(100):
+            q = math3d.quat_integrate(ctx, q, omega, 0.01)
+        m = math3d.quat_rotate_matrix(ctx, q)[0].astype(np.float64)
+        rotated = m @ np.array([1.0, 0.0, 0.0])
+        assert rotated[0] == pytest.approx(-1.0, abs=0.05)
+
+    def test_zero_angular_velocity_is_identity(self, ctx):
+        q = np.array([[0.9238795, 0.0, 0.3826834, 0.0]], dtype=np.float32)
+        omega = np.zeros((1, 3), dtype=np.float32)
+        q2 = math3d.quat_integrate(ctx, q, omega, 0.01)
+        assert np.allclose(q2, q, atol=1e-6)

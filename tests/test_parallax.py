@@ -1,0 +1,107 @@
+"""Tests for the ParallAX work-queue phase scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.arch.parallax import (
+    QueueResult,
+    lcp_work_items,
+    narrow_work_items,
+    phase_speedup,
+    simulate_work_queue,
+)
+from repro.fp import FPContext
+from repro.workloads import build
+
+
+class TestWorkQueue:
+    def test_single_core_serializes(self):
+        result = simulate_work_queue([1.0, 2.0, 3.0], 1)
+        assert result.makespan == 6.0
+        assert result.speedup == pytest.approx(1.0)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_perfect_split(self):
+        result = simulate_work_queue([1.0] * 8, 4)
+        assert result.makespan == 2.0
+        assert result.speedup == pytest.approx(4.0)
+
+    def test_imbalance_limits_speedup(self):
+        # One giant item dominates: speedup capped near 1.
+        result = simulate_work_queue([10.0, 1.0, 1.0, 1.0], 4)
+        assert result.makespan == 10.0
+        assert result.speedup == pytest.approx(1.3)
+
+    def test_more_cores_never_slower(self):
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(0.5, 5.0, 40).tolist()
+        makespans = [simulate_work_queue(costs, n).makespan
+                     for n in (1, 2, 4, 8, 16)]
+        assert makespans == sorted(makespans, reverse=True)
+
+    def test_speedup_bounded_by_item_count(self):
+        result = simulate_work_queue([1.0, 1.0, 1.0], 64)
+        assert result.speedup <= 3.0 + 1e-9
+
+    def test_empty_items(self):
+        result = simulate_work_queue([], 4)
+        assert result.makespan == 0.0
+        assert result.speedup == 0.0
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_work_queue([1.0], 0)
+
+    def test_fifo_order_matters(self):
+        # FIFO (no lookahead): a trailing big item extends the makespan
+        # beyond the optimal packing.
+        fifo_bad = simulate_work_queue([1.0, 1.0, 1.0, 9.0], 2)
+        optimal = (1.0 + 1.0 + 1.0 + 9.0) / 2
+        assert fifo_bad.makespan > optimal
+
+
+class TestWorldWorkItems:
+    @pytest.fixture(scope="class")
+    def settled_breakable(self):
+        world = build("breakable", ctx=FPContext(census=False))
+        for _ in range(45):
+            world.step()
+        return world
+
+    def test_lcp_items_match_island_count(self, settled_breakable):
+        items = lcp_work_items(settled_breakable)
+        assert len(items) == settled_breakable.island_count
+
+    def test_intra_island_split(self, settled_breakable):
+        base = lcp_work_items(settled_breakable)
+        split = lcp_work_items(settled_breakable,
+                               intra_island_parallelism=4)
+        assert len(split) == 4 * len(base)
+        assert sum(split) == pytest.approx(sum(base))
+
+    def test_narrow_items_positive(self, settled_breakable):
+        items = narrow_work_items(settled_breakable)
+        assert len(items) > 5
+        assert all(cost > 0 for cost in items)
+
+    def test_narrow_scales_better_than_lcp(self, settled_breakable):
+        """The wall is one island but dozens of pairs."""
+        lcp = phase_speedup(lcp_work_items(settled_breakable), [16])[16]
+        narrow = phase_speedup(narrow_work_items(settled_breakable),
+                               [16])[16]
+        assert narrow.speedup > lcp.speedup
+
+    def test_intra_island_parallelism_restores_scaling(
+            self, settled_breakable):
+        coarse = phase_speedup(lcp_work_items(settled_breakable), [16])[16]
+        fine = phase_speedup(
+            lcp_work_items(settled_breakable, intra_island_parallelism=8),
+            [16])[16]
+        assert fine.speedup > coarse.speedup
+
+    def test_empty_world_has_no_items(self):
+        from repro.physics import World
+        world = World(ctx=FPContext(census=False))
+        world.step()
+        assert lcp_work_items(world) == []
+        assert narrow_work_items(world) == []

@@ -1,0 +1,101 @@
+"""Property-based tests for the work-queue and cluster schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cluster import simulate_cluster
+from repro.arch.l1fpu import CONJOIN, REDUCED_TRIV
+from repro.arch.parallax import simulate_work_queue
+from repro.arch.trace import OpProfile, PhaseWorkload, generate_trace
+
+costs = st.lists(
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=60,
+)
+core_counts = st.integers(min_value=1, max_value=32)
+
+
+class TestWorkQueueProperties:
+    @given(costs, core_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_makespan_lower_bounds(self, items, cores):
+        result = simulate_work_queue(items, cores)
+        # Cannot beat perfect division of work, nor the largest item.
+        assert result.makespan >= sum(items) / cores - 1e-9
+        assert result.makespan >= max(items) - 1e-9
+
+    @given(costs, core_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_makespan_upper_bound(self, items, cores):
+        # FIFO list scheduling is within 2x of optimal (Graham bound).
+        result = simulate_work_queue(items, cores)
+        optimal_lb = max(sum(items) / cores, max(items))
+        assert result.makespan <= 2.0 * optimal_lb + 1e-9
+
+    @given(costs, core_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_utilization_in_unit_interval(self, items, cores):
+        result = simulate_work_queue(items, cores)
+        assert 0.0 < result.utilization <= 1.0 + 1e-12
+
+    @given(costs)
+    @settings(max_examples=100, deadline=None)
+    def test_enough_cores_saturates(self, items):
+        result = simulate_work_queue(items, len(items))
+        assert result.makespan == pytest.approx(max(items))
+
+    @given(costs, core_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_speedup_consistent(self, items, cores):
+        result = simulate_work_queue(items, cores)
+        assert result.speedup == pytest.approx(
+            sum(items) / result.makespan)
+
+
+def _traces(n, fp_fraction, seed0=0, length=1500):
+    ops = {
+        "add": OpProfile(0.5, 0.2, 0.4),
+        "sub": OpProfile(0.0, 0.0, 0.0),
+        "mul": OpProfile(0.45, 0.2, 0.4),
+        "div": OpProfile(0.05, 0.0, 0.0),
+    }
+    wl = PhaseWorkload("lcp", 8, fp_fraction, ops)
+    return [generate_trace(wl, length, seed=seed0 + k) for k in range(n)]
+
+
+class TestClusterProperties:
+    @given(st.sampled_from([1, 2, 4, 8]),
+           st.floats(min_value=0.0, max_value=0.6, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_ipc_bounded(self, n, fp_fraction):
+        traces = _traces(n, fp_fraction)
+        for policy in ("static", "demand"):
+            result = simulate_cluster(traces, CONJOIN, policy)
+            for ipc in result.per_core_ipc:
+                assert 0.0 < ipc <= 1.0 + 1e-9
+
+    @given(st.sampled_from([2, 4, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_demand_at_least_static(self, n):
+        traces = _traces(n, 0.31)
+        static = simulate_cluster(traces, CONJOIN, "static")
+        demand = simulate_cluster(traces, CONJOIN, "demand")
+        assert demand.mean_ipc >= static.mean_ipc - 1e-6
+
+    @given(st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_trivialization_never_hurts(self, n):
+        traces = _traces(n, 0.31)
+        plain = simulate_cluster(traces, CONJOIN, "demand")
+        triv = simulate_cluster(traces, REDUCED_TRIV, "demand")
+        assert triv.mean_ipc >= plain.mean_ipc - 1e-6
+
+    @given(st.sampled_from([1, 2, 4]),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_fpu_busy_bounded_by_cycles(self, n, seed0):
+        traces = _traces(n, 0.31, seed0=seed0 * 10)
+        result = simulate_cluster(traces, CONJOIN, "demand")
+        assert 0 <= result.fpu_busy_cycles <= result.cycles

@@ -1,0 +1,144 @@
+"""Tests for the PhysicsBench-equivalent workloads."""
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext
+from repro.workloads import (
+    SCENARIO_ABBREVIATIONS,
+    SCENARIO_NAMES,
+    build,
+    default_steps,
+)
+
+
+class TestRoster:
+    def test_eight_scenarios(self):
+        assert len(SCENARIO_NAMES) == 8
+
+    def test_paper_order(self):
+        assert SCENARIO_NAMES[0] == "breakable"
+        assert SCENARIO_NAMES[-1] == "ragdoll"
+
+    def test_abbreviations_cover_all(self):
+        assert set(SCENARIO_ABBREVIATIONS) == set(SCENARIO_NAMES)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            build("quake")
+
+    def test_mix_alias(self):
+        world = build("mix", ctx=FPContext(census=False), scale=0.4)
+        assert world.bodies.count > 0
+
+    def test_default_steps(self):
+        assert default_steps() == 90
+        assert default_steps(10) == 30
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+class TestEachScenario:
+    def test_builds_and_steps(self, name):
+        world = build(name, ctx=FPContext(census=False), scale=0.4)
+        for _ in range(12):
+            world.step()
+        n = world.bodies.count
+        if n:
+            assert np.isfinite(world.bodies.pos[:n]).all()
+            assert np.isfinite(world.bodies.linvel[:n]).all()
+
+    def test_monitor_active(self, name):
+        world = build(name, ctx=FPContext(census=False), scale=0.4)
+        world.step()
+        assert len(world.monitor.records) == 1
+        assert np.isfinite(world.monitor.records[0].total)
+
+    def test_scale_changes_size(self, name):
+        small = build(name, ctx=FPContext(census=False), scale=0.4)
+        large = build(name, ctx=FPContext(census=False), scale=1.5)
+        def size(world):
+            particles = sum(c.particle_count for c in world.cloths)
+            return world.bodies.count + particles
+        assert size(large) > size(small)
+
+
+class TestScenarioCharacter:
+    def test_breakable_has_wall_and_projectile(self):
+        world = build("breakable", ctx=FPContext(census=False))
+        speeds = np.linalg.norm(
+            world.bodies.linvel[:world.bodies.count], axis=1)
+        assert (speeds > 10).sum() == 1  # exactly one projectile
+
+    def test_deformable_has_cloth(self):
+        world = build("deformable", ctx=FPContext(census=False))
+        assert len(world.cloths) == 1
+
+    def test_explosions_scheduled(self):
+        world = build("explosions", ctx=FPContext(census=False))
+        assert len(world.explosions) == 1
+
+    def test_explosion_injects_energy(self):
+        world = build("explosions", ctx=FPContext(census=False), scale=0.5)
+        trigger = world.explosions[0].trigger_step
+        for _ in range(trigger + 2):
+            world.step()
+        assert world.monitor.injected_total > 0.0
+
+    def test_highspeed_is_fast(self):
+        world = build("highspeed", ctx=FPContext(census=False))
+        speeds = np.linalg.norm(
+            world.bodies.linvel[:world.bodies.count], axis=1)
+        assert speeds.max() > 30.0
+
+    def test_periodic_uses_joints(self):
+        world = build("periodic", ctx=FPContext(census=False))
+        assert len(world.joints.ball_joints) >= 4
+
+    def test_ragdoll_articulated(self):
+        world = build("ragdoll", ctx=FPContext(census=False))
+        # two ragdolls, five ball joints each
+        assert len(world.joints.ball_joints) == 10
+        assert world.bodies.count == 12
+
+    def test_everything_mixes_features(self):
+        world = build("everything", ctx=FPContext(census=False))
+        assert len(world.cloths) == 1
+        assert len(world.joints.ball_joints) >= 5
+        assert len(world.explosions) == 1
+
+    def test_continuous_staggered_arrivals(self):
+        world = build("continuous", ctx=FPContext(census=False))
+        heights = world.bodies.pos[:world.bodies.count, 1]
+        assert heights.max() - heights.min() > 3.0
+
+
+class TestEnergySanity:
+    @pytest.mark.parametrize("name", ["continuous", "periodic", "ragdoll"])
+    def test_short_run_energy_bounded(self, name):
+        world = build(name, ctx=FPContext(census=False), scale=0.5)
+        for _ in range(45):
+            world.step()
+        conserved = world.monitor.conserved_series()
+        assert np.isfinite(conserved).all()
+        # No spontaneous energy explosion.
+        assert conserved[-1] < conserved[0] + 0.5 * abs(conserved[0]) + 5.0
+
+
+class TestBonusWorkload:
+    def test_capsule_ragdolls_simulate(self):
+        world = build("ragdoll_capsules", ctx=FPContext(census=False))
+        for _ in range(60):
+            world.step()
+        n = world.bodies.count
+        assert n == 12  # two 6-body figures
+        assert np.isfinite(world.bodies.pos[:n]).all()
+
+    def test_uses_capsules_and_hinges(self):
+        from repro.physics.shapes import ShapeType
+        world = build("ragdoll_capsules", ctx=FPContext(census=False))
+        shapes = {g.shape for g in world.geoms.geoms}
+        assert ShapeType.CAPSULE in shapes
+        assert len(world.joints.hinge_joints) == 4  # two knees per figure
+
+    def test_not_in_paper_roster(self):
+        assert "ragdoll_capsules" not in SCENARIO_NAMES

@@ -1,0 +1,192 @@
+"""Tests for believability evaluation and the dynamic precision
+controller."""
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext
+from repro.fp.rounding import FULL_PRECISION
+from repro.physics import World
+from repro.tuning import (
+    BelievabilityCriteria,
+    ControlledSimulation,
+    EnergyTrace,
+    PrecisionController,
+    deviation,
+    energy_trace,
+    is_believable,
+    minimum_precision,
+)
+
+
+class TestDeviation:
+    def _trace(self, values, blew_up=False, penetration=0.0):
+        return EnergyTrace(np.array(values, dtype=float), blew_up,
+                           penetration)
+
+    def test_identical_traces(self):
+        ref = self._trace([10, 11, 12])
+        assert deviation(ref, self._trace([10, 11, 12])) == 0.0
+
+    def test_blow_up_infinite(self):
+        ref = self._trace([10, 11, 12])
+        assert deviation(ref, self._trace([10, 11, 12], blew_up=True)) == \
+            float("inf")
+
+    def test_truncated_test_trace_infinite(self):
+        ref = self._trace([10, 11, 12])
+        assert deviation(ref, self._trace([10, 11])) == float("inf")
+
+    def test_normalized_by_dynamic_range(self):
+        ref = self._trace([100.0, 104.0, 100.0])  # range 4
+        test = self._trace([100.0, 104.0, 101.0])  # off by 1
+        assert deviation(ref, test) == pytest.approx(0.25)
+
+    def test_floor_prevents_zero_scale(self):
+        ref = self._trace([5.0, 5.0, 5.0])
+        test = self._trace([5.0, 5.0, 5.4])
+        assert deviation(ref, test) == pytest.approx(0.4)
+
+    def test_believable_within_tolerance(self):
+        ref = self._trace([0.0, 10.0, 0.0])
+        test = self._trace([0.0, 10.5, 0.0])
+        assert is_believable(ref, test)
+
+    def test_unbelievable_beyond_tolerance(self):
+        ref = self._trace([0.0, 10.0, 0.0])
+        test = self._trace([0.0, 13.0, 0.0])
+        assert not is_believable(ref, test)
+
+    def test_penetration_criterion(self):
+        ref = self._trace([0.0, 10.0, 0.0], penetration=0.01)
+        bad = self._trace([0.0, 10.0, 0.0], penetration=0.5)
+        assert not is_believable(ref, bad)
+        ok = self._trace([0.0, 10.0, 0.0], penetration=0.05)
+        assert is_believable(ref, ok)
+
+
+class TestEnergyTrace:
+    def test_full_precision_trace(self):
+        trace = energy_trace("continuous", steps=15, scale=0.4)
+        assert trace.steps == 15
+        assert not trace.blew_up
+        assert np.isfinite(trace.conserved).all()
+
+    def test_reduced_trace_runs(self):
+        trace = energy_trace("continuous", {"lcp": 5, "narrow": 8},
+                             steps=15, scale=0.4)
+        assert trace.steps == 15
+
+    def test_deterministic(self):
+        t1 = energy_trace("ragdoll", {"lcp": 8}, steps=10, scale=0.4)
+        t2 = energy_trace("ragdoll", {"lcp": 8}, steps=10, scale=0.4)
+        assert np.array_equal(t1.conserved, t2.conserved)
+
+
+class TestMinimumPrecision:
+    def test_monotone_output_range(self):
+        bits = minimum_precision("continuous", phases=("lcp",),
+                                 steps=20, scale=0.4)
+        assert 1 <= bits <= FULL_PRECISION
+
+    def test_full_precision_always_believable(self):
+        trace_ref = energy_trace("periodic", steps=15, scale=0.4)
+        trace_full = energy_trace("periodic", {"lcp": 23}, steps=15,
+                                  scale=0.4)
+        assert is_believable(trace_ref, trace_full)
+
+
+class TestPrecisionController:
+    def _ctx(self):
+        return FPContext({"lcp": 23, "narrow": 23})
+
+    def test_starts_at_register_minimum(self):
+        ctx = self._ctx()
+        PrecisionController(ctx, {"lcp": 6, "narrow": 10})
+        assert ctx.precision_for("lcp") == 6
+        assert ctx.precision_for("narrow") == 10
+
+    def test_violation_throttles_to_full(self):
+        ctx = self._ctx()
+        controller = PrecisionController(ctx, {"lcp": 6}, threshold=0.10)
+        controller.observe(0.5, step=0)
+        assert ctx.precision_for("lcp") == FULL_PRECISION
+        assert controller.violations == 1
+
+    def test_stable_steps_decay_one_bit(self):
+        ctx = self._ctx()
+        controller = PrecisionController(ctx, {"lcp": 6})
+        controller.observe(0.5, step=0)  # throttle to 23
+        controller.observe(0.01, step=1)
+        assert ctx.precision_for("lcp") == 22
+        controller.observe(0.01, step=2)
+        assert ctx.precision_for("lcp") == 21
+
+    def test_decay_stops_at_register(self):
+        ctx = self._ctx()
+        controller = PrecisionController(ctx, {"lcp": 21})
+        controller.observe(0.5, step=0)
+        for step in range(1, 10):
+            controller.observe(0.0, step=step)
+        assert ctx.precision_for("lcp") == 21
+
+    def test_none_signal_counts_as_stable(self):
+        ctx = self._ctx()
+        controller = PrecisionController(ctx, {"lcp": 6})
+        controller.observe(None, step=0)
+        assert controller.violations == 0
+
+    def test_history_recorded(self):
+        ctx = self._ctx()
+        controller = PrecisionController(ctx, {"lcp": 6})
+        controller.observe(0.01, step=0)
+        controller.observe(0.9, step=1)
+        assert len(controller.history) == 2
+        assert not controller.history[0].violation
+        assert controller.history[1].violation
+
+
+class TestControlledSimulation:
+    def _world(self, register):
+        ctx = FPContext()
+        world = World(ctx=ctx)
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, 1.0, 0], 0.3, 1.0)
+        controller = PrecisionController(ctx, register)
+        return world, controller
+
+    def test_runs_at_register_precision(self):
+        world, controller = self._world({"lcp": 8, "narrow": 8})
+        sim = ControlledSimulation(world, controller)
+        sim.run(20)
+        assert world.step_count == 20
+        assert controller.current_precision("lcp") <= 8 or \
+            controller.violations > 0
+
+    def test_fail_safe_reexecutes_on_blowup(self):
+        world, controller = self._world({"lcp": 1, "narrow": 1})
+        sim = ControlledSimulation(world, controller)
+        # Force an artificial blow-up threshold so any motion triggers it.
+        controller.blowup_threshold = 1e-12
+        sim.step()
+        sim.step()
+        assert controller.reexecutions >= 1
+        # state stayed finite thanks to the full-precision redo
+        assert np.isfinite(world.bodies.pos[0]).all()
+
+    def test_energy_series_consistent_after_reexecution(self):
+        world, controller = self._world({"lcp": 2, "narrow": 2})
+        controller.blowup_threshold = 1e-12
+        sim = ControlledSimulation(world, controller)
+        sim.run(5)
+        assert len(world.monitor.records) == 5
+
+    def test_throttle_then_decay_cycle(self):
+        world, controller = self._world({"lcp": 5, "narrow": 5})
+        controller.threshold = 1e-9  # everything is a violation
+        sim = ControlledSimulation(world, controller)
+        sim.run(3)
+        assert controller.current_precision("lcp") == FULL_PRECISION
+        controller.threshold = 10.0  # nothing is a violation
+        sim.run(4)
+        assert controller.current_precision("lcp") == FULL_PRECISION - 4

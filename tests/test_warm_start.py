@@ -1,0 +1,117 @@
+"""Tests for persistent-contact warm starting."""
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext
+from repro.physics import SolverParams, World
+from repro.physics.lcp import ContactCache
+
+
+def stack_world(warm, iterations=20):
+    world = World(ctx=FPContext(census=False),
+                  solver=SolverParams(warm_start=warm,
+                                      iterations=iterations))
+    world.add_ground_plane(0.0)
+    for k in range(4):
+        world.add_box([0, 0.5 + 1.01 * k, 0], [0.5, 0.5, 0.5], 3.0)
+    return world
+
+
+class TestWarmStart:
+    def test_reduces_penetration_at_low_iterations(self):
+        def penetration(warm):
+            world = stack_world(warm, iterations=5)
+            for _ in range(120):
+                world.step()
+            return max(world.penetration_series[60:])
+
+        assert penetration(True) < penetration(False) * 0.6
+
+    def test_stack_stays_ordered(self):
+        world = stack_world(True)
+        for _ in range(150):
+            world.step()
+        ys = world.bodies.pos[:4, 1]
+        assert list(ys) == sorted(ys)
+        assert np.isfinite(ys).all()
+
+    def test_no_energy_injection(self):
+        world = stack_world(True)
+        for _ in range(150):
+            world.step()
+        energy = world.monitor.totals()
+        assert energy[-1] <= energy[0] + 0.02 * abs(energy[0])
+
+    def test_default_off(self):
+        assert SolverParams().warm_start is False
+
+    def test_bounce_unaffected_by_stale_cache(self):
+        # A bouncing ball re-contacts at different positions; stale
+        # impulses must not glue it to the floor.
+        world = World(ctx=FPContext(census=False),
+                      solver=SolverParams(warm_start=True))
+        world.add_ground_plane(0.0, restitution=0.0)
+        world.add_sphere([0, 1.2, 0], 0.25, 1.0, restitution=0.7)
+        bounced = False
+        for _ in range(200):
+            world.step()
+            if world.bodies.linvel[0, 1] > 0.5:
+                bounced = True
+        assert bounced
+
+
+class TestContactCache:
+    def _contacts_rows(self, world):
+        from repro.physics import broadphase, lcp, narrowphase
+        world.bodies.ensure_world_row()
+        world.bodies.refresh_derived(world.ctx)
+        aabbs = world.geoms.world_aabbs(world.bodies.view("pos"),
+                                        world.bodies.view("rot"))
+        pairs = broadphase.candidate_pairs(world.geoms, aabbs)
+        contacts = narrowphase.generate_contacts(
+            world.ctx, world.bodies, world.geoms, pairs)
+        rows = lcp.build_rows(world.ctx, world.bodies, contacts,
+                              world.joints, world.dt, world.solver)
+        return contacts, rows
+
+    def test_store_then_match(self):
+        world = World(ctx=FPContext(census=False),
+                      solver=SolverParams(warm_start=True))
+        world.add_ground_plane(0.0)
+        world.add_box([0, 0.45, 0], [0.5, 0.5, 0.5], 1.0)
+        cache = ContactCache()
+        contacts, rows = self._contacts_rows(world)
+        rows.lam[: len(contacts)] = 2.0  # pretend converged impulses
+        cache.store(contacts, rows)
+
+        contacts2, rows2 = self._contacts_rows(world)
+        matched = cache.warm_start(contacts2, rows2, world.solver)
+        assert matched == len(contacts2)
+        assert np.allclose(rows2.lam[: len(contacts2)],
+                           2.0 * world.solver.warm_start_factor)
+
+    def test_moved_contact_not_matched(self):
+        world = World(ctx=FPContext(census=False),
+                      solver=SolverParams(warm_start=True))
+        world.add_ground_plane(0.0)
+        world.add_box([0, 0.45, 0], [0.5, 0.5, 0.5], 1.0)
+        cache = ContactCache(match_tolerance=0.05)
+        contacts, rows = self._contacts_rows(world)
+        rows.lam[: len(contacts)] = 2.0
+        cache.store(contacts, rows)
+
+        # Teleport by a non-multiple of the box width so no old corner
+        # coincides with a new one.
+        world.bodies.pos[0, 0] += 0.77
+        contacts2, rows2 = self._contacts_rows(world)
+        matched = cache.warm_start(contacts2, rows2, world.solver)
+        assert matched == 0
+
+    def test_disabled_params_no_matches(self):
+        world = World(ctx=FPContext(census=False))  # warm_start=False
+        world.add_ground_plane(0.0)
+        world.add_box([0, 0.45, 0], [0.5, 0.5, 0.5], 1.0)
+        cache = ContactCache()
+        contacts, rows = self._contacts_rows(world)
+        assert cache.warm_start(contacts, rows, world.solver) == 0
