@@ -9,6 +9,9 @@ Commands
     summary (optionally at reduced precision).
 ``tune SCENARIO``
     Search the minimum believable precision for a scenario phase.
+``health SCENARIO``
+    Run a seeded fault-injection campaign with guarded recovery and
+    print the incident/health report.
 ``table1`` / ``table3`` / ``table4`` / ``table5`` / ``table8`` /
 ``figure5`` / ``figure6`` / ``figure7`` / ``figure8``
     Regenerate one paper artifact and print it.
@@ -31,6 +34,8 @@ def _add_run_parser(sub) -> None:
                    choices=["rn", "jam", "trunc"])
     p.add_argument("--census", action="store_true",
                    help="collect the trivialization census (slower)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="scenario-construction seed (default: built-in)")
 
 
 def _add_tune_parser(sub) -> None:
@@ -41,6 +46,28 @@ def _add_tune_parser(sub) -> None:
                    choices=["rn", "jam", "trunc"])
     p.add_argument("--steps", type=int, default=90)
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=None,
+                   help="scenario-construction seed (default: built-in)")
+
+
+def _add_health_parser(sub) -> None:
+    p = sub.add_parser(
+        "health",
+        help="seeded fault-injection campaign with guarded recovery")
+    p.add_argument("scenario")
+    p.add_argument("--steps", type=int, default=90)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--inject-rate", type=float, default=1e-4,
+                   help="per-element soft-error probability in the "
+                        "precision-tuned phases")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (faults AND scenario layout)")
+    p.add_argument("--lcp-bits", type=int, default=10)
+    p.add_argument("--narrow-bits", type=int, default=12)
+    p.add_argument("--mode", default="jam",
+                   choices=["rn", "jam", "trunc"])
+    p.add_argument("--max-log-lines", type=int, default=None,
+                   help="truncate the printed incident log")
 
 
 def _cmd_scenarios() -> int:
@@ -73,7 +100,8 @@ def _cmd_run(args) -> int:
     if args.narrow_bits < 23:
         precision["narrow"] = args.narrow_bits
     ctx = FPContext(precision, mode=args.mode, census=args.census)
-    world = build(args.scenario, ctx=ctx, scale=args.scale)
+    world = build(args.scenario, ctx=ctx, scale=args.scale,
+                  seed=args.seed)
     for _ in range(args.steps):
         world.step()
 
@@ -100,10 +128,36 @@ def _cmd_tune(args) -> int:
 
     bits = minimum_precision(args.scenario, phases=(args.phase,),
                              mode=args.mode, steps=args.steps,
-                             scale=args.scale)
+                             scale=args.scale, seed=args.seed)
     print(f"{args.scenario} / {args.phase} / {args.mode}: "
           f"minimum believable precision = {bits} mantissa bits")
     return 0
+
+
+def _cmd_health(args) -> int:
+    from .robustness import SimulationAborted, run_campaign
+
+    precision = {}
+    if args.lcp_bits < 23:
+        precision["lcp"] = args.lcp_bits
+    if args.narrow_bits < 23:
+        precision["narrow"] = args.narrow_bits
+    try:
+        sim = run_campaign(
+            args.scenario,
+            steps=args.steps,
+            scale=args.scale,
+            inject_rate=args.inject_rate,
+            seed=args.seed,
+            phase_precision=precision,
+            mode=args.mode,
+        )
+    except SimulationAborted as aborted:
+        print(aborted.post_mortem())
+        return 1
+    report = sim.health_report(args.scenario)
+    print(report.render(max_log_lines=args.max_log_lines))
+    return 0 if report.final_state_finite else 1
 
 
 def _cmd_artifact(name: str) -> int:
@@ -169,6 +223,7 @@ def main(argv=None) -> int:
     sub.add_parser("scenarios", help="list the workloads")
     _add_run_parser(sub)
     _add_tune_parser(sub)
+    _add_health_parser(sub)
     for artifact in ARTIFACTS:
         sub.add_parser(artifact, help=f"regenerate paper {artifact}")
 
@@ -179,6 +234,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "health":
+        return _cmd_health(args)
     return _cmd_artifact(args.command)
 
 

@@ -101,6 +101,9 @@ class FPContext:
         self.jam_guard_bits = jam_guard_bits
         self.phase: str = "other"
         self.stats: Dict[Tuple[str, str], OpCounter] = {}
+        #: optional :class:`~repro.robustness.FaultInjector`; when set,
+        #: every op result passes through it (soft-error campaigns).
+        self.injector = None
 
     # ------------------------------------------------------------------
     # Phase / precision plumbing
@@ -179,6 +182,13 @@ class FPContext:
             return False
         return self.memo_budget is None or self.memo_budget > 0
 
+    def _deliver(self, op: str, result: np.ndarray) -> np.ndarray:
+        """Hand an op result to the installed fault injector, if any."""
+        injector = self.injector
+        if injector is not None:
+            return injector.corrupt(self.phase, op, result, self.precision)
+        return result
+
     def _fast_binop(self, ufunc, a, b) -> np.ndarray:
         """Census-free path: pure round-op-round (Table 1 error model)."""
         precision = self.precision
@@ -195,38 +205,39 @@ class FPContext:
 
     def add(self, a, b) -> np.ndarray:
         if not self.census:
-            return self._fast_binop(np.add, a, b)
+            return self._deliver("add", self._fast_binop(np.add, a, b))
         collect = self._collecting("add")
         result, sample = reduced_add(a, b, self.precision, self.mode, collect)
         self._record(sample, collect)
-        return result
+        return self._deliver("add", result)
 
     def sub(self, a, b) -> np.ndarray:
         if not self.census:
-            return self._fast_binop(np.subtract, a, b)
+            return self._deliver("sub", self._fast_binop(np.subtract, a, b))
         collect = self._collecting("sub")
         result, sample = reduced_sub(a, b, self.precision, self.mode, collect)
         self._record(sample, collect)
-        return result
+        return self._deliver("sub", result)
 
     def mul(self, a, b) -> np.ndarray:
         if not self.census:
-            return self._fast_binop(np.multiply, a, b)
+            return self._deliver("mul", self._fast_binop(np.multiply, a, b))
         collect = self._collecting("mul")
         result, sample = reduced_mul(a, b, self.precision, self.mode, collect)
         self._record(sample, collect)
-        return result
+        return self._deliver("mul", result)
 
     def div(self, a, b) -> np.ndarray:
         if not self.census:
             with np.errstate(divide="ignore", invalid="ignore"):
-                return np.divide(
+                result = np.divide(
                     np.asarray(a, dtype=np.float32),
                     np.asarray(b, dtype=np.float32),
                 )
+            return self._deliver("div", result)
         result, sample = reduced_div(a, b)
         self._record(sample, False)
-        return result
+        return self._deliver("div", result)
 
     def sqrt(self, a) -> np.ndarray:
         """Full-precision square root, censused in the divide class.

@@ -31,9 +31,22 @@ from .trivial import (
 )
 
 __all__ = ["OpSample", "reduced_add", "reduced_sub", "reduced_mul",
-           "reduced_div"]
+           "reduced_div", "inject_bitflip"]
 
 _SIGN = np.uint32(0x80000000)
+
+
+def inject_bitflip(values: np.ndarray, lane: int, bit: int) -> None:
+    """Flip one IEEE-754 bit of one lane in place (soft-error model).
+
+    ``values`` must be a contiguous ``float32`` array.  ``bit`` indexes
+    the 32-bit encoding (0 = mantissa LSB ... 22 = mantissa MSB); the
+    fault injector confines flips to the mantissa window the reduced FPU
+    keeps, modelling a particle strike in the area-efficient datapath.
+    """
+    flat = values.reshape(-1)
+    word = flat[lane:lane + 1].view(np.uint32)
+    word ^= np.uint32(1) << np.uint32(bit)
 
 
 @dataclass

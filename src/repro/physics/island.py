@@ -14,7 +14,8 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["UnionFind", "partition_islands"]
+__all__ = ["UnionFind", "partition_islands", "island_members",
+           "islands_of"]
 
 
 class UnionFind:
@@ -67,3 +68,24 @@ def partition_islands(
         root = uf.find(body)
         labels[body] = remap.setdefault(root, len(remap))
     return labels
+
+
+def island_members(labels: np.ndarray, island: int) -> np.ndarray:
+    """Body indices belonging to one island label."""
+    return np.nonzero(labels == island)[0]
+
+
+def islands_of(labels: np.ndarray,
+               bodies: Iterable[int]) -> Sequence[int]:
+    """Sorted distinct island labels of ``bodies`` (static ones skipped).
+
+    The recovery engine uses this to attribute a set of offending bodies
+    (from guard violations) to the simulation islands it should
+    quarantine.
+    """
+    found = set()
+    for body in bodies:
+        body = int(body)
+        if 0 <= body < len(labels) and labels[body] >= 0:
+            found.add(int(labels[body]))
+    return sorted(found)

@@ -29,7 +29,8 @@ from .joints import JointStore
 from .narrowphase import ContactSet
 
 __all__ = ["ConstraintRows", "SolverParams", "ContactCache",
-           "build_rows", "solve", "apply_warm_start_impulses"]
+           "build_rows", "solve", "solver_residual",
+           "apply_warm_start_impulses"]
 
 _BIG = np.float32(3.0e38)
 
@@ -447,6 +448,36 @@ def solve(
     rows.lam = lam
     linvel[:] = vel[:, :3]
     angvel[:] = vel[:, 3:]
+
+
+def solver_residual(bodies: BodyStore, rows: ConstraintRows) -> float:
+    """Post-solve constraint violation on contact normal rows (m/s).
+
+    The worst remaining approach velocity ``max(0, -(J v + rhs))`` over
+    unilateral rows — a converged solve leaves this near zero, a diverged
+    or corrupted one leaves it large (or non-finite).  Computed in plain
+    float64 outside the precision-reduced context: this is the phase
+    guards' diagnostic, part of the monitoring software, not the
+    simulated hardware.
+    """
+    if rows is None or len(rows) == 0:
+        return 0.0
+    normal = rows.contact_normal_rows
+    if not normal.any():
+        return 0.0
+    linvel = bodies.view("linvel").astype(np.float64)
+    angvel = bodies.view("angvel").astype(np.float64)
+    vel = np.concatenate([linvel, angvel], axis=1)
+    ia = rows.ia[normal]
+    ib = rows.ib[normal]
+    jac = rows.jacobian[normal].astype(np.float64)
+    gathered = np.concatenate([vel[ia], vel[ib]], axis=1)
+    rel = np.einsum("ij,ij->i", jac, gathered)
+    deficit = -(rel + rows.rhs[normal].astype(np.float64))
+    worst = float(deficit.max())
+    if not np.isfinite(worst):
+        return worst
+    return max(0.0, worst)
 
 
 def _solve_gauss_seidel(

@@ -79,6 +79,13 @@ class World:
         self.penetration_series: List[float] = []
         #: called after each step with (world, energy_record)
         self.on_step: Optional[Callable] = None
+        #: optional :class:`~repro.robustness.PhaseGuards`; when set,
+        #: invariants are checked at every phase boundary of ``step()``
+        self.guards = None
+        #: post-solve contact-normal residual (only computed under guards)
+        self.last_lcp_residual = 0.0
+        #: bodies slept permanently by the recovery engine (rung 2)
+        self.quarantined: set = set()
 
     # ------------------------------------------------------------------
     # Scene construction conveniences
@@ -132,7 +139,7 @@ class World:
         """Inject an impulse; returns (and records) the energy added."""
         impulse = np.asarray(impulse, dtype=np.float64)
         m = float(self.bodies.mass[body])
-        if m <= 0:
+        if m <= 0 or body in self.quarantined:
             return 0.0
         v0 = self.bodies.linvel[body].astype(np.float64)
         v1 = v0 + impulse / m
@@ -182,6 +189,8 @@ class World:
         self.last_contact_count = len(contacts)
         self.penetration_series.append(
             float(contacts.depth.max()) if len(contacts) else 0.0)
+        if self.guards is not None:
+            self.guards.after_narrow(self, contacts)
 
         # --- islands ---------------------------------------------------
         edges: List[Tuple[int, int]] = list(
@@ -210,6 +219,10 @@ class World:
                                         self.solver.iterations)
                 cloth.collide(ctx, self)
 
+        if self.guards is not None:
+            self.last_lcp_residual = lcp.solver_residual(self.bodies, rows)
+            self.guards.after_lcp(self, self.last_lcp_residual)
+
         # Sleep bookkeeping uses post-solve velocities (pre-solve ones
         # carry the just-applied gravity kick even for resting bodies).
         self._update_sleep_state(contacts)
@@ -221,6 +234,8 @@ class World:
                 cloth.integrate(ctx, self.dt)
 
         record = self.monitor.measure(self, self.step_count)
+        if self.guards is not None:
+            self.guards.after_integrate(self, record)
         self.step_count += 1
         if self.on_step is not None:
             self.on_step(self, record)
@@ -266,9 +281,47 @@ class World:
                     self._wake(a)
 
     def _wake(self, body: int) -> None:
+        if body in self.quarantined:
+            return  # quarantined bodies stay dormant until released
         if self.bodies.asleep[body]:
             self.bodies.asleep[body] = False
         self.bodies.low_motion_steps[body] = 0
+
+    # ------------------------------------------------------------------
+    # Quarantine (graceful degradation, driven by the recovery engine)
+    # ------------------------------------------------------------------
+    def quarantine_bodies(self, indices) -> List[int]:
+        """Permanently sleep bodies; they ignore wakes and impulses."""
+        members = []
+        for body in indices:
+            body = int(body)
+            if not 0 <= body < self.bodies.count:
+                continue
+            self.quarantined.add(body)
+            self.bodies.asleep[body] = True
+            self.bodies.linvel[body] = 0.0
+            self.bodies.angvel[body] = 0.0
+            self.bodies.low_motion_steps[body] = 0
+            members.append(body)
+        return members
+
+    def quarantine_islands(self, islands) -> List[int]:
+        """Quarantine every body of the given island labels."""
+        wanted = set(int(i) for i in islands)
+        labels = self.island_labels
+        members = [
+            body for body in range(min(len(labels), self.bodies.count))
+            if int(labels[body]) in wanted
+        ]
+        return self.quarantine_bodies(members)
+
+    def release_quarantine(self, indices=None) -> None:
+        """Lift quarantine (all bodies, or the given ones) and wake them."""
+        targets = (list(self.quarantined) if indices is None
+                   else [int(i) for i in indices])
+        for body in targets:
+            self.quarantined.discard(body)
+            self._wake(body)
 
     # ------------------------------------------------------------------
     @property

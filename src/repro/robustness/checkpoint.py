@@ -1,0 +1,124 @@
+"""Shared world-state checkpointing (the recovery substrate).
+
+The paper's fail-safe ("functional correctness is maintained by
+re-executing the previous simulation step at full precision") needs a
+faithful snapshot of everything one simulation step mutates.  This module
+is the single source of truth for that capture: rigid-body state, cloth
+particles, the step counter, the energy monitor's record stream and
+injection ledger, the penetration series, the warm-start contact cache,
+and the quarantine set.  Both the dynamic precision controller's one-shot
+re-execution and the robustness engine's multi-step rollback ladder
+restore through here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["WorldCheckpoint", "CheckpointRing", "capture_world",
+           "restore_world"]
+
+#: Body arrays a step mutates (derived arrays are refreshed every step).
+_BODY_ARRAYS = ("pos", "quat", "linvel", "angvel", "asleep",
+                "low_motion_steps")
+
+
+@dataclass
+class WorldCheckpoint:
+    """Everything needed to rewind a world to the start of a step."""
+
+    step_count: int
+    body_state: Dict[str, np.ndarray]
+    cloth_state: List[Tuple[np.ndarray, np.ndarray]]
+    monitor_records: int
+    injected_total: float
+    penetration_len: int
+    last_contact_count: int
+    contact_cache: Dict
+    quarantined: frozenset
+
+
+def capture_world(world) -> WorldCheckpoint:
+    """Snapshot ``world`` (call at a step boundary)."""
+    bodies = world.bodies
+    bodies.ensure_world_row()
+    n = bodies.count + 1  # include the virtual world row
+    body_state = {
+        name: getattr(bodies, name)[:n].copy() for name in _BODY_ARRAYS
+    }
+    cloth_state = [
+        (cloth.pos.copy(), cloth.vel.copy()) for cloth in world.cloths
+    ]
+    # The cache's per-contact entries are immutable once stored, so a
+    # per-key shallow copy of the lists is a faithful snapshot.
+    cache = {key: list(entries)
+             for key, entries in world.contact_cache._store.items()}
+    return WorldCheckpoint(
+        step_count=world.step_count,
+        body_state=body_state,
+        cloth_state=cloth_state,
+        monitor_records=len(world.monitor.records),
+        injected_total=world.monitor.injected_total,
+        penetration_len=len(world.penetration_series),
+        last_contact_count=world.last_contact_count,
+        contact_cache=cache,
+        quarantined=frozenset(getattr(world, "quarantined", ())),
+    )
+
+
+def restore_world(world, checkpoint: WorldCheckpoint) -> None:
+    """Rewind ``world`` to ``checkpoint``, discarding later records."""
+    bodies = world.bodies
+    n = len(checkpoint.body_state["pos"])
+    for name, data in checkpoint.body_state.items():
+        getattr(bodies, name)[:n] = data
+    for cloth, (pos, vel) in zip(world.cloths, checkpoint.cloth_state):
+        cloth.pos = pos.copy()
+        cloth.vel = vel.copy()
+    world.step_count = checkpoint.step_count
+    # Truncate (not pop): a rollback may discard several steps at once.
+    del world.monitor.records[checkpoint.monitor_records:]
+    world.monitor._injected_total = checkpoint.injected_total
+    del world.penetration_series[checkpoint.penetration_len:]
+    world.last_contact_count = checkpoint.last_contact_count
+    world.contact_cache._store = {
+        key: list(entries)
+        for key, entries in checkpoint.contact_cache.items()
+    }
+    if hasattr(world, "quarantined"):
+        world.quarantined = set(checkpoint.quarantined)
+
+
+class CheckpointRing:
+    """Bounded ring of per-step checkpoints for N-step rollback."""
+
+    def __init__(self, depth: int = 8) -> None:
+        if depth < 1:
+            raise ValueError("checkpoint depth must be >= 1")
+        self.depth = depth
+        self._ring: Deque[WorldCheckpoint] = deque(maxlen=depth)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def push(self, checkpoint: WorldCheckpoint) -> None:
+        self._ring.append(checkpoint)
+
+    def latest(self) -> Optional[WorldCheckpoint]:
+        return self._ring[-1] if self._ring else None
+
+    def rollback_target(self, steps_back: int) -> Optional[WorldCheckpoint]:
+        """The checkpoint up to ``steps_back`` steps before the latest."""
+        if not self._ring:
+            return None
+        index = max(0, len(self._ring) - 1 - steps_back)
+        return self._ring[index]
+
+    def truncate_after(self, step_count: int) -> None:
+        """Drop checkpoints newer than ``step_count`` (stale after rewind)."""
+        while self._ring and self._ring[-1].step_count > step_count:
+            self._ring.pop()

@@ -1,0 +1,167 @@
+"""Phase-boundary invariant guards (structured violation detection).
+
+The paper's quality signal is one scalar — the per-step energy delta.
+That catches slow divergence but not a NaN racing through the pipeline or
+an LCP solve that silently failed to converge.  The guards extend
+detection to every phase boundary of ``World.step()``:
+
+* after **narrow**: contact fields finite, contact count sane;
+* after **lcp**: velocities finite, solver residual under a ceiling;
+* after **integrate**: positions/orientations finite, speeds bounded,
+  cloth state finite, per-step conserved-energy delta bounded.
+
+Each failed check produces a structured :class:`Violation` carrying the
+offending body indices, so the recovery engine can attribute the fault to
+a simulation island and degrade gracefully instead of tearing the whole
+world down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["GuardConfig", "Violation", "PhaseGuards"]
+
+#: Cap on how many offending body indices one violation records.
+_MAX_BODIES_PER_VIOLATION = 16
+
+
+@dataclass
+class GuardConfig:
+    """Ceilings for the per-phase invariants."""
+
+    #: max believable speed (m/s); PhysicsBench projectiles reach ~35
+    max_speed: float = 200.0
+    #: relative conserved-energy jump treated as a blow-up
+    max_energy_delta: float = 1.0
+    #: max remaining constraint-space approach velocity after the solve
+    max_lcp_residual: float = 100.0
+    #: contact-count ceiling, as a multiple of the body count
+    max_contacts_per_body: int = 64
+    check_cloth: bool = True
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant at one phase boundary."""
+
+    step: int
+    phase: str  # "narrow" | "lcp" | "integrate" | "energy"
+    guard: str
+    detail: str
+    bodies: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        suffix = f" bodies={list(self.bodies)}" if self.bodies else ""
+        return f"[{self.phase}/{self.guard}] {self.detail}{suffix}"
+
+
+def _offenders(mask: np.ndarray) -> Tuple[int, ...]:
+    idx = np.nonzero(mask)[0][:_MAX_BODIES_PER_VIOLATION]
+    return tuple(int(i) for i in idx)
+
+
+class PhaseGuards:
+    """Invariant checks the world calls at each phase boundary.
+
+    Violations accumulate per step; the recovery harness ``drain()``s
+    them after each ``World.step()`` to decide whether to intervene.
+    """
+
+    def __init__(self, config: Optional[GuardConfig] = None) -> None:
+        self.config = config or GuardConfig()
+        self.violations: List[Violation] = []
+        self.checks_run = 0
+        self.total_violations = 0
+
+    # ------------------------------------------------------------------
+    def drain(self) -> List[Violation]:
+        """Return and clear the violations of the step just executed."""
+        out = self.violations
+        self.violations = []
+        return out
+
+    def _report(self, step: int, phase: str, guard: str, detail: str,
+                bodies: Tuple[int, ...] = ()) -> None:
+        self.violations.append(Violation(step, phase, guard, detail, bodies))
+        self.total_violations += 1
+
+    # ------------------------------------------------------------------
+    # Phase hooks (called by World.step)
+    # ------------------------------------------------------------------
+    def after_narrow(self, world, contacts) -> None:
+        self.checks_run += 1
+        step = world.step_count
+        if len(contacts):
+            bad = ~(np.isfinite(contacts.depth)
+                    & np.isfinite(contacts.pos).all(axis=1)
+                    & np.isfinite(contacts.normal).all(axis=1))
+            if bad.any():
+                rows = np.nonzero(bad)[0][:_MAX_BODIES_PER_VIOLATION]
+                bodies = tuple(
+                    int(b) for r in rows
+                    for b in (contacts.body_a[r], contacts.body_b[r])
+                    if 0 <= int(b) < world.bodies.count
+                )
+                self._report(
+                    step, "narrow", "finite-contacts",
+                    f"{int(bad.sum())} non-finite contact(s)", bodies)
+        ceiling = max(64, self.config.max_contacts_per_body
+                      * max(1, world.bodies.count))
+        if len(contacts) > ceiling:
+            self._report(step, "narrow", "contact-count",
+                         f"{len(contacts)} contacts > ceiling {ceiling}")
+
+    def after_lcp(self, world, residual: float) -> None:
+        self.checks_run += 1
+        step = world.step_count
+        n = world.bodies.count
+        if n:
+            bad = ~(np.isfinite(world.bodies.linvel[:n]).all(axis=1)
+                    & np.isfinite(world.bodies.angvel[:n]).all(axis=1))
+            if bad.any():
+                self._report(step, "lcp", "finite-velocity",
+                             f"{int(bad.sum())} body velocity(ies) "
+                             "non-finite", _offenders(bad))
+        if not np.isfinite(residual):
+            self._report(step, "lcp", "lcp-residual",
+                         "solver residual non-finite")
+        elif residual > self.config.max_lcp_residual:
+            self._report(step, "lcp", "lcp-residual",
+                         f"residual {residual:.2f} > "
+                         f"{self.config.max_lcp_residual:.2f}")
+
+    def after_integrate(self, world, record) -> None:
+        self.checks_run += 1
+        step = world.step_count
+        n = world.bodies.count
+        if n:
+            bad = ~(np.isfinite(world.bodies.pos[:n]).all(axis=1)
+                    & np.isfinite(world.bodies.quat[:n]).all(axis=1))
+            if bad.any():
+                self._report(step, "integrate", "finite-position",
+                             f"{int(bad.sum())} body position(s) "
+                             "non-finite", _offenders(bad))
+            speed = np.linalg.norm(world.bodies.linvel[:n], axis=1)
+            with np.errstate(invalid="ignore"):
+                fast = speed > self.config.max_speed
+            if fast.any():
+                self._report(
+                    step, "integrate", "speed",
+                    f"max speed {float(np.nanmax(speed)):.1f} m/s > "
+                    f"{self.config.max_speed:.1f}", _offenders(fast))
+        if self.config.check_cloth:
+            for k, cloth in enumerate(world.cloths):
+                if not (np.isfinite(cloth.pos).all()
+                        and np.isfinite(cloth.vel).all()):
+                    self._report(step, "integrate", "finite-cloth",
+                                 f"cloth #{k} state non-finite")
+        diff = world.monitor.relative_step_difference()
+        if diff is not None and (
+                not np.isfinite(diff) or diff > self.config.max_energy_delta):
+            self._report(step, "energy", "energy-delta",
+                         f"relative conserved-energy delta {diff:.3g} > "
+                         f"{self.config.max_energy_delta:.3g}")

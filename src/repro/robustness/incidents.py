@@ -1,0 +1,138 @@
+"""Incident recording and the health report.
+
+Every detection and every recovery action is recorded as a structured,
+deterministic :class:`Incident` — no wall-clock timestamps, so two
+campaigns with the same seed serialize to identical logs (the
+reproducibility contract of the fault-injection harness).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Incident", "IncidentLog", "HealthReport"]
+
+#: Escalation-ladder rung names, in order.
+RUNG_NAMES = ("retry-full-precision", "rollback-replay",
+              "quarantine-island", "abort")
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One detection or recovery event."""
+
+    step: int
+    kind: str  # "detection" | "recovery" | "escalation" | "abort"
+    phase: str
+    action: str  # ladder rung name, "" for detections
+    rung: int  # -1 for detections
+    outcome: str  # "detected" | "recovered" | "failed" | "aborted"
+    detail: str
+    islands: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        parts = [f"step {self.step:4d}", self.kind]
+        if self.action:
+            parts.append(self.action)
+        parts.append(self.outcome)
+        if self.islands:
+            parts.append(f"islands={list(self.islands)}")
+        parts.append(self.detail)
+        return " | ".join(parts)
+
+
+class IncidentLog:
+    """Append-only, deterministic event stream of one campaign."""
+
+    def __init__(self) -> None:
+        self.records: List[Incident] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, incident: Incident) -> Incident:
+        self.records.append(incident)
+        return incident
+
+    def detection(self, step: int, phase: str, detail: str,
+                  islands: Tuple[int, ...] = ()) -> Incident:
+        return self.record(Incident(step, "detection", phase, "", -1,
+                                    "detected", detail, islands))
+
+    def recovery(self, step: int, rung: int, outcome: str, detail: str,
+                 islands: Tuple[int, ...] = ()) -> Incident:
+        kind = "abort" if outcome == "aborted" else "recovery"
+        return self.record(Incident(step, kind, "", RUNG_NAMES[rung],
+                                    rung, outcome, detail, islands))
+
+    # ------------------------------------------------------------------
+    def count(self, kind: Optional[str] = None,
+              outcome: Optional[str] = None) -> int:
+        return sum(
+            1 for r in self.records
+            if (kind is None or r.kind == kind)
+            and (outcome is None or r.outcome == outcome)
+        )
+
+    def lines(self) -> List[str]:
+        """Deterministic serialization (the reproducibility surface)."""
+        return [r.describe() for r in self.records]
+
+
+@dataclass
+class HealthReport:
+    """Campaign summary for the ``health`` CLI command."""
+
+    scenario: str
+    steps: int
+    bodies: int
+    faults_injected: int
+    detections: int
+    recoveries: int
+    recoveries_by_rung: Counter
+    detections_by_guard: Counter
+    quarantined_bodies: int
+    aborted: bool
+    final_state_finite: bool
+    log: IncidentLog
+
+    @property
+    def status(self) -> str:
+        if self.aborted:
+            return "ABORTED"
+        if not self.final_state_finite:
+            return "CORRUPT"
+        if self.quarantined_bodies:
+            return "DEGRADED"
+        return "HEALTHY"
+
+    def render(self, max_log_lines: Optional[int] = None) -> str:
+        out = [
+            f"Health report: {self.scenario} "
+            f"({self.steps} steps, {self.bodies} bodies)",
+            f"  status:            {self.status}",
+            f"  faults injected:   {self.faults_injected}",
+            f"  detections:        {self.detections}",
+            f"  recoveries:        {self.recoveries}",
+        ]
+        for rung, name in enumerate(RUNG_NAMES[:-1]):
+            count = self.recoveries_by_rung.get(rung, 0)
+            if count:
+                out.append(f"    {name:22s} {count}")
+        if self.detections_by_guard:
+            out.append("  detections by guard:")
+            for guard, count in sorted(self.detections_by_guard.items()):
+                out.append(f"    {guard:22s} {count}")
+        out.append(f"  quarantined bodies: {self.quarantined_bodies}")
+        out.append("  final state: "
+                   + ("finite" if self.final_state_finite else "NON-FINITE"))
+        if len(self.log):
+            out.append("  incident log:")
+            lines = self.log.lines()
+            shown = lines if max_log_lines is None else lines[:max_log_lines]
+            out.extend(f"    {line}" for line in shown)
+            if max_log_lines is not None and len(lines) > max_log_lines:
+                out.append(f"    ... {len(lines) - max_log_lines} more")
+        return "\n".join(out)

@@ -75,16 +75,19 @@ def energy_trace(
     scale: float = 1.0,
     criteria: Optional[BelievabilityCriteria] = None,
     solver=None,
+    seed: Optional[int] = None,
 ) -> EnergyTrace:
     """Simulate ``scenario`` and return its conserved-energy trajectory.
 
     Uses the census-free context (the paper's pure Table 1 error model:
     round operands, execute, round result — no architectural bypasses).
+    ``seed`` threads through scenario construction (``None`` keeps the
+    historical default layout).
     """
     criteria = criteria or BelievabilityCriteria()
     steps = default_steps() if steps is None else steps
     ctx = FPContext(phase_precision, mode=mode, census=False)
-    world = build(scenario, ctx=ctx, scale=scale, solver=solver)
+    world = build(scenario, ctx=ctx, scale=scale, solver=solver, seed=seed)
 
     blew_up = False
     for _ in range(steps):
@@ -152,13 +155,14 @@ _REFERENCE_CACHE: Dict[Tuple, EnergyTrace] = {}
 
 
 def _reference(scenario: str, steps: int, scale: float,
-               criteria: BelievabilityCriteria, solver=None) -> EnergyTrace:
+               criteria: BelievabilityCriteria, solver=None,
+               seed: Optional[int] = None) -> EnergyTrace:
     scheme = getattr(solver, "scheme", None)
-    key = (scenario, steps, scale, scheme)
+    key = (scenario, steps, scale, scheme, seed)
     trace = _REFERENCE_CACHE.get(key)
     if trace is None:
         trace = energy_trace(scenario, None, RoundingMode.JAMMING, steps,
-                             scale, criteria, solver=solver)
+                             scale, criteria, solver=solver, seed=seed)
         _REFERENCE_CACHE[key] = trace
     return trace
 
@@ -173,6 +177,7 @@ def minimum_precision(
     fixed_precision: Optional[Mapping[str, int]] = None,
     lowest: int = 1,
     solver=None,
+    seed: Optional[int] = None,
 ) -> int:
     """Minimum mantissa bits for believable results (one Table 1 cell).
 
@@ -185,14 +190,14 @@ def minimum_precision(
     criteria = criteria or BelievabilityCriteria()
     steps = default_steps() if steps is None else steps
     mode = RoundingMode.parse(mode)
-    reference = _reference(scenario, steps, scale, criteria, solver)
+    reference = _reference(scenario, steps, scale, criteria, solver, seed)
 
     def believable_at(bits: int) -> bool:
         precision = dict(fixed_precision or {})
         for phase in phases:
             precision[phase] = bits
         trace = energy_trace(scenario, precision, mode, steps, scale,
-                             criteria, solver=solver)
+                             criteria, solver=solver, seed=seed)
         return is_believable(reference, trace, criteria)
 
     lo, hi = lowest, FULL_PRECISION  # hi is always believable (identity)

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..fp.context import FPContext
 from ..fp.rounding import FULL_PRECISION
+from ..robustness.checkpoint import capture_world, restore_world
 
 __all__ = ["PrecisionController", "ControlledSimulation"]
 
@@ -108,33 +109,16 @@ class ControlledSimulation:
 
     # ------------------------------------------------------------------
     def _snapshot(self):
-        bodies = self.world.bodies
-        bodies.ensure_world_row()
-        n = bodies.count + 1  # include the world row
-        state = {
-            name: getattr(bodies, name)[:n].copy()
-            for name in ("pos", "quat", "linvel", "angvel", "asleep",
-                         "low_motion_steps")
-        }
-        cloth_state = [
-            (cloth.pos.copy(), cloth.vel.copy())
-            for cloth in self.world.cloths
-        ]
-        return state, cloth_state, self.world.step_count
+        """Capture world state via the shared checkpoint utility.
+
+        Delegates to :mod:`repro.robustness.checkpoint` — the single
+        source of truth for world-state capture (bodies, cloth, energy
+        records, the injection ledger, and the warm-start cache).
+        """
+        return capture_world(self.world)
 
     def _restore(self, snapshot) -> None:
-        state, cloth_state, step_count = snapshot
-        bodies = self.world.bodies
-        n = len(state["pos"])
-        for name, data in state.items():
-            getattr(bodies, name)[:n] = data
-        for cloth, (pos, vel) in zip(self.world.cloths, cloth_state):
-            cloth.pos = pos.copy()
-            cloth.vel = vel.copy()
-        self.world.step_count = step_count
-        # Drop the bad energy record so the series stays consistent.
-        if self.world.monitor.records:
-            self.world.monitor.records.pop()
+        restore_world(self.world, snapshot)
 
     # ------------------------------------------------------------------
     def _blew_up(self, diff: Optional[float]) -> bool:

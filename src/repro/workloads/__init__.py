@@ -1,6 +1,7 @@
 """The eight PhysicsBench-equivalent workloads."""
 
 from .scenarios import (
+    DEFAULT_SEED,
     DEFAULT_STEPS,
     SCENARIO_ABBREVIATIONS,
     SCENARIO_NAMES,
@@ -9,6 +10,7 @@ from .scenarios import (
 )
 
 __all__ = [
+    "DEFAULT_SEED",
     "DEFAULT_STEPS",
     "SCENARIO_ABBREVIATIONS",
     "SCENARIO_NAMES",

@@ -36,6 +36,7 @@ from ..physics.joints import WORLD
 __all__ = [
     "SCENARIO_NAMES",
     "SCENARIO_ABBREVIATIONS",
+    "DEFAULT_SEED",
     "build",
     "default_steps",
 ]
@@ -149,7 +150,8 @@ def _add_pendulum(world: World, anchor=(0.0, 3.0, 0.0), links: int = 2,
 # ----------------------------------------------------------------------
 # Scenario builders
 # ----------------------------------------------------------------------
-def _breakable(world: World, scale: float) -> None:
+def _breakable(world: World, scale: float,
+               rng: np.random.Generator) -> None:
     world.add_ground_plane(0.0, friction=0.8)
     rows = _count(4, scale, minimum=2)
     cols = _count(3, scale, minimum=2)
@@ -158,10 +160,10 @@ def _breakable(world: World, scale: float) -> None:
                      friction=0.4, restitution=0.2)
 
 
-def _continuous(world: World, scale: float) -> None:
+def _continuous(world: World, scale: float,
+                rng: np.random.Generator) -> None:
     world.add_ground_plane(0.0, friction=0.5)
     n = _count(10, scale, minimum=3)
-    rng = np.random.default_rng(7)
     for k in range(n):
         x = float(rng.uniform(-1.2, 1.2))
         z = float(rng.uniform(-1.2, 1.2))
@@ -170,7 +172,8 @@ def _continuous(world: World, scale: float) -> None:
                          restitution=0.4)
 
 
-def _deformable(world: World, scale: float) -> None:
+def _deformable(world: World, scale: float,
+                rng: np.random.Generator) -> None:
     world.add_ground_plane(0.0, friction=0.6)
     world.add_sphere([0.0, 0.8, 0.0], 0.8, 0.0)  # static obstacle
     side = _count(8, scale, minimum=4)
@@ -181,7 +184,8 @@ def _deformable(world: World, scale: float) -> None:
     world.add_cloth(cloth)
 
 
-def _everything(world: World, scale: float) -> None:
+def _everything(world: World, scale: float,
+                rng: np.random.Generator) -> None:
     world.add_ground_plane(0.0, friction=0.7)
     _add_wall(world, _count(3, scale, minimum=2), _count(2, scale, 2),
               origin=(-2.0, 0.0, 0.0))
@@ -197,7 +201,8 @@ def _everything(world: World, scale: float) -> None:
                   trigger_step=45))
 
 
-def _explosions(world: World, scale: float) -> None:
+def _explosions(world: World, scale: float,
+                rng: np.random.Generator) -> None:
     world.add_ground_plane(0.0, friction=0.7)
     side = _count(3, scale, minimum=2)
     for i in range(side):
@@ -211,7 +216,8 @@ def _explosions(world: World, scale: float) -> None:
                   trigger_step=30))
 
 
-def _highspeed(world: World, scale: float) -> None:
+def _highspeed(world: World, scale: float,
+               rng: np.random.Generator) -> None:
     world.add_ground_plane(0.0, friction=0.5)
     _add_wall(world, _count(2, scale, 2), _count(2, scale, 2))
     n = _count(3, scale, minimum=2)
@@ -221,7 +227,8 @@ def _highspeed(world: World, scale: float) -> None:
             linvel=[0.0, 0.0, 35.0], friction=0.3, restitution=0.3)
 
 
-def _periodic(world: World, scale: float) -> None:
+def _periodic(world: World, scale: float,
+              rng: np.random.Generator) -> None:
     world.add_ground_plane(0.0, friction=0.5)
     n = _count(3, scale, minimum=2)
     for k in range(n):
@@ -235,7 +242,8 @@ def _periodic(world: World, scale: float) -> None:
                       links=2, swing=0.0)
 
 
-def _ragdoll(world: World, scale: float) -> None:
+def _ragdoll(world: World, scale: float,
+             rng: np.random.Generator) -> None:
     world.add_ground_plane(0.0, friction=0.7)
     n = _count(2, scale, minimum=1)
     for k in range(n):
@@ -267,7 +275,8 @@ def _add_capsule_ragdoll(world: World, base=(0.0, 1.9, 0.0)) -> List[int]:
     return [torso, head] + legs
 
 
-def _ragdoll_capsules(world: World, scale: float) -> None:
+def _ragdoll_capsules(world: World, scale: float,
+                      rng: np.random.Generator) -> None:
     """Bonus (non-paper) workload exercising capsules and hinges."""
     world.add_ground_plane(0.0, friction=0.7)
     n = _count(2, scale, minimum=1)
@@ -276,7 +285,8 @@ def _ragdoll_capsules(world: World, scale: float) -> None:
                                           k * 0.5))
 
 
-_BUILDERS: Dict[str, Callable[[World, float], None]] = {
+_BUILDERS: Dict[str, Callable[[World, float, np.random.Generator],
+                              None]] = {
     "breakable": _breakable,
     "continuous": _continuous,
     "deformable": _deformable,
@@ -294,11 +304,16 @@ _BUILDERS: Dict[str, Callable[[World, float], None]] = {
 _ALIASES = {"mix": "everything"}
 
 
+#: Seed the paper-artifact runs use (the historical hard-wired value).
+DEFAULT_SEED = 7
+
+
 def build(
     name: str,
     ctx: Optional[FPContext] = None,
     scale: float = 1.0,
     solver=None,
+    seed: Optional[int] = None,
 ) -> World:
     """Construct a named scenario world.
 
@@ -315,6 +330,11 @@ def build(
     solver:
         Optional :class:`~repro.physics.SolverParams` override (e.g. the
         Gauss-Seidel scheme for solver ablations).
+    seed:
+        Seed for the builders' placement randomness.  ``None`` keeps the
+        historical :data:`DEFAULT_SEED`, so paper artifacts and cached
+        references are unchanged; fault-injection campaigns pass their
+        campaign seed through here for end-to-end reproducibility.
     """
     key = _ALIASES.get(name.lower(), name.lower())
     try:
@@ -324,5 +344,6 @@ def build(
             f"unknown scenario {name!r}; pick from {SCENARIO_NAMES}"
         ) from None
     world = World(ctx=ctx, solver=solver)
-    builder(world, scale)
+    rng = np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+    builder(world, scale, rng)
     return world

@@ -30,6 +30,29 @@ class TestCli:
         out = capsys.readouterr().out
         assert "minimum believable precision" in out
 
+    def test_run_accepts_seed(self, capsys):
+        assert main(["run", "continuous", "--steps", "6",
+                     "--scale", "0.4", "--seed", "99"]) == 0
+        assert "energy:" in capsys.readouterr().out
+
+    def test_health_campaign(self, capsys):
+        assert main(["health", "continuous", "--steps", "12",
+                     "--scale", "0.4", "--inject-rate", "0.01",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Health report: continuous" in out
+        assert "faults injected" in out
+        assert "detections" in out
+
+    def test_health_same_seed_is_deterministic(self, capsys):
+        argv = ["health", "continuous", "--steps", "10", "--scale", "0.4",
+                "--inject-rate", "0.02", "--seed", "13"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
     def test_table5_artifact(self, capsys):
         assert main(["table5"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,289 @@
+"""Unit tests for the robustness subsystem (checkpoint/injector/guards)."""
+
+import numpy as np
+import pytest
+
+from repro.fp import FPContext
+from repro.fp.ops import inject_bitflip
+from repro.physics import World
+from repro.physics.island import island_members, islands_of
+from repro.physics.lcp import solver_residual
+from repro.robustness import (
+    CheckpointRing,
+    FaultInjector,
+    GuardConfig,
+    GuardedSimulation,
+    PhaseGuards,
+    capture_world,
+    restore_world,
+    run_campaign,
+)
+
+
+def _world():
+    world = World(ctx=FPContext(census=False))
+    world.add_ground_plane(0.0)
+    world.add_sphere([0, 1.0, 0], 0.3, 1.0)
+    world.add_sphere([1.0, 0.3, 0], 0.3, 1.0)
+    return world
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_every_ledger(self):
+        world = _world()
+        for _ in range(5):
+            world.step()
+        checkpoint = capture_world(world)
+        records = len(world.monitor.records)
+        pos = world.bodies.pos[:2].copy()
+
+        world.apply_impulse(0, [0, 8.0, 0])  # external energy injection
+        for _ in range(3):
+            world.step()
+        world.quarantine_bodies([1])
+
+        restore_world(world, checkpoint)
+        assert np.array_equal(world.bodies.pos[:2], pos)
+        assert world.step_count == 5
+        assert len(world.monitor.records) == records
+        assert world.monitor.injected_total == checkpoint.injected_total
+        assert len(world.penetration_series) == checkpoint.penetration_len
+        assert world.quarantined == set()
+
+    def test_restore_truncates_multiple_steps(self):
+        world = _world()
+        for _ in range(2):
+            world.step()
+        checkpoint = capture_world(world)
+        for _ in range(4):
+            world.step()
+        restore_world(world, checkpoint)
+        assert world.step_count == 2
+        assert len(world.monitor.records) == 2
+        # the world can keep stepping coherently after the rewind
+        world.step()
+        assert len(world.monitor.records) == 3
+
+    def test_warm_start_cache_restored(self):
+        world = _world()
+        for _ in range(30):
+            world.step()  # resting contacts populate the cache
+        checkpoint = capture_world(world)
+        cached_keys = set(world.contact_cache._store)
+        for _ in range(3):
+            world.step()
+        world.contact_cache._store.clear()
+        restore_world(world, checkpoint)
+        assert set(world.contact_cache._store) == cached_keys
+
+    def test_ring_rollback_and_truncate(self):
+        ring = CheckpointRing(depth=3)
+        world = _world()
+        for _ in range(5):
+            ring.push(capture_world(world))
+            world.step()
+        assert len(ring) == 3  # bounded
+        assert ring.latest().step_count == 4
+        assert ring.rollback_target(2).step_count == 2
+        assert ring.rollback_target(99).step_count == 2  # clamped
+        ring.truncate_after(2)
+        assert ring.latest().step_count == 2
+
+    def test_ring_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            CheckpointRing(depth=0)
+
+
+class TestFaultInjector:
+    def _corrupt(self, injector, n=256, precision=8):
+        values = np.ones(n, dtype=np.float32)
+        return injector.corrupt("lcp", "add", values, precision)
+
+    def test_deterministic_event_stream(self):
+        a = FaultInjector(rate=0.05, seed=9)
+        b = FaultInjector(rate=0.05, seed=9)
+        self._corrupt(a)
+        self._corrupt(b)
+        assert a.events == b.events
+        assert a.events  # rate 0.05 over 256 lanes must hit
+
+    def test_bitflips_confined_to_kept_mantissa_window(self):
+        injector = FaultInjector(rate=0.3, seed=1,
+                                 kind_weights={"bitflip": 1.0})
+        self._corrupt(injector, precision=8)
+        assert injector.events
+        for event in injector.events:
+            assert 23 - 8 <= event.bit < 23  # the bits the 8-bit FPU keeps
+
+    def test_nan_and_inf_poisoning(self):
+        injector = FaultInjector(rate=0.2, seed=2,
+                                 kind_weights={"nan": 0.5, "inf": 0.5})
+        out = self._corrupt(injector)
+        assert not np.isfinite(out).all()
+
+    def test_disabled_injector_is_silent(self):
+        injector = FaultInjector(rate=1.0, seed=0)
+        injector.enabled = False
+        out = self._corrupt(injector)
+        assert np.all(out == 1.0)
+        assert not injector.events
+
+    def test_untargeted_phase_untouched(self):
+        injector = FaultInjector(rate=1.0, seed=0, phases=("narrow",))
+        out = injector.corrupt("integrate", "add",
+                               np.ones(64, np.float32), 23)
+        assert np.all(out == 1.0)
+
+    def test_reset_replays_the_stream(self):
+        injector = FaultInjector(rate=0.1, seed=5)
+        self._corrupt(injector)
+        first = list(injector.events)
+        injector.reset()
+        self._corrupt(injector)
+        assert injector.events == first
+
+    def test_inject_bitflip_primitive(self):
+        values = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        inject_bitflip(values, 1, 22)  # flip the mantissa MSB of lane 1
+        assert values[0] == 1.0 and values[2] == 3.0
+        assert values[1] == 3.0  # 2.0 with mantissa MSB set = 3.0
+
+    def test_context_routes_results_through_injector(self):
+        ctx = FPContext({"lcp": 8}, census=False)
+        ctx.injector = FaultInjector(rate=1.0, seed=4,
+                                     kind_weights={"nan": 1.0})
+        with ctx.in_phase("lcp"):
+            out = ctx.add(np.ones(16, np.float32), np.ones(16, np.float32))
+        assert np.isnan(out).all()
+        with ctx.in_phase("integrate"):  # untargeted phase: clean
+            out = ctx.add(np.ones(16, np.float32), np.ones(16, np.float32))
+        assert np.all(out == 2.0)
+
+
+class TestPhaseGuards:
+    def test_finite_position_violation_names_the_body(self):
+        world = _world()
+        world.step()
+        world.bodies.pos[1, 1] = np.nan
+        guards = PhaseGuards()
+        guards.after_integrate(world, None)
+        violations = guards.drain()
+        kinds = {v.guard for v in violations}
+        assert "finite-position" in kinds
+        offender = next(v for v in violations
+                        if v.guard == "finite-position")
+        assert offender.bodies == (1,)
+        assert not guards.violations  # drained
+
+    def test_speed_ceiling(self):
+        world = _world()
+        world.bodies.linvel[0] = [500.0, 0, 0]
+        guards = PhaseGuards(GuardConfig(max_speed=100.0))
+        guards.after_integrate(world, None)
+        assert any(v.guard == "speed" and v.bodies == (0,)
+                   for v in guards.drain())
+
+    def test_energy_delta_guard(self):
+        world = _world()
+        for _ in range(2):
+            world.step()
+        world.monitor.records[-1].kinetic += 1e9  # fake a blow-up
+        guards = PhaseGuards(GuardConfig(max_energy_delta=0.5))
+        guards.after_integrate(world, None)
+        assert any(v.guard == "energy-delta" for v in guards.drain())
+
+    def test_lcp_guards_flag_nonfinite(self):
+        world = _world()
+        world.bodies.linvel[0, 0] = np.inf
+        guards = PhaseGuards()
+        guards.after_lcp(world, residual=float("nan"))
+        kinds = {v.guard for v in guards.drain()}
+        assert kinds == {"finite-velocity", "lcp-residual"}
+
+    def test_contact_count_ceiling(self):
+        world = _world()
+        guards = PhaseGuards(GuardConfig(max_contacts_per_body=0))
+
+        class FakeContacts:
+            depth = np.zeros(100, np.float32)
+            pos = np.zeros((100, 3), np.float32)
+            normal = np.zeros((100, 3), np.float32)
+            body_a = np.zeros(100, np.int32)
+            body_b = np.zeros(100, np.int32)
+
+            def __len__(self):
+                return 100
+
+        guards.after_narrow(world, FakeContacts())
+        assert any(v.guard == "contact-count" for v in guards.drain())
+
+    def test_quiet_world_raises_nothing(self):
+        world = _world()
+        guards = PhaseGuards()
+        world.guards = guards
+        for _ in range(10):
+            world.step()
+        assert guards.drain() == []
+        assert guards.checks_run == 30  # three boundaries per step
+
+
+class TestSolverResidual:
+    def test_empty_rows_zero(self):
+        world = _world()
+        assert solver_residual(world.bodies, None) == 0.0
+
+    def test_resting_contact_residual_small(self):
+        world = _world()
+        world.guards = PhaseGuards()
+        for _ in range(40):
+            world.step()
+        assert 0.0 <= world.last_lcp_residual < 1.0
+
+
+class TestIslandHelpers:
+    def test_members_and_attribution(self):
+        labels = np.array([0, 0, 1, -1, 2], dtype=np.int32)
+        assert list(island_members(labels, 0)) == [0, 1]
+        assert islands_of(labels, [1, 2, 4]) == [0, 1, 2]
+        assert islands_of(labels, [3]) == []  # static body: no island
+        assert islands_of(labels, [99, -5]) == []  # out of range ignored
+
+    def test_quarantine_islands_scopes_to_label(self):
+        world = _world()
+        world.step()  # compute island labels
+        labels = world.island_labels
+        target = int(labels[0])
+        members = world.quarantine_islands([target])
+        assert 0 in members
+        others = [b for b in range(world.bodies.count)
+                  if int(labels[b]) != target]
+        assert all(b not in world.quarantined for b in others)
+
+    def test_quarantined_body_ignores_wakes_and_impulses(self):
+        world = _world()
+        world.step()
+        world.quarantine_bodies([0])
+        world._wake(0)
+        assert world.bodies.asleep[0]
+        assert world.apply_impulse(0, [0, 100.0, 0]) == 0.0
+        assert np.all(world.bodies.linvel[0] == 0.0)
+        world.release_quarantine()
+        assert not world.bodies.asleep[0]
+
+
+class TestRunCampaign:
+    def test_zero_rate_is_a_clean_run(self):
+        sim = run_campaign("continuous", steps=12, scale=0.4,
+                           inject_rate=0.0, seed=1)
+        report = sim.health_report("continuous")
+        assert report.faults_injected == 0
+        assert report.status == "HEALTHY"
+        assert report.steps == 12
+
+    def test_report_render_mentions_the_ladder(self):
+        sim = run_campaign("continuous", steps=20, scale=0.4,
+                           inject_rate=5e-3, seed=7)
+        text = sim.health_report("continuous").render(max_log_lines=5)
+        assert "Health report: continuous" in text
+        assert "faults injected" in text
+        assert "final state: finite" in text
