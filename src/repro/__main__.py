@@ -11,7 +11,11 @@ Commands
     Search the minimum believable precision for a scenario phase.
 ``health SCENARIO``
     Run a seeded fault-injection campaign with guarded recovery and
-    print the incident/health report.
+    print the incident/health report (``--seeds N`` fans a multi-seed
+    sweep over worker processes).
+``bench``
+    Time the census-free and census step loops per scenario and write a
+    ``BENCH_<stamp>.json`` perf snapshot.
 ``table1`` / ``table3`` / ``table4`` / ``table5`` / ``table8`` /
 ``figure5`` / ``figure6`` / ``figure7`` / ``figure8``
     Regenerate one paper artifact and print it.
@@ -20,7 +24,21 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+
+def _make_runner(workers):
+    """SweepRunner when parallelism was requested, else None (serial).
+
+    An explicit ``--workers`` wins; otherwise a set ``REPRO_WORKERS``
+    environment variable opts in.
+    """
+    from .perf.sweep import WORKERS_ENV, SweepRunner
+
+    if workers is None and not os.environ.get(WORKERS_ENV, "").strip():
+        return None
+    return SweepRunner(workers)
 
 
 def _add_run_parser(sub) -> None:
@@ -48,6 +66,9 @@ def _add_tune_parser(sub) -> None:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=None,
                    help="scenario-construction seed (default: built-in)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="probe candidate precisions in parallel "
+                        "(default: REPRO_WORKERS, else serial)")
 
 
 def _add_health_parser(sub) -> None:
@@ -68,6 +89,38 @@ def _add_health_parser(sub) -> None:
                    choices=["rn", "jam", "trunc"])
     p.add_argument("--max-log-lines", type=int, default=None,
                    help="truncate the printed incident log")
+    p.add_argument("--seeds", type=int, default=1,
+                   help="run this many consecutive seeds starting at "
+                        "--seed and print the aggregate")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan the multi-seed sweep over worker processes "
+                        "(default: REPRO_WORKERS, else serial)")
+
+
+def _add_bench_parser(sub) -> None:
+    p = sub.add_parser(
+        "bench", help="step-loop throughput benchmark (BENCH_*.json)")
+    p.add_argument("--quick", action="store_true",
+                   help="only the smoke subset of scenarios")
+    p.add_argument("--scenarios", nargs="+", default=None,
+                   help="explicit scenario list (overrides --quick)")
+    p.add_argument("--steps", type=int, default=None,
+                   help="timed census-free steps per scenario "
+                        "(non-default protocols skip baseline speedups)")
+    p.add_argument("--census-steps", type=int, default=None,
+                   help="timed census steps per scenario")
+    p.add_argument("--kernel-iters", type=int, default=None,
+                   help="kernel microbenchmark iterations")
+    p.add_argument("--no-kernel", action="store_true",
+                   help="skip the kernel microbenchmark")
+    p.add_argument("--output", default="results",
+                   help="directory for BENCH_<stamp>.json")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON for speedup columns "
+                        "(default: results/BENCH_baseline.json)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="time scenarios concurrently (noisier numbers; "
+                        "default 1 for timing fidelity)")
 
 
 def _cmd_scenarios() -> int:
@@ -128,10 +181,50 @@ def _cmd_tune(args) -> int:
 
     bits = minimum_precision(args.scenario, phases=(args.phase,),
                              mode=args.mode, steps=args.steps,
-                             scale=args.scale, seed=args.seed)
+                             scale=args.scale, seed=args.seed,
+                             runner=_make_runner(args.workers))
     print(f"{args.scenario} / {args.phase} / {args.mode}: "
           f"minimum believable precision = {bits} mantissa bits")
     return 0
+
+
+def _cmd_health_sweep(args, precision) -> int:
+    """Multi-seed fault campaign fanned over worker processes."""
+    from .experiments.report import render_table
+    from .perf.sweep import SweepJob, SweepRunner
+    from .robustness.recovery import campaign_summary
+
+    runner = _make_runner(args.workers) or SweepRunner(1)
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    jobs = [SweepJob(
+        key=(args.scenario, seed), fn=campaign_summary,
+        args=(args.scenario,),
+        kwargs=dict(steps=args.steps, scale=args.scale,
+                    inject_rate=args.inject_rate, seed=seed,
+                    phase_precision=precision, mode=args.mode),
+    ) for seed in seeds]
+    summaries = [r.value for r in runner.run(jobs)]
+
+    rows = [[s["seed"], s["faults"], s["detections"], s["recoveries"],
+             s["quarantined"],
+             "yes" if s["final_finite"] else "NO",
+             "ABORTED" if s["aborted"] else "ok"] for s in summaries]
+    print(render_table(
+        ["seed", "faults", "detections", "recoveries", "quarantined",
+         "finite", "outcome"],
+        rows,
+        title=f"health sweep: {args.scenario}, {args.seeds} seeds, "
+              f"{args.steps} steps"))
+    aborted = [s for s in summaries if s["aborted"]]
+    healthy = [s for s in summaries if s["final_finite"]]
+    metrics = runner.last_metrics
+    print(f"aggregate: {len(healthy)}/{len(summaries)} seeds finite, "
+          f"{len(aborted)} aborted, "
+          f"{sum(s['recoveries'] for s in summaries)} recoveries "
+          f"({metrics.workers} workers, {metrics.elapsed:.1f}s)")
+    for s in aborted:
+        print(f"  seed {s['seed']}: {s['post_mortem']}")
+    return 0 if len(healthy) == len(summaries) else 1
 
 
 def _cmd_health(args) -> int:
@@ -142,6 +235,8 @@ def _cmd_health(args) -> int:
         precision["lcp"] = args.lcp_bits
     if args.narrow_bits < 23:
         precision["narrow"] = args.narrow_bits
+    if args.seeds > 1:
+        return _cmd_health_sweep(args, precision)
     try:
         sim = run_campaign(
             args.scenario,
@@ -158,6 +253,39 @@ def _cmd_health(args) -> int:
     report = sim.health_report(args.scenario)
     print(report.render(max_log_lines=args.max_log_lines))
     return 0 if report.final_state_finite else 1
+
+
+def _cmd_bench(args) -> int:
+    import dataclasses
+
+    from .perf.bench import BenchProtocol, render_summary, run_bench
+
+    overrides = {}
+    if args.steps is not None:
+        overrides["census_free_steps"] = args.steps
+        overrides["census_free_warmup"] = max(1, args.steps // 4)
+    if args.census_steps is not None:
+        overrides["census_steps"] = args.census_steps
+        overrides["census_warmup"] = max(1, args.census_steps // 4)
+    if args.kernel_iters is not None:
+        overrides["kernel_iters"] = args.kernel_iters
+    protocol = dataclasses.replace(BenchProtocol(), **overrides)
+
+    payload = run_bench(
+        scenarios=args.scenarios,
+        quick=args.quick,
+        protocol=protocol,
+        output_dir=args.output,
+        baseline_path=args.baseline,
+        workers=args.workers,
+        kernel=not args.no_kernel,
+        # A custom step protocol changes what one timed loop means, so
+        # only compare against the recorded baseline on the default one
+        # (an explicit --baseline overrides the caution).
+        compare=not overrides or args.baseline is not None,
+    )
+    print(render_summary(payload))
+    return 0
 
 
 def _cmd_artifact(name: str) -> int:
@@ -224,6 +352,7 @@ def main(argv=None) -> int:
     _add_run_parser(sub)
     _add_tune_parser(sub)
     _add_health_parser(sub)
+    _add_bench_parser(sub)
     for artifact in ARTIFACTS:
         sub.add_parser(artifact, help=f"regenerate paper {artifact}")
 
@@ -236,6 +365,8 @@ def main(argv=None) -> int:
         return _cmd_tune(args)
     if args.command == "health":
         return _cmd_health(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_artifact(args.command)
 
 

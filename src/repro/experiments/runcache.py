@@ -18,6 +18,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -26,11 +28,36 @@ from ..fp.rounding import RoundingMode
 from ..memo.memo_table import MemoBank
 from ..workloads import build, default_steps
 
-__all__ = ["cache_dir", "census_stats", "StatsDict"]
+__all__ = ["cache_dir", "census_stats", "write_json_atomic", "StatsDict"]
 
 StatsDict = Dict[Tuple[str, str], OpCounter]
 
 _MEMORY_CACHE: Dict[str, StatsDict] = {}
+#: guards the in-memory layer (sweep results can land from pool-callback
+#: threads while the main thread reads)
+_MEMORY_LOCK = threading.Lock()
+
+
+def write_json_atomic(path, payload: dict) -> None:
+    """Persist ``payload`` via temp-file-then-rename.
+
+    ``os.replace`` is atomic on POSIX, so concurrent sweep workers
+    writing the same cache entry can never leave a torn file for a
+    reader to trip over — last writer wins with a complete document.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def cache_dir() -> Path:
@@ -89,15 +116,22 @@ def census_stats(
         "memo_budget": memo_budget if memo else 0,
     }
     key = _key(payload)
-    if key in _MEMORY_CACHE:
-        return _MEMORY_CACHE[key]
+    with _MEMORY_LOCK:
+        cached = _MEMORY_CACHE.get(key)
+    if cached is not None:
+        return cached
 
     path = cache_dir() / f"census_{key}.json"
     if path.exists():
-        with path.open() as handle:
-            stats = _deserialize(json.load(handle)["stats"])
-        _MEMORY_CACHE[key] = stats
-        return stats
+        try:
+            with path.open() as handle:
+                stats = _deserialize(json.load(handle)["stats"])
+        except (OSError, ValueError, KeyError):
+            stats = None  # unreadable/corrupt entry: re-simulate
+        if stats is not None:
+            with _MEMORY_LOCK:
+                _MEMORY_CACHE[key] = stats
+            return stats
 
     ctx = FPContext(
         phase_precision,
@@ -111,8 +145,7 @@ def census_stats(
         world.step()
     stats = ctx.stats
 
-    with path.open("w") as handle:
-        json.dump({"params": payload, "stats": _serialize(stats)}, handle,
-                  indent=1)
-    _MEMORY_CACHE[key] = stats
+    write_json_atomic(path, {"params": payload, "stats": _serialize(stats)})
+    with _MEMORY_LOCK:
+        _MEMORY_CACHE[key] = stats
     return stats

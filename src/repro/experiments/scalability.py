@@ -19,6 +19,7 @@ from ..arch.parallax import (
     simulate_work_queue,
 )
 from ..fp.context import FPContext
+from ..perf.sweep import SweepJob, SweepOutcome, SweepRunner
 from ..workloads import SCENARIO_NAMES, build
 from .report import render_table
 
@@ -37,35 +38,49 @@ class ScalabilityRow:
     speedup: Dict[str, Dict[int, float]]
 
 
+def _scalability_worker(scenario: str, core_counts: List[int], scale: float,
+                        intra_island_parallelism: int) -> SweepOutcome:
+    """One scenario's settled-world build + work-queue simulation."""
+    world = build(scenario, ctx=FPContext(census=False), scale=scale)
+    for _ in range(WARMUP_STEPS):
+        world.step()
+    lcp_items = lcp_work_items(
+        world, intra_island_parallelism=intra_island_parallelism)
+    narrow_items = narrow_work_items(world)
+    speedup: Dict[str, Dict[int, float]] = {"lcp": {}, "narrow": {}}
+    for cores in core_counts:
+        speedup["lcp"][cores] = simulate_work_queue(
+            lcp_items, cores).speedup
+        speedup["narrow"][cores] = simulate_work_queue(
+            narrow_items, cores).speedup
+    row = ScalabilityRow(
+        scenario=scenario,
+        islands=world.island_count,
+        pairs=len(narrow_items),
+        speedup=speedup,
+    )
+    return SweepOutcome(row, ops=WARMUP_STEPS)
+
+
 def compute_scalability(
     scenarios: Optional[Iterable[str]] = None,
     core_counts: Iterable[int] = CORE_COUNTS,
     scale: float = 1.0,
     intra_island_parallelism: int = 4,
+    workers: Optional[int] = None,
 ) -> List[ScalabilityRow]:
-    """Measure per-phase work-queue speedups on settled scenarios."""
+    """Measure per-phase work-queue speedups on settled scenarios.
+
+    Each scenario's settle-and-measure is independent; they fan out over
+    a :class:`~repro.perf.sweep.SweepRunner`.
+    """
     core_counts = list(core_counts)
-    rows = []
-    for scenario in scenarios or SCENARIO_NAMES:
-        world = build(scenario, ctx=FPContext(census=False), scale=scale)
-        for _ in range(WARMUP_STEPS):
-            world.step()
-        lcp_items = lcp_work_items(
-            world, intra_island_parallelism=intra_island_parallelism)
-        narrow_items = narrow_work_items(world)
-        speedup: Dict[str, Dict[int, float]] = {"lcp": {}, "narrow": {}}
-        for cores in core_counts:
-            speedup["lcp"][cores] = simulate_work_queue(
-                lcp_items, cores).speedup
-            speedup["narrow"][cores] = simulate_work_queue(
-                narrow_items, cores).speedup
-        rows.append(ScalabilityRow(
-            scenario=scenario,
-            islands=world.island_count,
-            pairs=len(narrow_items),
-            speedup=speedup,
-        ))
-    return rows
+    runner = SweepRunner(workers)
+    jobs = [SweepJob(
+        key=(scenario,), fn=_scalability_worker,
+        args=(scenario, core_counts, scale, intra_island_parallelism),
+    ) for scenario in scenarios or SCENARIO_NAMES]
+    return [r.value for r in runner.run(jobs)]
 
 
 def render(rows: List[ScalabilityRow],

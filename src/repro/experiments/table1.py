@@ -18,10 +18,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..fp.rounding import RoundingMode
+from ..perf.sweep import SweepJob, SweepRunner
 from ..tuning.believability import minimum_precision
 from ..workloads import SCENARIO_NAMES, default_steps
 from .report import render_table
-from .runcache import cache_dir
+from .runcache import cache_dir, write_json_atomic
 
 __all__ = [
     "PAPER_TABLE1",
@@ -88,8 +89,15 @@ def compute_table1(
     scale: float = 1.0,
     scenarios=None,
     use_cache: bool = True,
+    workers: Optional[int] = None,
 ) -> Table1Result:
-    """Run (or load) the full minimum-precision grid."""
+    """Run (or load) the full minimum-precision grid.
+
+    The 48 independent (scenario, phase, mode) searches fan out over a
+    :class:`~repro.perf.sweep.SweepRunner`; the combined-tuning searches
+    follow as a second stage because each depends on its scenario's
+    jamming LCP minimum.  Results are identical to the serial order.
+    """
     steps = default_steps() if steps is None else steps
     scenarios = list(scenarios or SCENARIO_NAMES)
     path = cache_dir() / f"table1_s{steps}_x{scale}.json"
@@ -103,29 +111,42 @@ def compute_table1(
             scale=scale,
         )
 
+    runner = SweepRunner(workers)
+    grid = [SweepJob(
+        key=(scenario, phase, mode.value),
+        fn=minimum_precision,
+        args=(scenario,),
+        kwargs=dict(phases=(phase,), mode=mode, steps=steps, scale=scale),
+    ) for scenario in scenarios
+        for phase in ("lcp", "narrow")
+        for mode in _MODES]
+    bits_by_key = {r.key: r.value for r in runner.run(grid)}
+
     independent: Dict[str, Dict[str, Dict[str, int]]] = {}
-    narrow_combined: Dict[str, int] = {}
     for scenario in scenarios:
-        independent[scenario] = {"lcp": {}, "narrow": {}}
-        for phase in ("lcp", "narrow"):
-            for mode in _MODES:
-                bits = minimum_precision(
-                    scenario, phases=(phase,), mode=mode, steps=steps,
-                    scale=scale)
-                independent[scenario][phase][mode.value] = bits
-        # Combined tuning: pin LCP at its jamming minimum, re-search narrow.
-        lcp_min = independent[scenario]["lcp"][RoundingMode.JAMMING.value]
-        narrow_combined[scenario] = minimum_precision(
-            scenario, phases=("narrow",), mode=RoundingMode.JAMMING,
-            steps=steps, scale=scale,
-            fixed_precision={"lcp": lcp_min})
+        independent[scenario] = {
+            phase: {mode.value: bits_by_key[(scenario, phase, mode.value)]
+                    for mode in _MODES}
+            for phase in ("lcp", "narrow")}
+
+    # Combined tuning: pin LCP at its jamming minimum, re-search narrow.
+    combined = [SweepJob(
+        key=(scenario, "narrow_combined"),
+        fn=minimum_precision,
+        args=(scenario,),
+        kwargs=dict(
+            phases=("narrow",), mode=RoundingMode.JAMMING, steps=steps,
+            scale=scale,
+            fixed_precision={
+                "lcp": independent[scenario]["lcp"][
+                    RoundingMode.JAMMING.value]}),
+    ) for scenario in scenarios]
+    narrow_combined: Dict[str, int] = {
+        r.key[0]: r.value for r in runner.run(combined)}
 
     if set(scenarios) == set(SCENARIO_NAMES):
-        with path.open("w") as handle:
-            json.dump(
-                {"independent": independent,
-                 "narrow_combined": narrow_combined},
-                handle, indent=1)
+        write_json_atomic(path, {"independent": independent,
+                                 "narrow_combined": narrow_combined})
     return Table1Result(independent, narrow_combined, steps, scale)
 
 

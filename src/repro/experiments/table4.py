@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional
 
+from ..perf.sweep import SweepJob, SweepRunner
 from ..workloads import SCENARIO_ABBREVIATIONS, SCENARIO_NAMES, default_steps
 from .report import render_table
 from .runcache import census_stats
@@ -91,17 +92,36 @@ def compute_table4(
     steps: Optional[int] = None,
     scale: float = 1.0,
     mode: str = "rn",
+    workers: Optional[int] = None,
 ) -> Dict[str, Table4Row]:
-    """Measure trivialization and memoization rates per scenario."""
+    """Measure trivialization and memoization rates per scenario.
+
+    The full- and reduced-precision census runs for every scenario are
+    independent, so all ``2 × len(scenarios)`` simulations fan out over
+    a :class:`~repro.perf.sweep.SweepRunner`; the persistent run cache
+    stays coherent because workers write entries atomically.
+    """
     scenarios = list(scenarios or SCENARIO_NAMES)
     tuned_map = tuned_map or tuned_precisions()
     steps = default_steps() if steps is None else steps
 
+    runner = SweepRunner(workers)
+    jobs = []
+    for scenario in scenarios:
+        jobs.append(SweepJob(
+            key=(scenario, "full"), fn=census_stats,
+            args=(scenario, None, mode, steps, scale),
+            kwargs=dict(memo=True)))
+        jobs.append(SweepJob(
+            key=(scenario, "reduced"), fn=census_stats,
+            args=(scenario, dict(tuned_map[scenario]), mode, steps, scale),
+            kwargs=dict(memo=True)))
+    stats_by_key = {r.key: r.value for r in runner.run(jobs)}
+
     rows: Dict[str, Table4Row] = {}
     for scenario in scenarios:
-        full = census_stats(scenario, None, mode, steps, scale, memo=True)
-        reduced = census_stats(scenario, dict(tuned_map[scenario]), mode,
-                               steps, scale, memo=True)
+        full = stats_by_key[(scenario, "full")]
+        reduced = stats_by_key[(scenario, "reduced")]
         ta_f, ma_f, ha_f = _rates(full, "add", extended=False)
         tm_f, mm_f, hm_f = _rates(full, "mul", extended=False)
         ta_r, ma_r, ha_r = _rates(reduced, "add", extended=True)

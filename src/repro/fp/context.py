@@ -27,7 +27,8 @@ from .rounding import (
     DEFAULT_GUARD_BITS,
     FULL_PRECISION,
     RoundingMode,
-    reduce_array_fast,
+    fused_axpy,
+    fused_binop,
 )
 
 __all__ = ["OpCounter", "FPContext"]
@@ -95,6 +96,9 @@ class FPContext:
         self.mode = RoundingMode.parse(mode)
         self.memo = memo
         self.memo_budget = memo_budget
+        #: configured cap, restored by :meth:`reset_stats` (the live
+        #: :attr:`memo_budget` is drawn down as probes are spent)
+        self._memo_budget_config = memo_budget
         self.census = census
         #: jamming OR-window width (ablation knob; the paper uses 3).
         #: Applies on the census-free fast path.
@@ -144,7 +148,14 @@ class FPContext:
         return counter
 
     def reset_stats(self) -> None:
+        """Clear the census and restore the configured memo budget.
+
+        Without the budget restore, a second run on the same context
+        would silently collect no memoization samples (the budget having
+        been exhausted by the first run).
+        """
         self.stats.clear()
+        self.memo_budget = self._memo_budget_config
 
     def counter(self, phase: str, op: str) -> OpCounter:
         """Census for ``(phase, op)`` (zeroed counter if never executed)."""
@@ -197,11 +208,27 @@ class FPContext:
                 np.asarray(a, dtype=np.float32),
                 np.asarray(b, dtype=np.float32),
             )
-        mode = self.mode
-        guards = self.jam_guard_bits
-        ra = reduce_array_fast(a, precision, mode, guards)
-        rb = reduce_array_fast(b, precision, mode, guards)
-        return reduce_array_fast(ufunc(ra, rb), precision, mode, guards)
+        return fused_binop(ufunc, a, b, precision, self.mode,
+                           self.jam_guard_bits)
+
+    def axpy(self, a, x, y) -> np.ndarray:
+        """``a * x + y`` at the active precision.
+
+        Bit-identical to ``add(y, mul(a, x))`` (FP addition commutes);
+        the census-free path runs one fused kernel instead of two ops.
+        Census and fault-injection runs fall back to the two-op sequence
+        so op counters, memo operand order, and corruption points are
+        exactly what the unfused code produced.
+        """
+        if self.census or self.injector is not None:
+            return self.add(y, self.mul(a, x))
+        precision = self.precision
+        if precision == FULL_PRECISION:
+            t = np.multiply(np.asarray(a, dtype=np.float32),
+                            np.asarray(x, dtype=np.float32))
+            return np.add(t, np.asarray(y, dtype=np.float32))
+        return fused_axpy(a, x, y, precision, self.mode,
+                          self.jam_guard_bits)
 
     def add(self, a, b) -> np.ndarray:
         if not self.census:

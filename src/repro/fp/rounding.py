@@ -39,6 +39,8 @@ __all__ = [
     "reduce_scalar",
     "reduce_array",
     "reduce_array_fast",
+    "fused_binop",
+    "fused_axpy",
 ]
 
 #: Mantissa width at which reduction is the identity.
@@ -143,23 +145,18 @@ def reduce_array(
     exp_field = bits & np.uint32(EXPONENT_MASK)
     normal = (exp_field != np.uint32(EXPONENT_MASK)) & (exp_field != 0)
 
-    drop = MANTISSA_BITS - precision
-    keep_mask = np.uint32(~((1 << drop) - 1) & 0xFFFFFFFF)
+    keep_mask, lsb_shift, lsb_bit, guard_shift, guard_mask, half_minus_1 = \
+        _fast_params(precision, mode, guard_bits)[:6]
     if mode is RoundingMode.TRUNCATION:
         rounded = bits & keep_mask
     elif mode is RoundingMode.NEAREST:
-        half_minus_1 = np.uint32((1 << (drop - 1)) - 1)
-        lsb = (bits >> np.uint32(drop)) & np.uint32(1)
+        lsb = (bits >> lsb_shift) & np.uint32(1)
         rounded = (bits + lsb + half_minus_1) & keep_mask
     elif mode is RoundingMode.JAMMING:
-        guard_width = min(guard_bits, drop)
-        if drop >= MANTISSA_BITS or guard_width <= 0:
+        if not lsb_bit:
             rounded = bits & keep_mask  # nothing to jam; truncate
         else:
-            guards = (bits >> np.uint32(drop - guard_width)) & np.uint32(
-                (1 << guard_width) - 1
-            )
-            lsb_bit = np.uint32(1 << drop)
+            guards = (bits >> guard_shift) & guard_mask
             rounded = np.where(guards != 0, (bits & keep_mask) | lsb_bit,
                                bits & keep_mask)
     else:  # pragma: no cover - exhaustive enum
@@ -192,8 +189,13 @@ def _fast_params(precision: int, mode: RoundingMode, guard_bits: int):
         guard_mask = np.uint32((1 << guard_width) - 1)
         half_minus_1 = np.uint32((1 << (drop - 1)) - 1) if drop else np.uint32(
             0)
+        # Derived constants for the fused in-place kernel: the guard test
+        # without the shift, and the carry trick turning "any guard bit
+        # set" into the kept-LSB jam bit in pure integer arithmetic.
+        guard_test = np.uint32(int(guard_mask) << int(guard_shift))
+        jam_carry = np.uint32(int(lsb_bit) - 1) if lsb_bit else np.uint32(0)
         params = (keep_mask, lsb_shift, lsb_bit, guard_shift, guard_mask,
-                  half_minus_1)
+                  half_minus_1, guard_test, jam_carry)
         _FAST_PARAMS[key] = params
     return params
 
@@ -216,7 +218,7 @@ def reduce_array_fast(
         return arr
     bits = np.ascontiguousarray(arr).view(np.uint32)
     keep_mask, lsb_shift, lsb_bit, guard_shift, guard_mask, half_minus_1 = \
-        _fast_params(precision, mode, guard_bits)
+        _fast_params(precision, mode, guard_bits)[:6]
     if mode is RoundingMode.TRUNCATION:
         out = bits & keep_mask
     elif mode is RoundingMode.NEAREST:
@@ -230,3 +232,102 @@ def reduce_array_fast(
         else:
             out = kept
     return out.view(np.float32).reshape(arr.shape)
+
+
+# ----------------------------------------------------------------------
+# Fused round-a / round-b / op / round-result kernels.
+#
+# ``FPContext._fast_binop`` used to make three ``reduce_array_fast``
+# calls per operation; on the census-free step loop that per-call Python
+# dispatch (asarray / param lookup / view / reshape, plus 4-6 uint32
+# temporaries each) dominated the wall clock.  The fused kernels below
+# make one parameter lookup and one ``view(np.uint32)`` round-trip per
+# array and round in place with wrapping uint32 arithmetic, producing
+# bit-identical results.
+# ----------------------------------------------------------------------
+def _reduce_bits_inplace(bits: np.ndarray, mode: RoundingMode,
+                         params) -> None:
+    """Mantissa-reduce a uint32 bit array in place (no special-value
+    guard, like :func:`reduce_array_fast`)."""
+    keep_mask = params[0]
+    if mode is RoundingMode.TRUNCATION:
+        np.bitwise_and(bits, keep_mask, out=bits)
+    elif mode is RoundingMode.NEAREST:
+        half_minus_1 = params[5]
+        tmp = np.right_shift(bits, params[1])
+        np.bitwise_and(tmp, np.uint32(1), out=tmp)
+        np.add(tmp, half_minus_1, out=tmp)
+        np.add(bits, tmp, out=bits)
+        np.bitwise_and(bits, keep_mask, out=bits)
+    else:  # JAMMING
+        lsb_bit = params[2]
+        if lsb_bit:
+            # (guards + (lsb_bit - 1)) & lsb_bit == lsb_bit iff any guard
+            # bit is set: the guard field is strictly below lsb_bit, so
+            # the add carries into the lsb position exactly when nonzero.
+            guards = np.bitwise_and(bits, params[6])
+            np.add(guards, params[7], out=guards)
+            np.bitwise_and(guards, lsb_bit, out=guards)
+            np.bitwise_and(bits, keep_mask, out=bits)
+            np.bitwise_or(bits, guards, out=bits)
+        else:
+            np.bitwise_and(bits, keep_mask, out=bits)
+
+
+def _reduced_copy(values, mode: RoundingMode, params) -> np.ndarray:
+    """Contiguous float32 copy of ``values``, mantissa-reduced in place."""
+    arr = np.array(values, dtype=np.float32, order="C")
+    # reshape(-1) is a view on these fresh contiguous arrays and keeps
+    # 0-d inputs working (ops on 0-d arrays return scalars, not arrays).
+    _reduce_bits_inplace(arr.reshape(-1).view(np.uint32), mode, params)
+    return arr
+
+
+def fused_binop(
+    ufunc, a, b, precision: int, mode: RoundingMode,
+    guard_bits: int = DEFAULT_GUARD_BITS,
+) -> np.ndarray:
+    """``round(round(a) ufunc round(b))`` in one pass.
+
+    Bit-identical to three :func:`reduce_array_fast` calls around
+    ``ufunc`` (the paper's pure round-operands / execute / round-result
+    error model), but with a single parameter lookup and in-place uint32
+    mask arithmetic.  The inputs are never mutated.
+    """
+    if precision == MANTISSA_BITS:
+        return ufunc(np.asarray(a, dtype=np.float32),
+                     np.asarray(b, dtype=np.float32))
+    params = _fast_params(precision, mode, guard_bits)
+    ra = _reduced_copy(a, mode, params)
+    rb = _reduced_copy(b, mode, params)
+    out = ufunc(ra, rb, out=ra) if ra.shape == rb.shape else ufunc(ra, rb)
+    _reduce_bits_inplace(out.reshape(-1).view(np.uint32), mode, params)
+    return out
+
+
+def fused_axpy(
+    a, x, y, precision: int, mode: RoundingMode,
+    guard_bits: int = DEFAULT_GUARD_BITS,
+) -> np.ndarray:
+    """``round(round(round(a)*round(x)) + round(y))`` in one pass.
+
+    Bit-identical to ``fused_binop(np.multiply, a, x)`` followed by
+    ``fused_binop(np.add, ., y)``: re-reducing the already-reduced
+    product is the identity, so the intermediate rounding is applied
+    exactly once here.
+    """
+    if precision == MANTISSA_BITS:
+        t = np.multiply(np.asarray(a, dtype=np.float32),
+                        np.asarray(x, dtype=np.float32))
+        return np.add(t, np.asarray(y, dtype=np.float32),
+                      out=t if t.shape == np.shape(y) else None)
+    params = _fast_params(precision, mode, guard_bits)
+    ra = _reduced_copy(a, mode, params)
+    rx = _reduced_copy(x, mode, params)
+    t = (np.multiply(ra, rx, out=ra) if ra.shape == rx.shape
+         else np.multiply(ra, rx))
+    _reduce_bits_inplace(t.reshape(-1).view(np.uint32), mode, params)
+    ry = _reduced_copy(y, mode, params)
+    out = np.add(t, ry, out=t) if t.shape == ry.shape else np.add(t, ry)
+    _reduce_bits_inplace(out.reshape(-1).view(np.uint32), mode, params)
+    return out

@@ -1,0 +1,24 @@
+"""Performance subsystem: parallel sweeps and the ``repro bench`` harness.
+
+``repro.perf.sweep`` is import-light (stdlib only) so experiment modules
+can pull :class:`SweepRunner` without cycles; ``repro.perf.bench`` pulls
+in the workloads and is imported on demand by the CLI.
+"""
+
+from .sweep import (
+    JobResult,
+    SweepJob,
+    SweepMetrics,
+    SweepOutcome,
+    SweepRunner,
+    resolve_workers,
+)
+
+__all__ = [
+    "JobResult",
+    "SweepJob",
+    "SweepMetrics",
+    "SweepOutcome",
+    "SweepRunner",
+    "resolve_workers",
+]

@@ -1,0 +1,286 @@
+"""``python -m repro bench`` — step-loop throughput harness.
+
+Times the census-free (pure round-op-round) and census step loops per
+scenario at the tuned preset precisions, plus a kernel microbenchmark
+comparing the fused round-a/round-b/op/round-result path against the
+legacy three-pass reduction it replaced.  Results land in a
+``BENCH_<stamp>.json`` so the repo accumulates a perf trajectory;
+per-scenario speedups are reported against a recorded baseline
+(``results/BENCH_baseline.json`` by default — numbers are only
+meaningful on the machine that recorded the baseline).
+
+Scenario timing jobs run through :class:`~repro.perf.sweep.SweepRunner`
+but default to a single worker: concurrent timing on shared cores skews
+steps/sec.  Set ``--workers``/``REPRO_WORKERS`` explicitly to trade
+accuracy for sweep time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..experiments.runcache import write_json_atomic
+from ..experiments.table1 import PRESET_PRECISIONS
+from ..fp.context import FPContext
+from ..fp.rounding import RoundingMode, fused_binop, reduce_array_fast
+from ..workloads import SCENARIO_NAMES, build
+from .sweep import SweepJob, SweepOutcome, SweepRunner
+
+__all__ = ["BenchProtocol", "QUICK_SCENARIOS", "run_bench", "render_summary"]
+
+#: Scenario subset for ``--quick`` (CI smoke); always includes the
+#: paper's hardest mixed workload.
+QUICK_SCENARIOS = ("continuous", "everything", "ragdoll")
+
+DEFAULT_BASELINE = Path("results") / "BENCH_baseline.json"
+
+
+@dataclass(frozen=True)
+class BenchProtocol:
+    """Warmup/timed step counts — must match the recorded baseline's
+    protocol for speedups to be apples-to-apples."""
+
+    census_free_warmup: int = 5
+    census_free_steps: int = 20
+    census_warmup: int = 2
+    census_steps: int = 8
+    kernel_shape: tuple = (4096, 12)
+    kernel_iters: int = 50
+    kernel_precision: int = 9
+    kernel_mode: str = "jam"
+
+
+def _time_step_loop(scenario: str, census: bool, warmup: int,
+                    steps: int) -> SweepOutcome:
+    """Time one scenario's step loop at its tuned preset precisions."""
+    ctx = FPContext(dict(PRESET_PRECISIONS[scenario]), census=census)
+    world = build(scenario, ctx=ctx)
+    for _ in range(warmup):
+        world.step()
+    start = time.perf_counter()
+    for _ in range(steps):
+        world.step()
+    wall = time.perf_counter() - start
+    return SweepOutcome(
+        value={
+            "steps_per_sec": round(steps / wall, 3) if wall else 0.0,
+            "wall": round(wall, 4),
+            "steps": steps,
+        },
+        ops=steps,
+    )
+
+
+def _legacy_binop(ufunc, a, b, precision, mode, guard_bits=3):
+    """The pre-fusion hot path: three separate reduction passes."""
+    ra = reduce_array_fast(a, precision, mode, guard_bits)
+    rb = reduce_array_fast(b, precision, mode, guard_bits)
+    return reduce_array_fast(ufunc(ra, rb), precision, mode, guard_bits)
+
+
+def _kernel_bench(protocol: BenchProtocol) -> Dict[str, float]:
+    """Fused vs legacy reduced binop pair (mul+add), plus fused axpy."""
+    rng = np.random.default_rng(7)
+    shape = tuple(protocol.kernel_shape)
+    a = rng.standard_normal(shape).astype(np.float32)
+    b = rng.standard_normal(shape).astype(np.float32)
+    c = rng.standard_normal(shape).astype(np.float32)
+    mode = RoundingMode.parse(protocol.kernel_mode)
+    precision = protocol.kernel_precision
+    iters = protocol.kernel_iters
+
+    ctx = FPContext({"lcp": precision}, mode=mode, census=False)
+    ctx.phase = "lcp"
+
+    def _rate(fn) -> float:
+        for _ in range(max(2, iters // 10)):
+            fn()
+        start = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        wall = time.perf_counter() - start
+        return round(iters / wall, 2) if wall else 0.0
+
+    fused = _rate(lambda: ctx.add(ctx.mul(a, b), c))
+    legacy = _rate(lambda: _legacy_binop(
+        np.add, _legacy_binop(np.multiply, a, b, precision, mode), c,
+        precision, mode))
+    axpy = _rate(lambda: ctx.axpy(a, b, c))
+    return {
+        "binop_pairs_per_sec": fused,
+        "legacy_binop_pairs_per_sec": legacy,
+        "axpy_per_sec": axpy,
+        "fused_speedup_vs_legacy": round(fused / legacy, 3) if legacy else 0.0,
+        "elements": int(a.size),
+        "iterations": iters,
+    }
+
+
+def _load_baseline(path: Optional[Path]) -> Optional[dict]:
+    path = Path(path) if path is not None else DEFAULT_BASELINE
+    if not path.exists():
+        return None
+    try:
+        with path.open() as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    payload["_path"] = str(path)
+    return payload
+
+
+def run_bench(
+    scenarios: Optional[Iterable[str]] = None,
+    quick: bool = False,
+    protocol: Optional[BenchProtocol] = None,
+    output_dir: str = "results",
+    baseline_path: Optional[str] = None,
+    workers: Optional[int] = None,
+    kernel: bool = True,
+    compare: bool = True,
+) -> dict:
+    """Run the benchmark sweep and persist ``BENCH_<stamp>.json``.
+
+    Returns the written payload (its ``"path"`` key holds the file).
+    ``compare=False`` suppresses the baseline speedup columns — used when
+    a non-default protocol makes them apples-to-oranges.
+    """
+    protocol = protocol or BenchProtocol()
+    if scenarios is None:
+        scenarios = QUICK_SCENARIOS if quick else SCENARIO_NAMES
+    scenarios = list(scenarios)
+    unknown = [s for s in scenarios if s not in SCENARIO_NAMES]
+    if unknown:
+        raise ValueError(f"unknown scenarios: {unknown}")
+
+    # Default to one worker for timing fidelity; REPRO_WORKERS or an
+    # explicit --workers opts into concurrent (noisier) timing.
+    runner = SweepRunner(workers if workers is not None else
+                         int(os.environ.get("REPRO_WORKERS", "1") or 1))
+    jobs = []
+    for scenario in scenarios:
+        jobs.append(SweepJob(
+            key=(scenario, "census_free"), fn=_time_step_loop,
+            args=(scenario, False, protocol.census_free_warmup,
+                  protocol.census_free_steps)))
+        jobs.append(SweepJob(
+            key=(scenario, "census"), fn=_time_step_loop,
+            args=(scenario, True, protocol.census_warmup,
+                  protocol.census_steps)))
+    results = runner.run(jobs)
+    by_key = {r.key: r for r in results}
+
+    scenario_rows: Dict[str, dict] = {}
+    for scenario in scenarios:
+        free = by_key[(scenario, "census_free")]
+        cen = by_key[(scenario, "census")]
+        scenario_rows[scenario] = {
+            "census_free_steps_per_sec": free.value["steps_per_sec"],
+            "census_steps_per_sec": cen.value["steps_per_sec"],
+            "census_free_wall": free.value["wall"],
+            "census_wall": cen.value["wall"],
+        }
+
+    baseline = _load_baseline(
+        Path(baseline_path) if baseline_path else None) if compare else None
+    speedups: Dict[str, dict] = {}
+    if baseline is not None:
+        for scenario, row in scenario_rows.items():
+            base = baseline.get("scenarios", {}).get(scenario)
+            if not base:
+                continue
+            entry = {}
+            for loop in ("census_free", "census"):
+                ours = row[f"{loop}_steps_per_sec"]
+                theirs = base.get(f"{loop}_steps_per_sec")
+                if theirs:
+                    entry[loop] = round(ours / theirs, 3)
+            if entry:
+                speedups[scenario] = entry
+
+    stamp = time.strftime("%Y%m%d_%H%M%S")
+    payload = {
+        "kind": "repro-bench",
+        "stamp": stamp,
+        "quick": quick,
+        "protocol": {
+            "census_free": {"warmup": protocol.census_free_warmup,
+                            "steps": protocol.census_free_steps},
+            "census": {"warmup": protocol.census_warmup,
+                       "steps": protocol.census_steps},
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "workers": runner.last_metrics.workers,
+        },
+        "scenarios": scenario_rows,
+        "sweep": {
+            "elapsed": round(runner.last_metrics.elapsed, 3),
+            "busy_time": round(runner.last_metrics.busy_time, 3),
+            "steps_executed": runner.last_metrics.ops,
+        },
+    }
+    if kernel:
+        payload["kernel"] = _kernel_bench(protocol)
+        if baseline is not None and "kernel" in baseline:
+            base_rate = baseline["kernel"].get("binop_pairs_per_sec")
+            if base_rate:
+                payload["kernel"]["speedup_vs_baseline"] = round(
+                    payload["kernel"]["binop_pairs_per_sec"] / base_rate, 3)
+    if baseline is not None:
+        payload["baseline"] = {
+            "path": baseline.get("_path"),
+            "recorded": baseline.get("recorded") or baseline.get("stamp"),
+            "note": baseline.get("note", ""),
+        }
+        payload["speedup_vs_baseline"] = speedups
+
+    out_dir = Path(output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{stamp}.json"
+    write_json_atomic(path, payload)
+    payload["path"] = str(path)
+    return payload
+
+
+def render_summary(payload: dict) -> str:
+    """Human-readable bench summary for the CLI."""
+    from ..experiments.report import render_table
+
+    headers = ["scenario", "census-free steps/s", "census steps/s"]
+    has_speedup = bool(payload.get("speedup_vs_baseline"))
+    if has_speedup:
+        headers += ["vs baseline (free)", "vs baseline (census)"]
+    rows = []
+    for scenario, row in payload["scenarios"].items():
+        line = [scenario,
+                f"{row['census_free_steps_per_sec']:.1f}",
+                f"{row['census_steps_per_sec']:.1f}"]
+        if has_speedup:
+            sp = payload["speedup_vs_baseline"].get(scenario, {})
+            line += [f"{sp.get('census_free', 0.0):.2f}x" if sp else "-",
+                     f"{sp.get('census', 0.0):.2f}x" if sp else "-"]
+        rows.append(line)
+    out = render_table(headers, rows, title="repro bench — step-loop "
+                                            "throughput")
+    kernel = payload.get("kernel")
+    if kernel:
+        out += (
+            f"\nkernel: fused {kernel['binop_pairs_per_sec']:.0f} pairs/s"
+            f" vs legacy {kernel['legacy_binop_pairs_per_sec']:.0f}"
+            f" ({kernel['fused_speedup_vs_legacy']:.2f}x), axpy "
+            f"{kernel['axpy_per_sec']:.0f}/s")
+        if "speedup_vs_baseline" in kernel:
+            out += (f", {kernel['speedup_vs_baseline']:.2f}x vs recorded"
+                    f" baseline")
+    out += f"\nwritten: BENCH_{payload['stamp']}.json"
+    return out

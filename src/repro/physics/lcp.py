@@ -419,13 +419,15 @@ def solve(
     lo = rows.lo.copy()
     hi = rows.hi.copy()
     lam = rows.lam
+    # Negation is a sign-bit flip outside the context; hoisted out of
+    # the iteration loop.
+    neg_inv_d = -rows.inv_d
 
     for _ in range(params.iterations):
         # Constraint-space velocity of every row: J . v as one big
         # elementwise multiply plus a pairwise reduction tree.
         gathered = np.concatenate([vel[ia], vel[ib]], axis=1)
         rel = _tree_sum(ctx, ctx.mul(jac, gathered))
-        dlam = ctx.mul(ctx.add(rel, rows.rhs), -rows.inv_d)
 
         if len(friction_idx):
             # Coulomb box bounds follow the live normal impulses.
@@ -433,7 +435,10 @@ def solve(
             lo[friction_idx] = -bound
             hi[friction_idx] = bound
 
-        new_lam = np.clip(ctx.add(lam, dlam), lo, hi)
+        # lam + (rel + rhs) * -inv_d, the dlam update fused into one
+        # axpy kernel on the census-free path.
+        new_lam = np.clip(ctx.axpy(ctx.add(rel, rows.rhs), neg_inv_d, lam),
+                          lo, hi)
         delta = ctx.sub(new_lam, lam)
         lam = new_lam
 
@@ -498,6 +503,7 @@ def _solve_gauss_seidel(
     lam = rows.lam
     lo = rows.lo.copy()
     hi = rows.hi.copy()
+    neg_inv_d = -rows.inv_d
 
     for _ in range(params.iterations):
         for batch in batches:
@@ -505,8 +511,6 @@ def _solve_gauss_seidel(
             ib = rows.ib[batch]
             gathered = np.concatenate([vel[ia], vel[ib]], axis=1)
             rel = _tree_sum(ctx, ctx.mul(jac[batch], gathered))
-            dlam = ctx.mul(ctx.add(rel, rows.rhs[batch]),
-                           -rows.inv_d[batch])
 
             friction = rows.normal_index[batch] >= 0
             if friction.any():
@@ -516,8 +520,10 @@ def _solve_gauss_seidel(
                 lo[f_rows] = -bound
                 hi[f_rows] = bound
 
-            new_lam = np.clip(ctx.add(lam[batch], dlam), lo[batch],
-                              hi[batch])
+            new_lam = np.clip(
+                ctx.axpy(ctx.add(rel, rows.rhs[batch]), neg_inv_d[batch],
+                         lam[batch]),
+                lo[batch], hi[batch])
             delta = ctx.sub(new_lam, lam[batch])
             lam[batch] = new_lam
 

@@ -267,18 +267,28 @@ class World:
             self.bodies.linvel[:n][going_to_sleep] = 0.0
             self.bodies.angvel[:n][going_to_sleep] = 0.0
 
-        # Wake anything touched by a moving body.
+        # Wake anything touched by a moving body (vectorized: the old
+        # per-contact Python loop walked every contact every step).
         if len(contacts):
             moving = ~self.bodies.asleep[:n]
-            speed = lin + ang
-            for a, b in zip(contacts.body_a, contacts.body_b):
-                a, b = int(a), int(b)
-                a_live = a < n and moving[a] and speed[a] > 0.2
-                b_live = b < n and moving[b] and speed[b] > 0.2
-                if a_live and b < n:
-                    self._wake(b)
-                if b_live and a < n:
-                    self._wake(a)
+            fast = moving & ((lin + ang) > 0.2)
+            a = np.asarray(contacts.body_a, dtype=np.int64)
+            b = np.asarray(contacts.body_b, dtype=np.int64)
+            in_a = a < n
+            in_b = b < n
+            # Clamped gather keeps out-of-range (world-body) indices safe;
+            # the in_* masks discard their lanes.
+            a_live = in_a & fast[np.minimum(a, n - 1)]
+            b_live = in_b & fast[np.minimum(b, n - 1)]
+            targets = np.concatenate([b[a_live & in_b], a[b_live & in_a]])
+            if len(targets):
+                targets = np.unique(targets)
+                if self.quarantined:
+                    keep = ~np.isin(targets,
+                                    np.fromiter(self.quarantined, np.int64))
+                    targets = targets[keep]
+                self.bodies.asleep[targets] = False
+                self.bodies.low_motion_steps[targets] = 0
 
     def _wake(self, body: int) -> None:
         if body in self.quarantined:

@@ -39,7 +39,7 @@ from .incidents import HealthReport, IncidentLog
 from .injector import FaultInjector
 
 __all__ = ["RecoveryPolicy", "SimulationAborted", "GuardedSimulation",
-           "run_campaign"]
+           "run_campaign", "campaign_summary"]
 
 
 @dataclass
@@ -356,3 +356,49 @@ def run_campaign(
     )
     sim.run(steps)
     return sim
+
+
+def campaign_summary(
+    scenario: str,
+    steps: int = 90,
+    scale: float = 1.0,
+    inject_rate: float = 1e-4,
+    seed: int = 0,
+    phase_precision: Optional[dict] = None,
+    mode: str = "jam",
+) -> dict:
+    """One seed's :func:`run_campaign` condensed to a picklable dict.
+
+    The :class:`GuardedSimulation` itself holds a live world and numpy
+    checkpoint ring, so multi-seed sweeps ship this summary across the
+    process boundary instead.  An aborted campaign is reported as data
+    (``aborted: True``) rather than an exception, so one doomed seed
+    cannot sink the rest of the sweep.
+    """
+    try:
+        sim = run_campaign(
+            scenario, steps=steps, scale=scale, inject_rate=inject_rate,
+            seed=seed, phase_precision=phase_precision, mode=mode)
+    except SimulationAborted as aborted:
+        return {
+            "seed": seed,
+            "aborted": True,
+            "faults": -1,  # injector lost with the aborted world
+            "detections": aborted.log.count("detection"),
+            "recoveries": aborted.log.count("recovery",
+                                            outcome="recovered"),
+            "quarantined": 0,
+            "final_finite": False,
+            "post_mortem": str(aborted),
+        }
+    report = sim.health_report(scenario)
+    return {
+        "seed": seed,
+        "aborted": False,
+        "faults": report.faults_injected,
+        "detections": report.detections,
+        "recoveries": report.recoveries,
+        "quarantined": report.quarantined_bodies,
+        "final_finite": bool(report.final_state_finite),
+        "post_mortem": "",
+    }

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..fp.context import FPContext
 from ..fp.rounding import FULL_PRECISION, RoundingMode
+from ..perf.sweep import SweepJob, SweepOutcome, SweepRunner
 from ..workloads import build, default_steps
 
 __all__ = [
@@ -167,6 +168,37 @@ def _reference(scenario: str, steps: int, scale: float,
     return trace
 
 
+def _trace_worker(scenario, precision, mode, steps, scale, criteria,
+                  solver, seed) -> SweepOutcome:
+    """Module-level sweep job: one believability probe's energy trace."""
+    trace = energy_trace(scenario, precision, mode, steps, scale,
+                         criteria, solver=solver, seed=seed)
+    return SweepOutcome(trace, ops=trace.steps)
+
+
+def _speculative_candidates(lo: int, hi: int, depth: int):
+    """Midpoints of the next ``depth`` levels of the binary-search tree.
+
+    Evaluating them together lets a parallel search take ``depth``
+    serial-search decisions per round while probing exactly the widths
+    the serial search could visit — so the answer is identical even if
+    the believability predicate is not perfectly monotone.
+    """
+    intervals = [(lo, hi)]
+    candidates = []
+    for _ in range(depth):
+        nxt = []
+        for left, right in intervals:
+            if right - left <= 1:
+                continue
+            mid = (left + right) // 2
+            candidates.append(mid)
+            nxt.append((left, mid))
+            nxt.append((mid, right))
+        intervals = nxt
+    return candidates
+
+
 def minimum_precision(
     scenario: str,
     phases: Iterable[str] = ("lcp",),
@@ -178,6 +210,7 @@ def minimum_precision(
     lowest: int = 1,
     solver=None,
     seed: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> int:
     """Minimum mantissa bits for believable results (one Table 1 cell).
 
@@ -186,26 +219,58 @@ def minimum_precision(
     may be pinned via ``fixed_precision`` for the combined-tuning
     (parenthesised) Table 1 numbers.  Returns ``FULL_PRECISION`` when even
     23 - 1 bits break believability.
+
+    With a multi-worker ``runner`` the search speculatively probes
+    several candidate widths concurrently (the next levels of the
+    binary-search tree), returning precisions identical to the serial
+    path.
     """
     criteria = criteria or BelievabilityCriteria()
     steps = default_steps() if steps is None else steps
     mode = RoundingMode.parse(mode)
+    phases = tuple(phases)
     reference = _reference(scenario, steps, scale, criteria, solver, seed)
 
-    def believable_at(bits: int) -> bool:
+    known: Dict[int, bool] = {}
+
+    def _precision_map(bits: int) -> Dict[str, int]:
         precision = dict(fixed_precision or {})
         for phase in phases:
             precision[phase] = bits
-        trace = energy_trace(scenario, precision, mode, steps, scale,
-                             criteria, solver=solver, seed=seed)
-        return is_believable(reference, trace, criteria)
+        return precision
+
+    def evaluate(batch) -> None:
+        batch = sorted(set(int(b) for b in batch) - set(known))
+        if not batch:
+            return
+        jobs = [SweepJob(
+            key=(scenario, phases, mode.value, bits),
+            fn=_trace_worker,
+            args=(scenario, _precision_map(bits), mode, steps, scale,
+                  criteria, solver, seed)) for bits in batch]
+        if runner is not None and len(jobs) > 1:
+            traces = [r.value for r in runner.run(jobs)]
+        else:
+            traces = [job.fn(*job.args).value for job in jobs]
+        for bits, trace in zip(batch, traces):
+            known[bits] = is_believable(reference, trace, criteria)
+
+    workers = runner.resolved_workers() if runner is not None else 1
+    depth = 1
+    while (1 << (depth + 1)) - 1 <= workers:
+        depth += 1
 
     lo, hi = lowest, FULL_PRECISION  # hi is always believable (identity)
-    if believable_at(lo):
+    evaluate([lo] + (_speculative_candidates(lo, hi, depth)
+                     if workers > 1 else []))
+    if known[lo]:
         return lo
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        if believable_at(mid):
+        if mid not in known:
+            evaluate(_speculative_candidates(lo, hi, depth)
+                     if workers > 1 else [mid])
+        if known[mid]:
             hi = mid
         else:
             lo = mid

@@ -1,0 +1,263 @@
+"""Tests for the perf subsystem: sweep runner, fused kernels, bench.
+
+The fused round-a/round-b/op/round-result kernel must be *bit-exact*
+against the three-pass reduction it replaced — any divergence would
+silently change every Table 1 number — and the parallel sweep paths
+must return results identical to serial execution.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.fp.context import FPContext
+from repro.fp.rounding import (
+    FULL_PRECISION,
+    RoundingMode,
+    fused_axpy,
+    fused_binop,
+    reduce_array,
+    reduce_array_fast,
+)
+from repro.memo.memo_table import MemoTable
+from repro.perf.bench import BenchProtocol, render_summary, run_bench
+from repro.perf.sweep import (
+    SweepJob,
+    SweepOutcome,
+    SweepRunner,
+    resolve_workers,
+)
+
+MODES = (RoundingMode.NEAREST, RoundingMode.JAMMING,
+         RoundingMode.TRUNCATION)
+
+
+def _bits(arr):
+    return np.asarray(arr, dtype=np.float32).reshape(-1).view(np.uint32)
+
+
+# ----------------------------------------------------------------------
+# module-level workers (must pickle across the process boundary)
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _square_outcome(x):
+    return SweepOutcome(x * x, ops=1)
+
+
+def _boom(x):
+    raise ValueError(f"bad cell {x}")
+
+
+class TestReduceArrayEquivalence:
+    """Satellite: cached-mask ``reduce_array`` vs the fast path."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_bit_exact_all_precisions(self, mode):
+        rng = np.random.default_rng(11)
+        # The fast path's contract covers normals, zeros and infinities
+        # (NaN payloads / denormals are documented divergences).
+        values = np.concatenate([
+            rng.standard_normal(512).astype(np.float32),
+            (rng.standard_normal(64) * 1e30).astype(np.float32),
+            (rng.standard_normal(64) * 1e-30).astype(np.float32),
+            np.array([0.0, -0.0, 1.0, -1.0, np.inf, -np.inf],
+                     dtype=np.float32),
+        ])
+        for precision in range(FULL_PRECISION + 1):
+            slow = reduce_array(values, precision, mode)
+            fast = reduce_array_fast(values, precision, mode)
+            assert _bits(slow).tolist() == _bits(fast).tolist(), (
+                f"mode={mode} precision={precision}")
+
+
+class TestFusedKernels:
+    """The fused kernel vs the legacy three-pass hot path."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("precision", [0, 3, 9, 17, 22])
+    def test_fused_binop_bit_exact(self, mode, precision):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((40, 3)).astype(np.float32)
+        b = rng.standard_normal((40, 3)).astype(np.float32)
+        for ufunc in (np.add, np.subtract, np.multiply):
+            ra = reduce_array_fast(a, precision, mode)
+            rb = reduce_array_fast(b, precision, mode)
+            legacy = reduce_array_fast(ufunc(ra, rb), precision, mode)
+            fused = fused_binop(ufunc, a, b, precision, mode)
+            assert _bits(legacy).tolist() == _bits(fused).tolist()
+
+    def test_fused_binop_broadcast_and_scalar(self):
+        a = np.float32(1.7)
+        b = np.arange(6, dtype=np.float32).reshape(2, 3) * np.float32(0.3)
+        fused = fused_binop(np.multiply, a, b, 9, RoundingMode.JAMMING)
+        ra = reduce_array_fast(a, 9, RoundingMode.JAMMING)
+        rb = reduce_array_fast(b, 9, RoundingMode.JAMMING)
+        legacy = reduce_array_fast(ra * rb, 9, RoundingMode.JAMMING)
+        assert fused.shape == (2, 3)
+        assert _bits(legacy).tolist() == _bits(fused).tolist()
+
+    def test_fused_binop_leaves_inputs_unmutated(self):
+        a = np.full(8, 1.2345678, dtype=np.float32)
+        b = np.full(8, 2.3456789, dtype=np.float32)
+        sa, sb = a.copy(), b.copy()
+        fused_binop(np.add, a, b, 5, RoundingMode.TRUNCATION)
+        assert np.array_equal(a, sa) and np.array_equal(b, sb)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_fused_axpy_matches_two_binops(self, mode):
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal(64).astype(np.float32)
+        x = rng.standard_normal(64).astype(np.float32)
+        y = rng.standard_normal(64).astype(np.float32)
+        for precision in (2, 9, 16):
+            t = fused_binop(np.multiply, a, x, precision, mode)
+            expect = fused_binop(np.add, y, t, precision, mode)
+            got = fused_axpy(a, x, y, precision, mode)
+            assert _bits(expect).tolist() == _bits(got).tolist()
+
+    def test_context_axpy_census_free(self):
+        ctx = FPContext({"lcp": 9}, mode="jam", census=False)
+        ctx.phase = "lcp"
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal(32).astype(np.float32)
+        x = rng.standard_normal(32).astype(np.float32)
+        y = rng.standard_normal(32).astype(np.float32)
+        expect = ctx.add(y, ctx.mul(a, x))
+        got = ctx.axpy(a, x, y)
+        assert _bits(expect).tolist() == _bits(got).tolist()
+
+    def test_context_axpy_census_counts_both_ops(self):
+        ctx = FPContext({"lcp": 9}, mode="jam", census=True)
+        ctx.phase = "lcp"
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal(16).astype(np.float32)
+        x = rng.standard_normal(16).astype(np.float32)
+        y = rng.standard_normal(16).astype(np.float32)
+        ctx.axpy(a, x, y)
+        assert ctx.stats[("lcp", "mul")].total == 16
+        assert ctx.stats[("lcp", "add")].total == 16
+
+
+class TestMemoBudgetRestore:
+    """Satellite: ``reset_stats`` restores the configured memo budget."""
+
+    def test_budget_restored(self):
+        ctx = FPContext({"lcp": 9}, memo_budget=123)
+        ctx.memo_budget = 4  # drawn down by probes
+        ctx.reset_stats()
+        assert ctx.memo_budget == 123
+
+    def test_unlimited_budget_stays_none(self):
+        ctx = FPContext({"lcp": 9})
+        ctx.reset_stats()
+        assert ctx.memo_budget is None
+
+
+class TestProbeBatch:
+    """Satellite: vectorized probe path ≡ sequential lookups."""
+
+    def test_hit_count_matches_sequential(self):
+        rng = np.random.default_rng(3)
+        # Narrow operand space so pairs repeat and the table actually
+        # hits (32 x 32 = 1024 distinct pairs across 4000 probes).
+        abits = rng.integers(0, 32, size=4000).astype(np.uint32) << 18
+        bbits = rng.integers(0, 32, size=4000).astype(np.uint32) << 18
+        seq = MemoTable()
+        seq_hits = sum(seq.lookup(int(a), int(b))
+                       for a, b in zip(abits, bbits))
+        batch = MemoTable()
+        batch_hits = batch.probe_batch(abits, bbits)
+        assert seq_hits == batch_hits > 0
+        assert batch.stats.lookups == seq.stats.lookups == 4000
+        assert batch.stats.hits == seq.stats.hits
+
+
+class TestSweepRunner:
+    def test_serial_matches_parallel(self):
+        jobs = [SweepJob(key=(i,), fn=_square, args=(i,))
+                for i in range(7)]
+        serial = SweepRunner(1).run(jobs)
+        parallel = SweepRunner(4).run(jobs)
+        assert [r.value for r in serial] == [r.value for r in parallel]
+        assert [r.key for r in serial] == [r.key for r in parallel]
+        assert all(r.ok for r in parallel)
+
+    def test_outcome_ops_metrics(self):
+        runner = SweepRunner(1)
+        results = runner.run([SweepJob(key=(i,), fn=_square_outcome,
+                                       args=(i,)) for i in range(5)])
+        assert [r.value for r in results] == [0, 1, 4, 9, 16]
+        assert runner.last_metrics.ops == 5
+        assert runner.last_metrics.jobs == 5
+
+    def test_errors_marshalled_and_reraised(self):
+        jobs = [SweepJob(key=("ok",), fn=_square, args=(2,)),
+                SweepJob(key=("bad",), fn=_boom, args=(9,))]
+        results = SweepRunner(1).run(jobs, reraise=False)
+        assert results[0].ok and not results[1].ok
+        assert "bad cell 9" in results[1].error
+        with pytest.raises(RuntimeError, match="bad"):
+            SweepRunner(1).run(jobs)
+
+    def test_map_convenience(self):
+        results = SweepRunner(1).map(_square, [(2,), (3,)])
+        assert [r.value for r in results] == [4, 9]
+
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(5) == 5
+        assert resolve_workers(5, jobs=2) == 2
+        assert resolve_workers(0) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+        assert resolve_workers(None, jobs=10) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "nope")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+
+class TestBench:
+    PROTOCOL = BenchProtocol(census_free_warmup=1, census_free_steps=2,
+                             census_warmup=1, census_steps=1,
+                             kernel_shape=(64, 4), kernel_iters=3)
+
+    def test_run_bench_writes_payload(self, tmp_path):
+        payload = run_bench(scenarios=["continuous"],
+                            protocol=self.PROTOCOL,
+                            output_dir=str(tmp_path), compare=False)
+        bench_files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(bench_files) == 1
+        on_disk = json.loads(bench_files[0].read_text())
+        assert on_disk["kind"] == "repro-bench"
+        row = on_disk["scenarios"]["continuous"]
+        assert row["census_free_steps_per_sec"] > 0
+        assert row["census_steps_per_sec"] > 0
+        assert on_disk["kernel"]["binop_pairs_per_sec"] > 0
+        summary = render_summary(payload)
+        assert "continuous" in summary and "kernel:" in summary
+
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown"):
+            run_bench(scenarios=["nope"], protocol=self.PROTOCOL,
+                      output_dir=str(tmp_path))
+
+    def test_cli_bench_smoke(self, tmp_path, capsys):
+        assert main(["bench", "--scenarios", "continuous",
+                     "--steps", "2", "--census-steps", "1",
+                     "--kernel-iters", "2",
+                     "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "steps/s" in out
+        assert list(tmp_path.glob("BENCH_*.json"))
+
+    def test_cli_health_multi_seed(self, capsys):
+        assert main(["health", "continuous", "--steps", "8",
+                     "--scale", "0.4", "--inject-rate", "0.001",
+                     "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate:" in out and "2/2 seeds finite" in out
