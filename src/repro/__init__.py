@@ -14,6 +14,8 @@ Public API highlights
 - :mod:`repro.arch` -- ParallAX-style many-core timing / area / energy
   model with hierarchical FPU sharing.
 - :mod:`repro.experiments` -- one module per paper table/figure.
+- :mod:`repro.obs` -- observability layer: metrics registry, JSONL step
+  tracing, and the ``repro trace`` summary reports.
 """
 
 __version__ = "1.0.0"

@@ -15,7 +15,14 @@ Commands
     sweep over worker processes).
 ``bench``
     Time the census-free and census step loops per scenario and write a
-    ``BENCH_<stamp>.json`` perf snapshot.
+    ``BENCH_<stamp>.json`` perf snapshot (includes the metrics-overhead
+    assertion for the observability layer).
+``trace SCENARIO``
+    Run a scenario with the ``repro.obs`` tracer attached and stream
+    per-step telemetry (precision, energy delta, census totals,
+    controller actions) to a JSONL file; ``trace --summarize FILE``
+    renders the offline report (p50/p95 step time, precision histogram
+    per phase, violation counts).
 ``table1`` / ``table3`` / ``table4`` / ``table5`` / ``table8`` /
 ``figure5`` / ``figure6`` / ``figure7`` / ``figure8``
     Regenerate one paper artifact and print it.
@@ -121,6 +128,43 @@ def _add_bench_parser(sub) -> None:
     p.add_argument("--workers", type=int, default=None,
                    help="time scenarios concurrently (noisier numbers; "
                         "default 1 for timing fidelity)")
+    p.add_argument("--no-obs-overhead", action="store_true",
+                   help="skip the metrics-overhead assertion")
+
+
+def _add_trace_parser(sub) -> None:
+    p = sub.add_parser(
+        "trace",
+        help="per-step telemetry stream (JSONL) and its summary report")
+    p.add_argument("scenario", nargs="?", default=None,
+                   help="scenario to trace (omit with --summarize FILE "
+                        "to analyse an existing trace)")
+    p.add_argument("--steps", type=int, default=90)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=None,
+                   help="scenario-construction seed (default: built-in)")
+    p.add_argument("--mode", default="jam",
+                   choices=["rn", "jam", "trunc"])
+    p.add_argument("--lcp-bits", type=int, default=None,
+                   help="override the preset LCP precision")
+    p.add_argument("--narrow-bits", type=int, default=None,
+                   help="override the preset narrowphase precision")
+    p.add_argument("--out", default="trace.jsonl",
+                   help="JSONL output path (default: trace.jsonl)")
+    p.add_argument("--no-census", action="store_true",
+                   help="skip the trivialization census (faster, but "
+                        "step events carry zero census totals)")
+    p.add_argument("--no-adaptive", action="store_true",
+                   help="disable the dynamic precision controller")
+    p.add_argument("--guarded", action="store_true",
+                   help="wrap the run in the guarded recovery ladder "
+                        "(recovery events join the trace)")
+    p.add_argument("--inject-rate", type=float, default=0.0,
+                   help="with --guarded: soft-error injection rate")
+    p.add_argument("--summarize", nargs="?", const="", default=None,
+                   metavar="FILE",
+                   help="render the summary report (of FILE, or of the "
+                        "trace just written)")
 
 
 def _cmd_scenarios() -> int:
@@ -283,9 +327,77 @@ def _cmd_bench(args) -> int:
         # only compare against the recorded baseline on the default one
         # (an explicit --baseline overrides the caution).
         compare=not overrides or args.baseline is not None,
+        obs_overhead=not args.no_obs_overhead,
     )
     print(render_summary(payload))
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import JsonlWriter, Tracer, render_summary, summarize_file
+
+    if args.scenario is None:
+        if not args.summarize:
+            print("trace: give a SCENARIO to record, or --summarize FILE "
+                  "to analyse an existing trace", file=sys.stderr)
+            return 2
+        print(render_summary(summarize_file(args.summarize)))
+        return 0
+
+    from .experiments.table1 import PRESET_PRECISIONS
+    from .fp import FPContext
+    from .tuning import ControlledSimulation, PrecisionController
+    from .workloads import build
+
+    precision = dict(PRESET_PRECISIONS.get(args.scenario, {}))
+    if args.lcp_bits is not None:
+        precision["lcp"] = args.lcp_bits
+    if args.narrow_bits is not None:
+        precision["narrow"] = args.narrow_bits
+    precision = {k: v for k, v in precision.items() if v < 23}
+
+    census = not args.no_census
+    ctx = FPContext(dict(precision), mode=args.mode, census=census)
+    world = build(args.scenario, ctx=ctx, scale=args.scale,
+                  seed=args.seed)
+    tracer = Tracer(JsonlWriter(args.out))
+    tracer.meta(scenario=args.scenario, steps=args.steps,
+                precision=dict(precision), mode=args.mode, census=census)
+    controller = (PrecisionController(ctx, precision)
+                  if not args.no_adaptive and precision else None)
+    exit_code = 0
+    try:
+        if args.guarded:
+            from .robustness import (
+                FaultInjector,
+                GuardedSimulation,
+                SimulationAborted,
+            )
+
+            injector = (FaultInjector(rate=args.inject_rate,
+                                      seed=args.seed or 0)
+                        if args.inject_rate > 0 else None)
+            sim = GuardedSimulation(world, injector=injector,
+                                    controller=controller,
+                                    observer=tracer)
+            try:
+                sim.run(args.steps)
+            except SimulationAborted as aborted:
+                print(aborted.post_mortem())
+                exit_code = 1
+        else:
+            tracer.attach(world=world, controller=controller)
+            if controller is not None:
+                ControlledSimulation(world, controller).run(args.steps)
+            else:
+                for _ in range(args.steps):
+                    world.step()
+    finally:
+        tracer.close()
+    print(f"trace: {tracer.sink.events} events -> {args.out}")
+    if args.summarize is not None:
+        print(render_summary(summarize_file(args.summarize or args.out)))
+    return exit_code
 
 
 def _cmd_artifact(name: str) -> int:
@@ -353,6 +465,7 @@ def main(argv=None) -> int:
     _add_tune_parser(sub)
     _add_health_parser(sub)
     _add_bench_parser(sub)
+    _add_trace_parser(sub)
     for artifact in ARTIFACTS:
         sub.add_parser(artifact, help=f"regenerate paper {artifact}")
 
@@ -367,6 +480,8 @@ def main(argv=None) -> int:
         return _cmd_health(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_artifact(args.command)
 
 

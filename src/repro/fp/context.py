@@ -158,8 +158,20 @@ class FPContext:
         self.memo_budget = self._memo_budget_config
 
     def counter(self, phase: str, op: str) -> OpCounter:
-        """Census for ``(phase, op)`` (zeroed counter if never executed)."""
-        return self.stats.get((phase, op), OpCounter())
+        """Census for ``(phase, op)``, registered in :attr:`stats`.
+
+        A bucket that never executed is created zeroed *and recorded*,
+        so a caller that read-modifies the returned counter (merging
+        sweep shards, restoring a cached census) mutates the census the
+        context will later report.  The old behaviour returned a
+        detached ``OpCounter()`` for unseen keys: updates to it were
+        silently dropped and Table 4 underreported never-hit buckets.
+        """
+        key = (phase, op)
+        counter = self.stats.get(key)
+        if counter is None:
+            counter = self.stats[key] = OpCounter()
+        return counter
 
     def phase_totals(self, phase: str) -> OpCounter:
         """Merged census across all op types of one phase."""

@@ -1,0 +1,236 @@
+"""Metric primitives: counters, gauges, and fixed-bucket histograms.
+
+The registry is the in-memory half of the observability layer
+(:mod:`repro.obs`): tracing streams events to JSONL for offline
+analysis, while the registry keeps cheap running aggregates that a live
+process (or a test) can interrogate without re-reading the stream.
+
+Design constraints, in order:
+
+* **Hot-path cost** — one census-free ``World.step()`` runs in
+  milliseconds; updating a handful of metrics must stay microseconds.
+  Counters and gauges are plain attribute writes; histogram observation
+  is one ``bisect`` plus three adds.
+* **Determinism** — no wall-clock state lives in the registry itself, so
+  two traced runs with the same seed produce identical snapshots apart
+  from timing-valued metrics.
+* **Mergeability** — sweep workers run in separate processes; their
+  snapshots merge into the parent registry by plain addition.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_TIME_EDGES"]
+
+#: Default histogram edges for durations in seconds (0.1 ms .. 10 s,
+#: roughly geometric — step times span scenario scales by ~100x).
+DEFAULT_TIME_EDGES = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (plus its min/max envelope)."""
+
+    __slots__ = ("value", "min", "max", "updates")
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.updates += 1
+
+    def merge(self, other: "Gauge") -> None:
+        # Last-writer-wins for the point value; envelopes union.
+        if other.updates:
+            self.value = other.value
+            self.min = (other.min if self.min is None
+                        else min(self.min, other.min))
+            self.max = (other.max if self.max is None
+                        else max(self.max, other.max))
+            self.updates += other.updates
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value,
+                "min": self.min, "max": self.max, "updates": self.updates}
+
+
+class Histogram:
+    """Fixed-bucket-edge histogram with quantile estimation.
+
+    ``edges`` are the ascending upper bounds of the first ``len(edges)``
+    buckets; one overflow bucket catches everything above the last edge.
+    Quantiles interpolate linearly inside the containing bucket, which
+    is exact enough for the p50/p95 reporting the trace summary needs.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "min", "max")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_TIME_EDGES) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("edges must be non-empty and ascending")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1]); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0.0
+        for i, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= rank:
+                lo = self.edges[i - 1] if i > 0 else (self.min or 0.0)
+                hi = (self.edges[i] if i < len(self.edges)
+                      else (self.max if self.max is not None else lo))
+                lo = max(lo, self.min or lo)
+                hi = min(hi, self.max if self.max is not None else hi)
+                if hi <= lo:
+                    return lo
+                frac = (rank - seen) / bucket_count
+                return lo + frac * (hi - lo)
+            seen += bucket_count
+        return self.max or 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.edges != self.edges:
+            raise ValueError("cannot merge histograms with different edges")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = (other.min if self.min is None
+                        else min(self.min, other.min))
+        if other.max is not None:
+            self.max = (other.max if self.max is None
+                        else max(self.max, other.max))
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": round(self.quantile(0.50), 6),
+            "p95": round(self.quantile(0.95), 6),
+        }
+
+
+def _key(name: str, labels: Dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for named metrics.
+
+    Labels are flattened into the metric key (``name{k=v,...}``) so the
+    snapshot is a plain, deterministic, JSON-able dict.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, name: str, labels: Dict[str, str], factory,
+             kind: type):
+        key = _key(name, {k: str(v) for k, v in labels.items()})
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = factory()
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"{key} already registered as {type(metric).__name__}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(name, labels, Counter, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(name, labels, Gauge, Gauge)
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = DEFAULT_TIME_EDGES,
+                  **labels) -> Histogram:
+        return self._get(name, labels, lambda: Histogram(edges), Histogram)
+
+    def items(self) -> Iterable[Tuple[str, object]]:
+        return sorted(self._metrics.items())
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-able dump of every metric."""
+        return {key: metric.to_dict()
+                for key, metric in sorted(self._metrics.items())}
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (counters/histograms add, gauges
+        last-writer-win) — used to aggregate sweep-worker registries."""
+        for key, metric in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                factory = (
+                    (lambda m=metric: Histogram(m.edges))
+                    if isinstance(metric, Histogram) else type(metric))
+                mine = self._metrics[key] = factory()
+            mine.merge(metric)

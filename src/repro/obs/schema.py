@@ -1,0 +1,151 @@
+"""Trace event schema (version 1) and its validator.
+
+Every JSONL line is one event; ``kind`` discriminates.  The step record
+carries the four signal families the paper's argument is built on:
+
+* per-phase **precision** bits (the control-register state that actually
+  executed — Section 4.2);
+* the per-step **energy delta** against the 10 % believability
+  threshold (Section 4.1);
+* the trivialization/memoization **census totals** (Table 4);
+* wall-clock **timing** per phase.
+
+Controller, detection/recovery, and sweep events share the stream so a
+single timeline answers "what did the controller do when the energy
+spiked at step 41, and what did recovery cost?".
+
+The validator is deliberately structural (required keys + coarse
+types), not exhaustive: the trace must stay writable from hot paths and
+checkable in CI without a JSON-schema dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["SCHEMA_VERSION", "EVENT_KINDS", "validate_event",
+           "validate_events"]
+
+SCHEMA_VERSION = 1
+
+_NUM = (int, float)
+
+#: kind -> {field: required python type(s)}
+EVENT_KINDS: Dict[str, Dict[str, tuple]] = {
+    "meta": {
+        "schema": (int,),
+        "scenario": (str,),
+        "steps": (int,),
+        "precision": (dict,),
+        "mode": (str,),
+        "census": (bool,),
+    },
+    "step": {
+        "step": (int,),
+        "wall": _NUM,
+        "phases": (dict,),     # name -> {"seconds": float, "bits": int}
+        "energy": (dict,),     # {"total", "delta_rel", "violation"}
+        "census": (dict,),     # {"total", "trivial", "memo_hits",
+                               #  "lut_hits", "nontrivial"}
+        "contacts": (int,),
+        "islands": (int,),
+    },
+    "controller": {
+        "step": (int,),
+        "action": (str,),      # "throttle" | "decay" | "hold"
+        "violation": (bool,),
+        "reexecuted": (bool,),
+        "precisions": (dict,),
+    },
+    "detection": {
+        "step": (int,),
+        "phase": (str,),
+        "detail": (str,),
+    },
+    "recovery": {
+        "step": (int,),
+        "rung": (int,),
+        "action": (str,),
+        "outcome": (str,),
+        "detail": (str,),
+        "islands": (list,),
+    },
+    "sweep_job": {
+        "key": (list,),
+        "wall": _NUM,
+        "ops": (int,),
+        "ok": (bool,),
+    },
+    "sweep": {
+        "jobs": (int,),
+        "workers": (int,),
+        "elapsed": _NUM,
+        "busy": _NUM,
+        "ops": (int,),
+    },
+}
+
+_CENSUS_FIELDS = ("total", "trivial", "memo_hits", "lut_hits",
+                  "nontrivial")
+_ENERGY_FIELDS = ("total", "delta_rel", "violation")
+_CONTROLLER_ACTIONS = ("throttle", "decay", "hold")
+
+
+def validate_event(event: dict) -> List[str]:
+    """Return a list of schema problems (empty = valid)."""
+    errors: List[str] = []
+    kind = event.get("kind")
+    spec = EVENT_KINDS.get(kind)
+    if spec is None:
+        return [f"unknown kind: {kind!r}"]
+    for field, types in spec.items():
+        if field not in event:
+            errors.append(f"{kind}: missing field {field!r}")
+        elif not isinstance(event[field], types):
+            errors.append(
+                f"{kind}.{field}: expected {'/'.join(t.__name__ for t in types)},"
+                f" got {type(event[field]).__name__}")
+    if errors:
+        return errors
+
+    if kind == "step":
+        census = event["census"]
+        for field in _CENSUS_FIELDS:
+            if not isinstance(census.get(field), int):
+                errors.append(f"step.census.{field}: missing or non-int")
+        energy = event["energy"]
+        for field in _ENERGY_FIELDS:
+            if field not in energy:
+                errors.append(f"step.energy.{field}: missing")
+        if not isinstance(energy.get("violation"), bool):
+            errors.append("step.energy.violation: must be bool")
+        for name, phase in event["phases"].items():
+            if not isinstance(phase, dict) or \
+                    not isinstance(phase.get("seconds"), _NUM) or \
+                    not isinstance(phase.get("bits"), int):
+                errors.append(f"step.phases[{name}]: needs seconds+bits")
+    elif kind == "controller":
+        if event["action"] not in _CONTROLLER_ACTIONS:
+            errors.append(f"controller.action: {event['action']!r} not in "
+                          f"{_CONTROLLER_ACTIONS}")
+    elif kind == "meta" and event["schema"] != SCHEMA_VERSION:
+        errors.append(f"meta.schema: {event['schema']} != {SCHEMA_VERSION}")
+    return errors
+
+
+def validate_events(events: Sequence[dict]) -> Tuple[int, List[str]]:
+    """Validate a whole stream; returns ``(invalid_count, first_errors)``.
+
+    ``first_errors`` keeps at most ten messages so a corrupt trace does
+    not flood CI logs.
+    """
+    invalid = 0
+    messages: List[str] = []
+    for i, event in enumerate(events):
+        errors = validate_event(event)
+        if errors:
+            invalid += 1
+            for err in errors:
+                if len(messages) < 10:
+                    messages.append(f"event {i}: {err}")
+    return invalid, messages

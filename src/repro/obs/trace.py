@@ -1,0 +1,104 @@
+"""Process-safe JSONL event streaming.
+
+One trace is one append-only JSONL file: each line is a self-contained
+JSON object with a ``kind`` discriminator (see :mod:`repro.obs.schema`).
+The writer follows the same crash-safety reasoning as
+``experiments.runcache.write_json_atomic``: where the run cache gets
+atomicity from temp-file-then-``os.replace``, a *stream* gets it from
+``O_APPEND`` plus one ``os.write`` per event — POSIX guarantees append
+writes are not interleaved, so sweep workers and the parent process can
+share a trace file without tearing lines.  A threading lock covers the
+in-process case (pool callbacks land on worker threads).
+
+Readers are tolerant: a torn final line (killed process) or a stray
+non-JSON line is counted and skipped, never raised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["JsonlWriter", "NullSink", "read_events", "iter_events"]
+
+
+class NullSink:
+    """Metrics-only tracing target: swallows events, counts them."""
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def write(self, event: dict) -> None:
+        self.events += 1
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlWriter:
+    """Append-only JSONL writer safe across threads *and* processes."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self._lock = threading.Lock()
+        self.events = 0
+
+    def write(self, event: dict) -> None:
+        if self._fd is None:
+            raise ValueError("writer is closed")
+        line = json.dumps(event, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            os.write(self._fd, data)
+            self.events += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def iter_events(path) -> Iterator[Tuple[Optional[dict], str]]:
+    """Yield ``(event, raw_line)`` pairs; ``event`` is None for lines
+    that do not parse (torn tail, stray text)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw)
+            except json.JSONDecodeError:
+                yield None, raw
+                continue
+            yield (event if isinstance(event, dict) else None), raw
+
+
+def read_events(path, kinds: Optional[Tuple[str, ...]] = None
+                ) -> Tuple[List[dict], int]:
+    """Read a trace file; returns ``(events, skipped_line_count)``."""
+    events: List[dict] = []
+    skipped = 0
+    for event, _raw in iter_events(path):
+        if event is None:
+            skipped += 1
+            continue
+        if kinds is not None and event.get("kind") not in kinds:
+            continue
+        events.append(event)
+    return events, skipped

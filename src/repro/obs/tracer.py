@@ -1,0 +1,271 @@
+"""The `Tracer`: one object observing every instrumented subsystem.
+
+A tracer couples a :class:`~repro.obs.metrics.MetricsRegistry` (live
+aggregates) with an optional event sink (JSONL stream).  Subsystems hold
+an ``observer`` attribute that defaults to ``None``; the instrumentation
+hooks cost a single ``is not None`` check when disabled, which keeps the
+census-free fast path untouched — the bench harness asserts the enabled
+cost stays under 10 % of step throughput.
+
+Hook surface:
+
+* ``World.step()`` calls ``begin_step`` / ``phase_done`` / ``end_step``;
+* ``PrecisionController.observe()`` calls ``controller_event``;
+* ``IncidentLog.record()`` calls ``incident``;
+* ``SweepRunner.run()`` calls ``sweep_result`` and ``sweep_metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .schema import SCHEMA_VERSION
+
+__all__ = ["Tracer", "LUT_PRECISION_LIMIT"]
+
+#: Tuned precisions below this mantissa width are fully covered by the
+#: 2K-entry arithmetic LUT (operand fields of ``w`` bits cover widths
+#: < ``w + 1``; the paper's table uses w = 5 — Section 4.3.4).
+LUT_PRECISION_LIMIT = 6
+
+#: Ops the LUT (and the memo tables) serve; div/sqrt never use either.
+_LUT_OPS = ("add", "sub", "mul")
+
+
+class Tracer:
+    """Streams step/controller/recovery/sweep events, keeps metrics.
+
+    Parameters
+    ----------
+    sink:
+        Event target with ``write(dict)`` / ``close()`` — a
+        :class:`~repro.obs.trace.JsonlWriter`, a
+        :class:`~repro.obs.trace.NullSink`, or ``None`` for
+        metrics-only operation.
+    registry:
+        Metrics home; a fresh :class:`MetricsRegistry` when omitted.
+    threshold:
+        Relative energy-delta believability threshold used to tag step
+        events with ``violation`` (the paper's 10 %).
+    """
+
+    def __init__(
+        self,
+        sink=None,
+        registry: Optional[MetricsRegistry] = None,
+        threshold: float = 0.10,
+        lut_precision_limit: int = LUT_PRECISION_LIMIT,
+    ) -> None:
+        self.sink = sink
+        self.registry = registry or MetricsRegistry()
+        self.threshold = threshold
+        self.lut_precision_limit = lut_precision_limit
+        self._step_start: Optional[float] = None
+        self._phase_seconds: Dict[str, float] = {}
+        self._census_prev: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
+        # Metric handles are resolved once, not per step: registry
+        # lookups (label-key formatting) would otherwise dominate the
+        # per-step tracer cost on sub-millisecond scenarios.
+        reg = self.registry
+        self._m_steps = reg.counter("steps")
+        self._m_step_hist = reg.histogram("step.seconds")
+        self._m_violations = reg.counter("energy.violations")
+        self._m_census = {
+            field: reg.counter(f"census.{field}")
+            for field in ("total", "trivial", "memo_hits", "lut_hits",
+                          "nontrivial")
+        }
+        self._m_phase: Dict[str, tuple] = {}  # name -> (hist, gauge)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def emit(self, event: dict) -> None:
+        if self.sink is not None:
+            self.sink.write(event)
+
+    def meta(self, **fields) -> None:
+        """Emit the stream header describing the traced run."""
+        event = {"kind": "meta", "schema": SCHEMA_VERSION}
+        event.update(fields)
+        self.emit(event)
+
+    def attach(self, world=None, controller=None, log=None,
+               runner=None) -> "Tracer":
+        """Install this tracer as the observer of the given components."""
+        if world is not None:
+            world.observer = self
+        if controller is not None:
+            controller.observer = self
+        if log is not None:
+            log.observer = self
+        if runner is not None:
+            runner.observer = self
+        return self
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # World hooks
+    # ------------------------------------------------------------------
+    def begin_step(self, world) -> None:
+        self._phase_seconds.clear()
+        self._step_start = time.perf_counter()
+
+    def phase_done(self, name: str, seconds: float) -> None:
+        self._phase_seconds[name] = \
+            self._phase_seconds.get(name, 0.0) + seconds
+
+    def _census_delta(self, ctx) -> Dict[str, int]:
+        total = trivial = memo_hits = lut_hits = 0
+        prev = self._census_prev
+        for key, counter in ctx.stats.items():
+            now = (counter.total, counter.extended_trivial,
+                   counter.memo_hits)
+            before = prev.get(key, (0, 0, 0))
+            d_total = now[0] - before[0]
+            d_trivial = now[1] - before[1]
+            total += d_total
+            trivial += d_trivial
+            memo_hits += now[2] - before[2]
+            phase, op = key
+            if (op in _LUT_OPS
+                    and ctx.precision_for(phase) < self.lut_precision_limit):
+                # Below the LUT coverage width every non-trivial add/mul
+                # is table-satisfied ("100% of operations sent to the
+                # look-up table will be satisfied").
+                lut_hits += d_total - d_trivial
+            prev[key] = now
+        return {
+            "total": total,
+            "trivial": trivial,
+            "memo_hits": memo_hits,
+            "lut_hits": lut_hits,
+            "nontrivial": total - trivial,
+        }
+
+    def end_step(self, world, record) -> None:
+        wall = (time.perf_counter() - self._step_start
+                if self._step_start is not None else 0.0)
+        self._step_start = None
+        ctx = world.ctx
+        delta_rel = world.monitor.relative_step_difference()
+        violation = delta_rel is not None and delta_rel > self.threshold
+        phases = {
+            name: {"seconds": round(seconds, 6),
+                   "bits": ctx.precision_for(name)}
+            for name, seconds in self._phase_seconds.items()
+        }
+        census = self._census_delta(ctx)
+        event = {
+            "kind": "step",
+            "step": world.step_count - 1,
+            "wall": round(wall, 6),
+            "phases": phases,
+            "energy": {
+                "total": round(float(record.total), 6),
+                "delta_rel": (round(float(delta_rel), 8)
+                              if delta_rel is not None else None),
+                "violation": violation,
+            },
+            "census": census,
+            "contacts": int(world.last_contact_count),
+            "islands": int(world.island_count),
+        }
+        self.emit(event)
+
+        self._m_steps.inc()
+        self._m_step_hist.observe(wall)
+        for name, phase in phases.items():
+            handles = self._m_phase.get(name)
+            if handles is None:
+                handles = self._m_phase[name] = (
+                    self.registry.histogram("phase.seconds", phase=name),
+                    self.registry.gauge("phase.bits", phase=name))
+            handles[0].observe(phase["seconds"])
+            handles[1].set(phase["bits"])
+        for field, counter in self._m_census.items():
+            counter.inc(census[field])
+        if violation:
+            self._m_violations.inc()
+
+    # ------------------------------------------------------------------
+    # Controller hook
+    # ------------------------------------------------------------------
+    def controller_event(self, step: int, action: str, violation: bool,
+                         reexecuted: bool,
+                         precisions: Dict[str, int]) -> None:
+        self.emit({
+            "kind": "controller",
+            "step": step,
+            "action": action,
+            "violation": violation,
+            "reexecuted": reexecuted,
+            "precisions": dict(precisions),
+        })
+        self.registry.counter("controller.actions", action=action).inc()
+        if reexecuted:
+            self.registry.counter("controller.reexecutions").inc()
+
+    # ------------------------------------------------------------------
+    # Incident hook (detections + recovery-ladder transitions)
+    # ------------------------------------------------------------------
+    def incident(self, incident) -> None:
+        if incident.kind == "detection":
+            self.emit({
+                "kind": "detection",
+                "step": incident.step,
+                "phase": incident.phase,
+                "detail": incident.detail,
+            })
+            self.registry.counter("recovery.detections").inc()
+        else:  # "recovery" | "abort"
+            self.emit({
+                "kind": "recovery",
+                "step": incident.step,
+                "rung": incident.rung,
+                "action": incident.action,
+                "outcome": incident.outcome,
+                "detail": incident.detail,
+                "islands": list(incident.islands),
+            })
+            self.registry.counter("recovery.actions",
+                                  outcome=incident.outcome).inc()
+
+    # ------------------------------------------------------------------
+    # Sweep hooks
+    # ------------------------------------------------------------------
+    def sweep_result(self, result) -> None:
+        key = [k if isinstance(k, (str, int, float, bool)) else str(k)
+               for k in result.key]
+        self.emit({
+            "kind": "sweep_job",
+            "key": key,
+            "wall": round(result.wall_time, 6),
+            "ops": int(result.ops),
+            "ok": result.ok,
+        })
+        self.registry.counter("sweep.jobs").inc()
+        if not result.ok:
+            self.registry.counter("sweep.failures").inc()
+
+    def sweep_metrics(self, metrics) -> None:
+        self.emit({
+            "kind": "sweep",
+            "jobs": metrics.jobs,
+            "workers": metrics.workers,
+            "elapsed": round(metrics.elapsed, 6),
+            "busy": round(metrics.busy_time, 6),
+            "ops": metrics.ops,
+        })
+        self.registry.counter("sweep.runs").inc()

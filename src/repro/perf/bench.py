@@ -20,10 +20,11 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -56,6 +57,13 @@ class BenchProtocol:
     kernel_iters: int = 50
     kernel_precision: int = 9
     kernel_mode: str = "jam"
+    # Metrics-overhead assertion: tracing a census-free step loop must
+    # cost less than ``obs_budget_pct`` of its throughput.
+    obs_scenario: str = "everything"
+    obs_warmup: int = 3
+    obs_steps: int = 12
+    obs_rounds: int = 3
+    obs_budget_pct: float = 10.0
 
 
 def _time_step_loop(scenario: str, census: bool, warmup: int,
@@ -124,6 +132,65 @@ def _kernel_bench(protocol: BenchProtocol) -> Dict[str, float]:
     }
 
 
+def _time_obs_loop(scenario: str, warmup: int, steps: int,
+                   trace_path: Optional[Path] = None) -> float:
+    """Steps/sec of one census-free loop, optionally under a tracer."""
+    from ..obs import JsonlWriter, Tracer
+
+    ctx = FPContext(dict(PRESET_PRECISIONS[scenario]), census=False)
+    world = build(scenario, ctx=ctx)
+    tracer = None
+    if trace_path is not None:
+        tracer = Tracer(JsonlWriter(trace_path))
+        tracer.attach(world=world)
+    try:
+        for _ in range(warmup):
+            world.step()
+        start = time.perf_counter()
+        for _ in range(steps):
+            world.step()
+        wall = time.perf_counter() - start
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return steps / wall if wall else 0.0
+
+
+def _obs_overhead(protocol: BenchProtocol) -> dict:
+    """Measure the cost of enabling metrics/tracing on the step loop.
+
+    Plain and traced loops run interleaved for ``obs_rounds`` rounds and
+    the best rate of each side is compared — best-of-N damps scheduler
+    noise, which matters because the real tracer cost (a handful of
+    ``perf_counter`` calls and dict updates per millisecond-scale step)
+    is far below the failure budget.
+    """
+    scenario = protocol.obs_scenario
+    plain_best = traced_best = 0.0
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "overhead_trace.jsonl"
+        for _ in range(max(1, protocol.obs_rounds)):
+            plain_best = max(plain_best, _time_obs_loop(
+                scenario, protocol.obs_warmup, protocol.obs_steps))
+            traced_best = max(traced_best, _time_obs_loop(
+                scenario, protocol.obs_warmup, protocol.obs_steps,
+                trace_path))
+    if traced_best > 0:
+        overhead_pct = (plain_best / traced_best - 1.0) * 100.0
+    else:
+        overhead_pct = float("inf")
+    return {
+        "scenario": scenario,
+        "steps": protocol.obs_steps,
+        "rounds": protocol.obs_rounds,
+        "plain_steps_per_sec": round(plain_best, 3),
+        "traced_steps_per_sec": round(traced_best, 3),
+        "overhead_pct": round(overhead_pct, 2),
+        "budget_pct": protocol.obs_budget_pct,
+        "ok": overhead_pct < protocol.obs_budget_pct,
+    }
+
+
 def _load_baseline(path: Optional[Path]) -> Optional[dict]:
     path = Path(path) if path is not None else DEFAULT_BASELINE
     if not path.exists():
@@ -146,12 +213,16 @@ def run_bench(
     workers: Optional[int] = None,
     kernel: bool = True,
     compare: bool = True,
+    obs_overhead: bool = True,
 ) -> dict:
     """Run the benchmark sweep and persist ``BENCH_<stamp>.json``.
 
     Returns the written payload (its ``"path"`` key holds the file).
     ``compare=False`` suppresses the baseline speedup columns — used when
     a non-default protocol makes them apples-to-oranges.
+    ``obs_overhead`` measures the cost of enabling the observability
+    tracer on the step loop and asserts it stays under the budget
+    (payload key ``obs_overhead``, with an ``ok`` flag CI gates on).
     """
     protocol = protocol or BenchProtocol()
     if scenarios is None:
@@ -192,19 +263,25 @@ def run_bench(
     baseline = _load_baseline(
         Path(baseline_path) if baseline_path else None) if compare else None
     speedups: Dict[str, dict] = {}
+    warnings: List[str] = []
     if baseline is not None:
+        base_scenarios = baseline.get("scenarios", {})
         for scenario, row in scenario_rows.items():
-            base = baseline.get("scenarios", {}).get(scenario)
-            if not base:
-                continue
+            base = base_scenarios.get(scenario) or {}
             entry = {}
             for loop in ("census_free", "census"):
                 ours = row[f"{loop}_steps_per_sec"]
                 theirs = base.get(f"{loop}_steps_per_sec")
-                if theirs:
+                # A missing or zero baseline rate yields a null speedup
+                # plus a warning — never a crash or a printed `inf`.
+                if isinstance(theirs, (int, float)) and theirs > 0:
                     entry[loop] = round(ours / theirs, 3)
-            if entry:
-                speedups[scenario] = entry
+                else:
+                    entry[loop] = None
+                    warnings.append(
+                        f"baseline has no usable {loop} rate for "
+                        f"'{scenario}'; speedup reported as null")
+            speedups[scenario] = entry
 
     stamp = time.strftime("%Y%m%d_%H%M%S")
     payload = {
@@ -233,9 +310,20 @@ def run_bench(
         payload["kernel"] = _kernel_bench(protocol)
         if baseline is not None and "kernel" in baseline:
             base_rate = baseline["kernel"].get("binop_pairs_per_sec")
-            if base_rate:
+            if isinstance(base_rate, (int, float)) and base_rate > 0:
                 payload["kernel"]["speedup_vs_baseline"] = round(
                     payload["kernel"]["binop_pairs_per_sec"] / base_rate, 3)
+            else:
+                payload["kernel"]["speedup_vs_baseline"] = None
+                warnings.append("baseline kernel rate missing or zero; "
+                                "speedup reported as null")
+    if obs_overhead:
+        payload["obs_overhead"] = _obs_overhead(protocol)
+        if not payload["obs_overhead"]["ok"]:
+            warnings.append(
+                "metrics overhead "
+                f"{payload['obs_overhead']['overhead_pct']:.1f}% exceeds "
+                f"the {protocol.obs_budget_pct:.0f}% budget")
     if baseline is not None:
         payload["baseline"] = {
             "path": baseline.get("_path"),
@@ -243,6 +331,8 @@ def run_bench(
             "note": baseline.get("note", ""),
         }
         payload["speedup_vs_baseline"] = speedups
+    if warnings:
+        payload["warnings"] = warnings
 
     out_dir = Path(output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -250,6 +340,11 @@ def run_bench(
     write_json_atomic(path, payload)
     payload["path"] = str(path)
     return payload
+
+
+def _format_speedup(value) -> str:
+    """``-`` for null speedups (missing/zero baseline entries)."""
+    return f"{value:.2f}x" if isinstance(value, (int, float)) else "-"
 
 
 def render_summary(payload: dict) -> str:
@@ -266,9 +361,9 @@ def render_summary(payload: dict) -> str:
                 f"{row['census_free_steps_per_sec']:.1f}",
                 f"{row['census_steps_per_sec']:.1f}"]
         if has_speedup:
-            sp = payload["speedup_vs_baseline"].get(scenario, {})
-            line += [f"{sp.get('census_free', 0.0):.2f}x" if sp else "-",
-                     f"{sp.get('census', 0.0):.2f}x" if sp else "-"]
+            sp = payload["speedup_vs_baseline"].get(scenario) or {}
+            line += [_format_speedup(sp.get("census_free")),
+                     _format_speedup(sp.get("census"))]
         rows.append(line)
     out = render_table(headers, rows, title="repro bench — step-loop "
                                             "throughput")
@@ -279,8 +374,17 @@ def render_summary(payload: dict) -> str:
             f" vs legacy {kernel['legacy_binop_pairs_per_sec']:.0f}"
             f" ({kernel['fused_speedup_vs_legacy']:.2f}x), axpy "
             f"{kernel['axpy_per_sec']:.0f}/s")
-        if "speedup_vs_baseline" in kernel:
+        if kernel.get("speedup_vs_baseline") is not None:
             out += (f", {kernel['speedup_vs_baseline']:.2f}x vs recorded"
                     f" baseline")
+    overhead = payload.get("obs_overhead")
+    if overhead:
+        out += (
+            f"\nmetrics overhead: {overhead['overhead_pct']:.1f}% on "
+            f"{overhead['scenario']} (budget "
+            f"{overhead['budget_pct']:.0f}%) — "
+            + ("OK" if overhead["ok"] else "REGRESSED"))
+    for warning in payload.get("warnings", ()):
+        out += f"\nwarning: {warning}"
     out += f"\nwritten: BENCH_{payload['stamp']}.json"
     return out

@@ -143,9 +143,14 @@ class SweepRunner:
     :attr:`last_metrics`; a single instance can execute many sweeps.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(self, workers: Optional[int] = None,
+                 observer=None) -> None:
         self.requested_workers = workers
         self.last_metrics: Optional[SweepMetrics] = None
+        #: optional :class:`~repro.obs.Tracer`; per-job wall/op metrics
+        #: and the aggregate sweep record stream through it in the same
+        #: JSONL schema the step telemetry uses.
+        self.observer = observer
 
     def resolved_workers(self, jobs: Optional[int] = None) -> int:
         return resolve_workers(self.requested_workers, jobs)
@@ -183,6 +188,10 @@ class SweepRunner:
             busy_time=sum(r.wall_time for r in results),
             ops=sum(r.ops for r in results),
         )
+        if self.observer is not None:
+            for result in results:
+                self.observer.sweep_result(result)
+            self.observer.sweep_metrics(self.last_metrics)
         if reraise:
             failed = [r for r in results if not r.ok]
             if failed:

@@ -16,6 +16,7 @@ at full precision — exactly the paper's per-phase control-register design.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -82,6 +83,10 @@ class World:
         #: optional :class:`~repro.robustness.PhaseGuards`; when set,
         #: invariants are checked at every phase boundary of ``step()``
         self.guards = None
+        #: optional :class:`~repro.obs.Tracer`; when set, ``step()``
+        #: reports per-phase wall time and a per-step telemetry record.
+        #: The ``None`` default keeps the fast path untouched.
+        self.observer = None
         #: post-solve contact-normal residual (only computed under guards)
         self.last_lcp_residual = 0.0
         #: bodies slept permanently by the recovery engine (rung 2)
@@ -166,26 +171,38 @@ class World:
     def step(self) -> None:
         """Advance the world by one ``dt`` timestep."""
         ctx = self.ctx
+        obs = self.observer
+        if obs is not None:
+            obs.begin_step(self)
         self.bodies.ensure_world_row()
 
         for explosion in self.explosions:
             if explosion.trigger_step == self.step_count:
                 explosion.apply(self)
 
+        t0 = time.perf_counter() if obs is not None else 0.0
         with ctx.in_phase("integrate"):
             self.bodies.refresh_derived(ctx)
             integrator.apply_gravity(ctx, self.bodies, self.gravity, self.dt)
             for cloth in self.cloths:
                 cloth.apply_gravity(ctx, self.gravity, self.dt)
+        if obs is not None:
+            obs.phase_done("integrate", time.perf_counter() - t0)
+            t0 = time.perf_counter()
 
         # --- collision detection -------------------------------------
         aabbs = self.geoms.world_aabbs(
             self.bodies.view("pos"), self.bodies.view("rot"))
         pairs = broadphase.candidate_pairs(self.geoms, aabbs)
+        if obs is not None:
+            obs.phase_done("broad", time.perf_counter() - t0)
+            t0 = time.perf_counter()
 
         with ctx.in_phase("narrow"):
             contacts = narrowphase.generate_contacts(
                 ctx, self.bodies, self.geoms, pairs)
+        if obs is not None:
+            obs.phase_done("narrow", time.perf_counter() - t0)
         self.last_contact_count = len(contacts)
         self.penetration_series.append(
             float(contacts.depth.max()) if len(contacts) else 0.0)
@@ -193,6 +210,8 @@ class World:
             self.guards.after_narrow(self, contacts)
 
         # --- islands ---------------------------------------------------
+        if obs is not None:
+            t0 = time.perf_counter()
         edges: List[Tuple[int, int]] = list(
             zip(contacts.body_a.tolist(), contacts.body_b.tolist()))
         for joint in self.joints.ball_joints:
@@ -201,6 +220,9 @@ class World:
             edges.append((joint.body_a, joint.body_b))
         self.island_labels = partition_islands(
             self.bodies.count, self.bodies.dynamic_mask(), edges)
+        if obs is not None:
+            obs.phase_done("islands", time.perf_counter() - t0)
+            t0 = time.perf_counter()
 
         # --- constraint solve ------------------------------------------
         with ctx.in_phase("lcp"):
@@ -218,6 +240,8 @@ class World:
                 cloth.solve_constraints(ctx, self.dt,
                                         self.solver.iterations)
                 cloth.collide(ctx, self)
+        if obs is not None:
+            obs.phase_done("lcp", time.perf_counter() - t0)
 
         if self.guards is not None:
             self.last_lcp_residual = lcp.solver_residual(self.bodies, rows)
@@ -228,15 +252,21 @@ class World:
         self._update_sleep_state(contacts)
 
         # --- integration ------------------------------------------------
+        if obs is not None:
+            t0 = time.perf_counter()
         with ctx.in_phase("integrate"):
             integrator.integrate(ctx, self.bodies, self.dt)
             for cloth in self.cloths:
                 cloth.integrate(ctx, self.dt)
+        if obs is not None:
+            obs.phase_done("integrate", time.perf_counter() - t0)
 
         record = self.monitor.measure(self, self.step_count)
         if self.guards is not None:
             self.guards.after_integrate(self, record)
         self.step_count += 1
+        if obs is not None:
+            obs.end_step(self, record)
         if self.on_step is not None:
             self.on_step(self, record)
 

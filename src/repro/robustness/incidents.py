@@ -48,12 +48,17 @@ class IncidentLog:
 
     def __init__(self) -> None:
         self.records: List[Incident] = []
+        #: optional :class:`~repro.obs.Tracer`; every recorded incident
+        #: is streamed as a detection/recovery trace event as well.
+        self.observer = None
 
     def __len__(self) -> int:
         return len(self.records)
 
     def record(self, incident: Incident) -> Incident:
         self.records.append(incident)
+        if self.observer is not None:
+            self.observer.incident(incident)
         return incident
 
     def detection(self, step: int, phase: str, detail: str,
@@ -131,8 +136,13 @@ class HealthReport:
         if len(self.log):
             out.append("  incident log:")
             lines = self.log.lines()
-            shown = lines if max_log_lines is None else lines[:max_log_lines]
-            out.extend(f"    {line}" for line in shown)
+            # Truncation keeps the *tail*: the most recent incidents are
+            # what an operator inspecting a sick run needs, and the old
+            # head-truncation hid exactly those.
             if max_log_lines is not None and len(lines) > max_log_lines:
-                out.append(f"    ... {len(lines) - max_log_lines} more")
+                omitted = len(lines) - max_log_lines
+                out.append(f"    ... {omitted} earlier incident(s) "
+                           f"omitted")
+                lines = lines[len(lines) - max_log_lines:]
+            out.extend(f"    {line}" for line in lines)
         return "\n".join(out)

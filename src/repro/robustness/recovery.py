@@ -115,6 +115,11 @@ class GuardedSimulation:
         adaptation keeps working under guarded execution.
     policy:
         Escalation-ladder tunables.
+    observer:
+        Optional :class:`~repro.obs.Tracer`; installed on the world,
+        the controller, and the incident log so step telemetry,
+        controller actions, and every recovery-ladder rung transition
+        land on one timeline.
     """
 
     def __init__(
@@ -125,6 +130,7 @@ class GuardedSimulation:
         controller=None,
         policy: Optional[RecoveryPolicy] = None,
         log: Optional[IncidentLog] = None,
+        observer=None,
     ) -> None:
         self.world = world
         self.guards = guards or PhaseGuards()
@@ -132,6 +138,7 @@ class GuardedSimulation:
         self.controller = controller
         self.policy = policy or RecoveryPolicy()
         self.log = log or IncidentLog()
+        self.observer = observer
         depth = max(self.policy.checkpoint_depth,
                     self.policy.rollback_depth + 1)
         self.ring = CheckpointRing(depth)
@@ -139,6 +146,11 @@ class GuardedSimulation:
         world.guards = self.guards
         if injector is not None:
             world.ctx.injector = injector
+        if observer is not None:
+            world.observer = observer
+            self.log.observer = observer
+            if controller is not None:
+                controller.observer = observer
 
         self.detections = 0
         self.recoveries = 0
@@ -324,6 +336,7 @@ def run_campaign(
     guard_config: Optional[GuardConfig] = None,
     policy: Optional[RecoveryPolicy] = None,
     adaptive: bool = True,
+    observer=None,
 ) -> GuardedSimulation:
     """Run one seeded fault-injection campaign and return the harness.
 
@@ -353,6 +366,7 @@ def run_campaign(
         injector=injector,
         controller=controller,
         policy=policy,
+        observer=observer,
     )
     sim.run(steps)
     return sim

@@ -70,6 +70,9 @@ class PrecisionController:
         self.history: List[_StepLog] = []
         self.violations = 0
         self.reexecutions = 0
+        #: optional :class:`~repro.obs.Tracer`; every :meth:`observe`
+        #: call streams the throttle/decay/hold action it took.
+        self.observer = None
         # Start at the register minimum (the steady-state setting).
         for phase, bits in self.register.items():
             ctx.set_precision(phase, bits)
@@ -77,13 +80,20 @@ class PrecisionController:
     # ------------------------------------------------------------------
     def observe(self, relative_difference: Optional[float],
                 step: int, reexecuted: bool = False) -> None:
-        """Feed one post-step energy observation and retune precision."""
+        """Feed one post-step energy observation and retune precision.
+
+        ``None`` means "no signal yet" (the monitor needs two samples
+        before a delta exists) and is treated as stable: precision keeps
+        decaying toward the register floor rather than throttling.
+        """
         violation = (
             relative_difference is not None
             and relative_difference > self.threshold
         )
+        action = "hold"
         if violation:
             self.violations += 1
+            action = "throttle"
             for phase in self.register:
                 self.ctx.set_precision(phase, FULL_PRECISION)
         else:
@@ -92,9 +102,15 @@ class PrecisionController:
                 current = self.ctx.precision_for(phase)
                 if current > minimum:
                     self.ctx.set_precision(phase, current - 1)
+                    action = "decay"
         self.history.append(
             _StepLog(step, dict(self.ctx.phase_precision), violation,
                      reexecuted))
+        if self.observer is not None:
+            self.observer.controller_event(
+                step=step, action=action, violation=violation,
+                reexecuted=reexecuted,
+                precisions=dict(self.ctx.phase_precision))
 
     def current_precision(self, phase: str) -> int:
         return self.ctx.precision_for(phase)

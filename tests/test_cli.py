@@ -71,3 +71,56 @@ class TestCli:
             "table1", "table3", "table4", "table5", "table8",
             "figure5", "figure6", "figure7", "figure8",
         }
+
+
+class TestTraceCli:
+    def test_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_events, validate_events
+
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "continuous", "--steps", "8",
+                     "--scale", "0.4", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "events ->" in stdout
+        events, skipped = read_events(out)
+        assert skipped == 0
+        invalid, messages = validate_events(events)
+        assert invalid == 0, messages
+        assert events[0]["kind"] == "meta"
+        assert sum(e["kind"] == "step" for e in events) == 8
+        assert any(e["kind"] == "controller" for e in events)
+
+    def test_trace_then_summarize_inline(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "continuous", "--steps", "5",
+                     "--scale", "0.4", "--out", str(out),
+                     "--summarize"]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace summary: continuous" in stdout
+        assert "step time" in stdout
+
+    def test_summarize_existing_file(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "continuous", "--steps", "4",
+                     "--scale", "0.4", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--summarize", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace summary: continuous" in stdout
+
+    def test_trace_without_scenario_or_file_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "give a SCENARIO" in capsys.readouterr().err
+
+    def test_guarded_trace_records_recovery_events(self, tmp_path,
+                                                   capsys):
+        from repro.obs import read_events
+
+        out = tmp_path / "t.jsonl"
+        code = main(["trace", "continuous", "--steps", "10",
+                     "--scale", "0.4", "--guarded",
+                     "--inject-rate", "0.02", "--seed", "13",
+                     "--out", str(out)])
+        assert code in (0, 1)
+        events, _ = read_events(out)
+        assert any(e["kind"] == "step" for e in events)

@@ -152,3 +152,23 @@ class TestMemoIntegration:
         with ctx.in_phase("lcp"):
             ctx.div(arr(1.3), arr(2.7))
         assert ctx.counter("lcp", "div").memo_lookups == 0
+
+
+class TestCounterRegistration:
+    def test_counter_registers_unseen_keys(self):
+        # Regression: counter() used to hand back a detached OpCounter
+        # for keys with no recorded ops, so mutations silently vanished.
+        ctx = FPContext({"lcp": 8})
+        counter = ctx.counter("lcp", "add")
+        counter.total += 7
+        assert ctx.counter("lcp", "add").total == 7
+        assert ctx.stats[("lcp", "add")] is counter
+        assert ctx.phase_totals("lcp").total == 7
+
+    def test_counter_returns_existing_instance(self):
+        ctx = FPContext({"lcp": 8})
+        with ctx.in_phase("lcp"):
+            ctx.add(arr(1.5), arr(2.5))
+        before = ctx.counter("lcp", "add").total
+        assert before > 0
+        assert ctx.counter("lcp", "add") is ctx.stats[("lcp", "add")]

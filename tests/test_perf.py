@@ -229,7 +229,8 @@ class TestBench:
     def test_run_bench_writes_payload(self, tmp_path):
         payload = run_bench(scenarios=["continuous"],
                             protocol=self.PROTOCOL,
-                            output_dir=str(tmp_path), compare=False)
+                            output_dir=str(tmp_path), compare=False,
+                            obs_overhead=False)
         bench_files = list(tmp_path.glob("BENCH_*.json"))
         assert len(bench_files) == 1
         on_disk = json.loads(bench_files[0].read_text())
@@ -249,7 +250,7 @@ class TestBench:
     def test_cli_bench_smoke(self, tmp_path, capsys):
         assert main(["bench", "--scenarios", "continuous",
                      "--steps", "2", "--census-steps", "1",
-                     "--kernel-iters", "2",
+                     "--kernel-iters", "2", "--no-obs-overhead",
                      "--output", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "steps/s" in out
@@ -261,3 +262,75 @@ class TestBench:
                      "--seeds", "2"]) == 0
         out = capsys.readouterr().out
         assert "aggregate:" in out and "2/2 seeds finite" in out
+
+
+class TestBaselineSpeedupGuards:
+    """Speedups against a degenerate baseline must be null, not inf."""
+
+    PROTOCOL = TestBench.PROTOCOL
+
+    def _run(self, tmp_path, baseline):
+        base_path = tmp_path / "BENCH_baseline.json"
+        base_path.write_text(json.dumps(baseline))
+        return run_bench(scenarios=["continuous"], protocol=self.PROTOCOL,
+                         output_dir=str(tmp_path / "out"),
+                         baseline_path=str(base_path),
+                         obs_overhead=False)
+
+    def test_zero_baseline_rate_yields_null_speedup(self, tmp_path):
+        payload = self._run(tmp_path, {
+            "scenarios": {"continuous": {
+                "census_free_steps_per_sec": 0.0,
+                "census_steps_per_sec": 120.0}},
+            "kernel": {"binop_pairs_per_sec": 0},
+        })
+        sp = payload["speedup_vs_baseline"]["continuous"]
+        assert sp["census_free"] is None
+        assert sp["census"] is not None and sp["census"] > 0
+        assert payload["kernel"]["speedup_vs_baseline"] is None
+        assert any("census_free" in w for w in payload["warnings"])
+
+    def test_missing_scenario_entry_yields_null_speedup(self, tmp_path):
+        payload = self._run(tmp_path, {"scenarios": {}})
+        sp = payload["speedup_vs_baseline"]["continuous"]
+        assert sp == {"census_free": None, "census": None}
+        assert len(payload["warnings"]) >= 2
+
+    def test_render_shows_dash_not_inf(self, tmp_path):
+        payload = self._run(tmp_path, {
+            "scenarios": {"continuous": {
+                "census_free_steps_per_sec": 0.0,
+                "census_steps_per_sec": 0.0}},
+        })
+        text = render_summary(payload)
+        assert "inf" not in text
+        assert "-" in text
+        assert "warning:" in text
+
+
+class TestObsOverhead:
+    def test_overhead_payload_shape(self, tmp_path):
+        from repro.perf.bench import _obs_overhead
+
+        protocol = BenchProtocol(obs_scenario="continuous",
+                                 obs_warmup=1, obs_steps=3,
+                                 obs_rounds=1)
+        result = _obs_overhead(protocol)
+        assert result["scenario"] == "continuous"
+        assert result["plain_steps_per_sec"] > 0
+        assert result["traced_steps_per_sec"] > 0
+        assert isinstance(result["ok"], bool)
+        assert result["budget_pct"] == 10.0
+
+    def test_overhead_reported_in_payload_and_summary(self, tmp_path):
+        protocol = BenchProtocol(
+            census_free_warmup=1, census_free_steps=2, census_warmup=1,
+            census_steps=1, kernel_shape=(64, 4), kernel_iters=3,
+            obs_scenario="continuous", obs_warmup=1, obs_steps=3,
+            obs_rounds=1)
+        payload = run_bench(scenarios=["continuous"], protocol=protocol,
+                            output_dir=str(tmp_path), compare=False)
+        assert "obs_overhead" in payload
+        text = render_summary(payload)
+        assert "metrics overhead:" in text
+        assert ("OK" in text) or ("REGRESSED" in text)

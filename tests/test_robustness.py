@@ -287,3 +287,40 @@ class TestRunCampaign:
         assert "Health report: continuous" in text
         assert "faults injected" in text
         assert "final state: finite" in text
+
+
+class TestHealthReportLogTail:
+    def _report(self, incidents):
+        from collections import Counter
+
+        from repro.robustness import IncidentLog
+        from repro.robustness.incidents import HealthReport
+
+        log = IncidentLog()
+        for step in range(incidents):
+            log.detection(step, "lcp", f"incident-{step}")
+        return HealthReport(
+            scenario="unit", steps=incidents, bodies=2,
+            faults_injected=incidents, detections=incidents,
+            recoveries=0, recoveries_by_rung=Counter(),
+            detections_by_guard=Counter(), quarantined_bodies=0,
+            aborted=False, final_state_finite=True, log=log)
+
+    def test_truncation_keeps_the_tail(self):
+        # Regression: max_log_lines used to keep the FIRST N incidents,
+        # hiding the most recent (most diagnostic) ones.
+        text = self._report(7).render(max_log_lines=3)
+        assert "incident-6" in text
+        assert "incident-4" in text
+        assert "incident-0" not in text
+        assert "... 4 earlier incident(s) omitted" in text
+
+    def test_no_elision_marker_when_log_fits(self):
+        text = self._report(3).render(max_log_lines=5)
+        assert "omitted" not in text
+        assert "incident-0" in text and "incident-2" in text
+
+    def test_untruncated_render_shows_everything(self):
+        text = self._report(4).render()
+        assert all(f"incident-{i}" in text for i in range(4))
+        assert "omitted" not in text

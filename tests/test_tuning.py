@@ -190,3 +190,40 @@ class TestControlledSimulation:
         controller.threshold = 10.0  # nothing is a violation
         sim.run(4)
         assert controller.current_precision("lcp") == FULL_PRECISION - 4
+
+
+class TestObserveSequences:
+    """Explicit action sequences through the controller state machine."""
+
+    def test_none_signal_decays_to_floor(self):
+        ctx = FPContext({"lcp": 23})
+        controller = PrecisionController(ctx, {"lcp": 20})
+        controller.observe(0.5, step=0)  # throttle to full
+        for step in range(1, 6):
+            controller.observe(None, step=step)
+        # 23 -> 22 -> 21 -> 20, then held at the register floor.
+        assert ctx.precision_for("lcp") == 20
+        bits = [log.precisions["lcp"] for log in controller.history]
+        assert bits == [23, 22, 21, 20, 20, 20]
+
+    def test_throttle_on_violation_sequence(self):
+        ctx = FPContext({"lcp": 23, "narrow": 23})
+        controller = PrecisionController(ctx, {"lcp": 6, "narrow": 10},
+                                         threshold=0.10)
+        signals = [0.01, 0.5, 0.01, None, 0.2]
+        for step, signal in enumerate(signals):
+            controller.observe(signal, step=step)
+        violations = [log.violation for log in controller.history]
+        assert violations == [False, True, False, False, True]
+        assert controller.violations == 2
+        # Each violation snaps every controlled phase to full precision.
+        assert controller.history[1].precisions == \
+            {"lcp": 23, "narrow": 23}
+        assert ctx.precision_for("lcp") == 23
+
+    def test_observe_at_floor_holds(self):
+        ctx = FPContext({"lcp": 23})
+        controller = PrecisionController(ctx, {"lcp": 6})
+        controller.observe(0.01, step=0)
+        assert ctx.precision_for("lcp") == 6
+        assert not controller.history[0].violation
