@@ -23,6 +23,14 @@ Commands
     controller actions) to a JSONL file; ``trace --summarize FILE``
     renders the offline report (p50/p95 step time, precision histogram
     per phase, violation counts).
+``serve``
+    Run the multi-session simulation service: independently-tuned
+    sessions behind an NDJSON TCP/UNIX socket, with batched stepping,
+    admission control, and snapshot/restore (see ``repro.serve``).
+``serve-bench``
+    Drive an in-process service with N concurrent synthetic clients;
+    reports p50/p95 step latency, aggregate steps/sec, and the
+    snapshot-fidelity check into a ``BENCH_<stamp>_serve.json``.
 ``table1`` / ``table3`` / ``table4`` / ``table5`` / ``table8`` /
 ``figure5`` / ``figure6`` / ``figure7`` / ``figure8``
     Regenerate one paper artifact and print it.
@@ -165,6 +173,55 @@ def _add_trace_parser(sub) -> None:
                    metavar="FILE",
                    help="render the summary report (of FILE, or of the "
                         "trace just written)")
+
+
+def _add_serve_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve", help="multi-session simulation service (repro.serve)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7070,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--unix", default=None, metavar="PATH",
+                   help="serve on a UNIX socket instead of TCP")
+    p.add_argument("--max-sessions", type=int, default=32,
+                   help="session-table capacity (admission control)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="batch-dispatch worker threads "
+                        "(default: REPRO_WORKERS, else cpu count)")
+    p.add_argument("--batch-window", type=float, default=0.002,
+                   help="seconds one tick waits for requests to "
+                        "coalesce into a batch")
+    p.add_argument("--max-pending", type=int, default=4,
+                   help="queued requests allowed per session")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="queued requests allowed service-wide")
+    p.add_argument("--step-budget", type=float, default=30.0,
+                   help="wall seconds one step request may take before "
+                        "its session is evicted")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="stream serve.* + step telemetry to this JSONL")
+
+
+def _add_serve_bench_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve-bench",
+        help="concurrent-client service benchmark "
+             "(BENCH_<stamp>_serve.json)")
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent synthetic clients")
+    p.add_argument("--steps", type=int, default=30,
+                   help="step requests per client")
+    p.add_argument("--scenario", default="continuous")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None,
+                   help="service worker threads")
+    p.add_argument("--batch-window", type=float, default=0.002)
+    p.add_argument("--fidelity-steps", type=int, default=10,
+                   help="steps on each side of the snapshot-fidelity "
+                        "check")
+    p.add_argument("--output", default="results",
+                   help="directory for BENCH_<stamp>_serve.json")
 
 
 def _cmd_scenarios() -> int:
@@ -400,6 +457,62 @@ def _cmd_trace(args) -> int:
     return exit_code
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        max_sessions=args.max_sessions,
+        workers=args.workers,
+        batch_window=args.batch_window,
+        max_pending_per_session=args.max_pending,
+        max_queue_depth=args.max_queue,
+        step_budget=args.step_budget,
+        trace_path=args.trace,
+    )
+    observer = None
+    if args.trace:
+        from .obs import JsonlWriter, Tracer
+
+        observer = Tracer(JsonlWriter(args.trace))
+        observer.meta(scenario="serve", steps=0, precision={},
+                      mode="service", census=False)
+    try:
+        asyncio.run(serve_forever(config, observer=observer))
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down")
+    finally:
+        if observer is not None:
+            observer.close()
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from .serve import (
+        ServeBenchConfig,
+        render_serve_summary,
+        run_serve_bench,
+    )
+
+    payload = run_serve_bench(ServeBenchConfig(
+        clients=args.clients,
+        steps_per_client=args.steps,
+        scenario=args.scenario,
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        batch_window=args.batch_window,
+        fidelity_steps=args.fidelity_steps,
+        output_dir=args.output,
+    ))
+    print(render_serve_summary(payload))
+    return 0 if payload["ok"] else 1
+
+
 def _cmd_artifact(name: str) -> int:
     from .experiments import (
         figure5,
@@ -466,23 +579,37 @@ def main(argv=None) -> int:
     _add_health_parser(sub)
     _add_bench_parser(sub)
     _add_trace_parser(sub)
+    _add_serve_parser(sub)
+    _add_serve_bench_parser(sub)
     for artifact in ARTIFACTS:
         sub.add_parser(artifact, help=f"regenerate paper {artifact}")
 
     args = parser.parse_args(argv)
-    if args.command == "scenarios":
-        return _cmd_scenarios()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "tune":
-        return _cmd_tune(args)
-    if args.command == "health":
-        return _cmd_health(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    return _cmd_artifact(args.command)
+    from .workloads import UnknownScenarioError
+
+    try:
+        if args.command == "scenarios":
+            return _cmd_scenarios()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
+        if args.command == "health":
+            return _cmd_health(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "serve-bench":
+            return _cmd_serve_bench(args)
+        return _cmd_artifact(args.command)
+    except UnknownScenarioError as exc:
+        # A typo'd scenario is usage error 2 (and one clean line), not a
+        # traceback — remote serve clients get the same message inline.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def console() -> int:

@@ -23,7 +23,12 @@ stays under 10 % of step throughput.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .schema import SCHEMA_VERSION, validate_event, validate_events
+from .schema import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    validate_event,
+    validate_events,
+)
 from .summarize import render as render_summary
 from .summarize import summarize, summarize_file
 from .trace import JsonlWriter, NullSink, read_events
@@ -35,6 +40,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "validate_event",
     "validate_events",
     "summarize",

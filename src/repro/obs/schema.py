@@ -1,4 +1,4 @@
-"""Trace event schema (version 1) and its validator.
+"""Trace event schema (version 2) and its validator.
 
 Every JSONL line is one event; ``kind`` discriminates.  The step record
 carries the four signal families the paper's argument is built on:
@@ -14,6 +14,12 @@ Controller, detection/recovery, and sweep events share the stream so a
 single timeline answers "what did the controller do when the energy
 spiked at step 41, and what did recovery cost?".
 
+Version 2 adds the serving layer's ``serve.*`` kinds (per-request
+outcome, per-batch dispatch, session eviction) so a service trace and a
+simulation trace interleave in one file.  Older streams stay valid:
+``meta.schema`` may carry any version in
+:data:`SUPPORTED_SCHEMA_VERSIONS`, and the v1 kinds are unchanged.
+
 The validator is deliberately structural (required keys + coarse
 types), not exhaustive: the trace must stay writable from hot paths and
 checkable in CI without a JSON-schema dependency.
@@ -23,10 +29,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["SCHEMA_VERSION", "EVENT_KINDS", "validate_event",
-           "validate_events"]
+__all__ = ["SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS", "EVENT_KINDS",
+           "SERVE_OPS", "V2_KINDS", "validate_event", "validate_events"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions the validator accepts in ``meta.schema`` — a v1 trace (no
+#: ``serve.*`` events) must keep validating after the v2 bump.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 _NUM = (int, float)
 
@@ -83,12 +93,38 @@ EVENT_KINDS: Dict[str, Dict[str, tuple]] = {
         "busy": _NUM,
         "ops": (int,),
     },
+    # --- schema v2: serving-layer events (repro.serve) ---
+    "serve.request": {
+        "op": (str,),
+        "session": (str, type(None)),   # None before a session exists
+        "ok": (bool,),
+        "wall": _NUM,
+    },
+    "serve.batch": {
+        "batch": (int,),
+        "sessions": (int,),
+        "steps": (int,),
+        "wall": _NUM,
+    },
+    "serve.evict": {
+        "session": (str,),
+        "reason": (str,),
+        "step": (int,),
+    },
 }
+
+#: Kinds introduced by schema version 2.
+V2_KINDS = ("serve.request", "serve.batch", "serve.evict")
 
 _CENSUS_FIELDS = ("total", "trivial", "memo_hits", "lut_hits",
                   "nontrivial")
 _ENERGY_FIELDS = ("total", "delta_rel", "violation")
 _CONTROLLER_ACTIONS = ("throttle", "decay", "hold")
+
+#: Wire-protocol operations (``repro.serve.protocol`` builds on this —
+#: defined here so the validator needs no import from the serve layer).
+SERVE_OPS = ("ping", "create", "step", "snapshot", "restore", "close",
+             "stats")
 
 
 def validate_event(event: dict) -> List[str]:
@@ -128,8 +164,13 @@ def validate_event(event: dict) -> List[str]:
         if event["action"] not in _CONTROLLER_ACTIONS:
             errors.append(f"controller.action: {event['action']!r} not in "
                           f"{_CONTROLLER_ACTIONS}")
-    elif kind == "meta" and event["schema"] != SCHEMA_VERSION:
-        errors.append(f"meta.schema: {event['schema']} != {SCHEMA_VERSION}")
+    elif kind == "meta" and \
+            event["schema"] not in SUPPORTED_SCHEMA_VERSIONS:
+        errors.append(f"meta.schema: {event['schema']} not in "
+                      f"{SUPPORTED_SCHEMA_VERSIONS}")
+    elif kind == "serve.request" and event["op"] not in SERVE_OPS:
+        errors.append(f"serve.request.op: {event['op']!r} not in "
+                      f"{SERVE_OPS}")
     return errors
 
 

@@ -243,6 +243,50 @@ class Tracer:
                                   outcome=incident.outcome).inc()
 
     # ------------------------------------------------------------------
+    # Serving-layer hooks (repro.serve)
+    # ------------------------------------------------------------------
+    def serve_request(self, op: str, session: Optional[str], ok: bool,
+                      wall: float, error: Optional[str] = None) -> None:
+        """One wire-protocol request outcome (schema v2)."""
+        event = {
+            "kind": "serve.request",
+            "op": op,
+            "session": session,
+            "ok": ok,
+            "wall": round(wall, 6),
+        }
+        if error:
+            event["error"] = error
+        self.emit(event)
+        self.registry.counter("serve.requests", op=op).inc()
+        if not ok:
+            self.registry.counter("serve.rejections").inc()
+
+    def serve_batch(self, batch: int, sessions: int, steps: int,
+                    wall: float) -> None:
+        """One fixed-tick batch dispatched by the scheduler."""
+        self.emit({
+            "kind": "serve.batch",
+            "batch": batch,
+            "sessions": sessions,
+            "steps": steps,
+            "wall": round(wall, 6),
+        })
+        self.registry.counter("serve.batches").inc()
+        self.registry.counter("serve.steps").inc(steps)
+        self.registry.histogram("serve.batch.seconds").observe(wall)
+
+    def serve_evict(self, session: str, reason: str, step: int) -> None:
+        """A session removed by admission control (not a clean close)."""
+        self.emit({
+            "kind": "serve.evict",
+            "session": session,
+            "reason": reason,
+            "step": step,
+        })
+        self.registry.counter("serve.evictions", reason=reason).inc()
+
+    # ------------------------------------------------------------------
     # Sweep hooks
     # ------------------------------------------------------------------
     def sweep_result(self, result) -> None:

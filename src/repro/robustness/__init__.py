@@ -19,7 +19,9 @@ from .checkpoint import (
     CheckpointRing,
     WorldCheckpoint,
     capture_world,
+    deserialize_checkpoint,
     restore_world,
+    serialize_checkpoint,
 )
 from .guards import GuardConfig, PhaseGuards, Violation
 from .incidents import HealthReport, Incident, IncidentLog
@@ -36,6 +38,8 @@ __all__ = [
     "WorldCheckpoint",
     "capture_world",
     "restore_world",
+    "serialize_checkpoint",
+    "deserialize_checkpoint",
     "GuardConfig",
     "PhaseGuards",
     "Violation",

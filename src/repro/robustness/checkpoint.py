@@ -8,11 +8,14 @@ particles, the step counter, the energy monitor's record stream and
 injection ledger, the penetration series, the warm-start contact cache,
 and the quarantine set.  Both the dynamic precision controller's one-shot
 re-execution and the robustness engine's multi-step rollback ladder
-restore through here.
+restore through here, and the serving layer's session snapshots travel
+as :func:`serialize_checkpoint` bytes over the wire.
 """
 
 from __future__ import annotations
 
+import json
+import struct
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -20,7 +23,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 __all__ = ["WorldCheckpoint", "CheckpointRing", "capture_world",
-           "restore_world"]
+           "restore_world", "serialize_checkpoint",
+           "deserialize_checkpoint"]
 
 #: Body arrays a step mutates (derived arrays are refreshed every step).
 _BODY_ARRAYS = ("pos", "quat", "linvel", "angvel", "asleep",
@@ -112,13 +116,125 @@ class CheckpointRing:
         return self._ring[-1] if self._ring else None
 
     def rollback_target(self, steps_back: int) -> Optional[WorldCheckpoint]:
-        """The checkpoint up to ``steps_back`` steps before the latest."""
+        """The checkpoint up to ``steps_back`` steps before the latest.
+
+        ``steps_back=0`` is the latest checkpoint; a request deeper than
+        the ring clamps to the oldest retained checkpoint (the best the
+        ladder can do once history has been evicted).  An empty ring has
+        no target; a negative depth is a caller bug, not a clamp case.
+        """
+        if steps_back < 0:
+            raise ValueError(f"steps_back must be >= 0, got {steps_back}")
         if not self._ring:
             return None
         index = max(0, len(self._ring) - 1 - steps_back)
         return self._ring[index]
 
     def truncate_after(self, step_count: int) -> None:
-        """Drop checkpoints newer than ``step_count`` (stale after rewind)."""
+        """Drop checkpoints newer than ``step_count`` (stale after rewind).
+
+        A checkpoint captured *at* ``step_count`` is kept: it snapshots
+        the state at the start of that step, which is exactly where a
+        rewind to ``step_count`` lands.
+        """
         while self._ring and self._ring[-1].step_count > step_count:
             self._ring.pop()
+
+
+# ----------------------------------------------------------------------
+# Byte serialization (session snapshots over the wire)
+# ----------------------------------------------------------------------
+#: Frame layout: magic, little-endian uint32 header length, JSON header,
+#: then the referenced arrays' raw bytes concatenated in header order.
+_CODEC_MAGIC = b"RPROCKPT"
+_CODEC_VERSION = 1
+
+
+def serialize_checkpoint(checkpoint: WorldCheckpoint) -> bytes:
+    """Encode a checkpoint as self-contained bytes.
+
+    The format is an explicit JSON-header-plus-raw-array-blobs frame
+    (no pickle: snapshots cross process and trust boundaries in
+    ``repro.serve``).  :func:`deserialize_checkpoint` round-trips it
+    bit-exactly.
+    """
+    arrays: List[np.ndarray] = []
+
+    def ref(arr: np.ndarray) -> dict:
+        arr = np.ascontiguousarray(arr)
+        arrays.append(arr)
+        return {"dtype": arr.dtype.str, "shape": list(arr.shape)}
+
+    header = {
+        "codec": _CODEC_VERSION,
+        "step_count": checkpoint.step_count,
+        "body_state": {name: ref(data)
+                       for name, data in checkpoint.body_state.items()},
+        "cloth_state": [[ref(pos), ref(vel)]
+                        for pos, vel in checkpoint.cloth_state],
+        "monitor_records": checkpoint.monitor_records,
+        "injected_total": checkpoint.injected_total,
+        "penetration_len": checkpoint.penetration_len,
+        "last_contact_count": checkpoint.last_contact_count,
+        "contact_cache": [
+            [list(key), [[ref(pos), list(map(float, impulses))]
+                         for pos, impulses in entries]]
+            for key, entries in checkpoint.contact_cache.items()],
+        "quarantined": sorted(int(b) for b in checkpoint.quarantined),
+    }
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [_CODEC_MAGIC, struct.pack("<I", len(head)), head]
+    parts.extend(arr.tobytes() for arr in arrays)
+    return b"".join(parts)
+
+
+def deserialize_checkpoint(data: bytes) -> WorldCheckpoint:
+    """Decode :func:`serialize_checkpoint` bytes back to a checkpoint."""
+    if data[:len(_CODEC_MAGIC)] != _CODEC_MAGIC:
+        raise ValueError("not a serialized checkpoint (bad magic)")
+    offset = len(_CODEC_MAGIC)
+    (head_len,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    try:
+        header = json.loads(data[offset:offset + head_len])
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"corrupt checkpoint header: {exc}") from None
+    offset += head_len
+    if header.get("codec") != _CODEC_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint codec: {header.get('codec')!r}")
+
+    cursor = offset
+
+    def take(spec: dict) -> np.ndarray:
+        nonlocal cursor
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        blob = data[cursor:cursor + nbytes]
+        if len(blob) != nbytes:
+            raise ValueError("truncated checkpoint payload")
+        cursor += nbytes
+        # .copy() detaches from the (read-only) buffer so restore_world
+        # can hand the arrays to a live world.
+        return np.frombuffer(blob, dtype=dtype).reshape(shape).copy()
+
+    body_state = {name: take(spec)
+                  for name, spec in header["body_state"].items()}
+    cloth_state = [(take(pos), take(vel))
+                   for pos, vel in header["cloth_state"]]
+    contact_cache = {
+        tuple(key): [(take(pos), tuple(impulses))
+                     for pos, impulses in entries]
+        for key, entries in header["contact_cache"]}
+    return WorldCheckpoint(
+        step_count=int(header["step_count"]),
+        body_state=body_state,
+        cloth_state=cloth_state,
+        monitor_records=int(header["monitor_records"]),
+        injected_total=float(header["injected_total"]),
+        penetration_len=int(header["penetration_len"]),
+        last_contact_count=int(header["last_contact_count"]),
+        contact_cache=contact_cache,
+        quarantined=frozenset(header["quarantined"]),
+    )

@@ -1,0 +1,77 @@
+"""Multi-session simulation service (the ROADMAP's serving layer).
+
+The paper's dynamic precision tuning is an online, per-application
+control loop; this package runs many such loops concurrently as a
+long-lived service.  Each client session owns a
+:class:`~repro.physics.World` with its own precision control register
+(and optionally its own :class:`~repro.tuning.PrecisionController`);
+concurrent step requests coalesce into fixed-tick batches dispatched
+across a worker pool; admission control bounds every queue and evicts
+sessions that blow their step budget; session snapshots are
+:func:`~repro.robustness.serialize_checkpoint` bytes, so a restored
+session — in place or into a fresh world — continues bit-identically.
+
+Layers:
+
+* :mod:`~repro.serve.protocol` — the NDJSON wire protocol + error codes;
+* :mod:`~repro.serve.session` — ``Session`` / ``SessionManager``
+  lifecycle (create / step / snapshot / restore / close);
+* :mod:`~repro.serve.admission` — bounded queues, backpressure,
+  step budgets;
+* :mod:`~repro.serve.scheduler` — the fixed-tick ``BatchScheduler``
+  over a thread pool;
+* :mod:`~repro.serve.server` — the asyncio TCP/UNIX service;
+* :mod:`~repro.serve.client` — the thin synchronous ``Client`` and the
+  in-thread server harness;
+* :mod:`~repro.serve.bench` — the ``repro serve-bench`` load harness.
+
+Everything is observable: requests, batches, and evictions count
+through :mod:`repro.obs.metrics`, and with a tracer attached they
+stream as schema-v2 ``serve.*`` events on the same JSONL timeline as
+the step telemetry.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy
+from .bench import ServeBenchConfig, render_serve_summary, run_serve_bench
+from .client import Client, ServeClientError, ServerHandle, start_in_thread
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceError,
+    decode_frame,
+    encode_frame,
+)
+from .scheduler import BatchScheduler
+from .server import ServiceConfig, SimulationService, serve_forever
+from .session import Session, SessionConfig, SessionManager, state_digest
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BatchScheduler",
+    "Client",
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeBenchConfig",
+    "ServeClientError",
+    "ServerHandle",
+    "ServiceConfig",
+    "ServiceError",
+    "Session",
+    "SessionConfig",
+    "SessionManager",
+    "SimulationService",
+    "decode_frame",
+    "encode_frame",
+    "render_serve_summary",
+    "run_serve_bench",
+    "serve_forever",
+    "start_in_thread",
+    "state_digest",
+]

@@ -1,0 +1,218 @@
+"""``python -m repro serve-bench`` — service throughput/latency harness.
+
+Starts a real :class:`~repro.serve.server.SimulationService` on a
+background thread, drives it with N concurrent synthetic clients over
+the actual socket protocol, and reports:
+
+* per-request step latency percentiles (p50/p95/max, milliseconds);
+* aggregate steps/sec across all sessions (the serving-layer figure of
+  merit — batching should keep it close to the single-session rate
+  times the worker count for independent worlds);
+* the drop count (evictions + client-visible errors), which the
+  acceptance gate requires to be zero;
+* a snapshot → restore → continue fidelity check: the restored
+  trajectory must be bit-identical to an unsnapshotted run of the same
+  session config (the digest triple in the payload).
+
+The payload lands next to the perf harness's snapshots as
+``BENCH_<stamp>_serve.json`` so the CI bench artifact carries both.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from ..experiments.runcache import write_json_atomic
+from .client import Client, ServeClientError, start_in_thread
+from .server import ServiceConfig
+
+__all__ = ["ServeBenchConfig", "run_serve_bench", "render_serve_summary"]
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    clients: int = 8
+    steps_per_client: int = 30
+    scenario: str = "continuous"
+    scale: float = 0.5
+    seed: int = 7
+    workers: Optional[int] = None
+    batch_window: float = 0.002
+    #: steps on each side of the fidelity snapshot
+    fidelity_steps: int = 10
+    output_dir: str = "results"
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Exact order-statistic percentile of a sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _client_load(handle, config: ServeBenchConfig, barrier,
+                 latencies: List[float], errors: List[str]) -> None:
+    """One synthetic client: create, step N times, close."""
+    try:
+        with handle.connect() as client:
+            session = client.create(config.scenario, scale=config.scale,
+                                    seed=config.seed)
+            # A client that died before its create() breaks the barrier
+            # for everyone (timeout) instead of deadlocking the bench.
+            barrier.wait(timeout=60.0)
+            for _ in range(config.steps_per_client):
+                start = time.perf_counter()
+                client.step(session, 1)
+                latencies.append(time.perf_counter() - start)
+            client.close_session(session)
+    except (ServeClientError, ConnectionError, OSError,
+            threading.BrokenBarrierError) as exc:
+        errors.append(f"{type(exc).__name__}: {exc}")
+
+
+def _fidelity_check(handle, config: ServeBenchConfig) -> dict:
+    """Snapshot → restore → continue must match the straight-line run."""
+    k = config.fidelity_steps
+    opts = dict(scale=config.scale, seed=config.seed)
+    with handle.connect() as client:
+        # Straight line: 2k steps, no snapshot anywhere.
+        ref = client.create(config.scenario, **opts)
+        digest_ref = client.step(ref, 2 * k)["digest"]
+        client.close_session(ref)
+        # Snapshotted: k steps, snapshot, k more.
+        snapped = client.create(config.scenario, **opts)
+        client.step(snapped, k)
+        snap = client.snapshot(snapped)
+        digest_snapped = client.step(snapped, k)["digest"]
+        # Restored into a *fresh* session from the wire payload.
+        fresh = client.create(config.scenario, **opts)
+        client.restore(fresh, data=snap["data"],
+                       precisions=snap["precisions"])
+        digest_restored = client.step(fresh, k)["digest"]
+        # Rewind the snapshotted session via the server-held id too.
+        client.restore(snapped, snapshot=snap["snapshot"])
+        digest_rewound = client.step(snapped, k)["digest"]
+        client.close_session(snapped)
+        client.close_session(fresh)
+    return {
+        "steps_each_side": k,
+        "digest_straight": digest_ref,
+        "digest_snapshotted": digest_snapped,
+        "digest_restored_fresh": digest_restored,
+        "digest_rewound": digest_rewound,
+        "bit_identical": (digest_ref == digest_snapped
+                          == digest_restored == digest_rewound),
+    }
+
+
+def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
+    """Run the serving benchmark; returns the written payload."""
+    config = config or ServeBenchConfig()
+    service_config = ServiceConfig(
+        port=0,
+        max_sessions=max(32, config.clients + 4),
+        workers=config.workers,
+        batch_window=config.batch_window,
+    )
+    handle = start_in_thread(service_config)
+    try:
+        latencies: List[float] = []
+        errors: List[str] = []
+        barrier = threading.Barrier(config.clients)
+        threads = [
+            threading.Thread(
+                target=_client_load,
+                args=(handle, config, barrier, latencies, errors),
+                name=f"serve-bench-client-{i}")
+            for i in range(config.clients)
+        ]
+        load_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        load_wall = time.perf_counter() - load_start
+
+        fidelity = _fidelity_check(handle, config)
+        with handle.connect() as client:
+            stats = client.stats()
+        workers = handle.service.scheduler.workers
+    finally:
+        handle.stop()
+
+    total_steps = len(latencies)
+    latencies.sort()
+    dropped = stats["evicted_total"] + len(errors)
+    serve_bench = {
+        "clients": config.clients,
+        "steps_per_client": config.steps_per_client,
+        "scenario": config.scenario,
+        "scale": config.scale,
+        "workers": workers,
+        "batch_window": config.batch_window,
+        "requests_ok": total_steps,
+        "steps_per_sec": (round(total_steps / load_wall, 3)
+                          if load_wall > 0 else 0.0),
+        "wall": round(load_wall, 4),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+        "max_ms": round((latencies[-1] if latencies else 0.0) * 1e3, 3),
+        "batches": stats["batches"],
+        "avg_batch_size": (round(stats["steps_dispatched"]
+                                 / stats["batches"], 3)
+                           if stats["batches"] else 0.0),
+        "sessions_created": stats["created_total"],
+        "sessions_dropped": dropped,
+        "rejected_total": stats["rejected_total"],
+        "client_errors": errors,
+        "fidelity": fidelity,
+    }
+    ok = (dropped == 0 and not errors
+          and total_steps == config.clients * config.steps_per_client
+          and fidelity["bit_identical"])
+    stamp = time.strftime("%Y%m%d_%H%M%S")
+    payload = {
+        "kind": "repro-serve-bench",
+        "stamp": stamp,
+        "ok": ok,
+        "serve_bench": serve_bench,
+    }
+    out_dir = Path(config.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{stamp}_serve.json"
+    write_json_atomic(path, payload)
+    payload["path"] = str(path)
+    return payload
+
+
+def render_serve_summary(payload: dict) -> str:
+    """Human-readable serve-bench report for the CLI."""
+    bench = payload["serve_bench"]
+    fidelity = bench["fidelity"]
+    lines = [
+        f"repro serve-bench — {bench['clients']} clients x "
+        f"{bench['steps_per_client']} steps on '{bench['scenario']}' "
+        f"({bench['workers']} workers)",
+        f"  throughput: {bench['steps_per_sec']:.1f} steps/s aggregate "
+        f"over {bench['wall']:.2f}s",
+        f"  step latency: p50 {bench['p50_ms']:.2f} ms, "
+        f"p95 {bench['p95_ms']:.2f} ms, max {bench['max_ms']:.2f} ms",
+        f"  batching: {bench['batches']} batches, "
+        f"{bench['avg_batch_size']:.2f} steps/batch",
+        f"  sessions: {bench['sessions_created']} created, "
+        f"{bench['sessions_dropped']} dropped, "
+        f"{bench['rejected_total']} rejected",
+        f"  snapshot fidelity: "
+        + ("bit-identical" if fidelity["bit_identical"]
+           else "DIVERGED"),
+    ]
+    for error in bench["client_errors"]:
+        lines.append(f"  client error: {error}")
+    lines.append(("OK" if payload["ok"] else "FAILED")
+                 + f" — written: {Path(payload['path']).name}")
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Thin synchronous client for the simulation service.
+
+The client is deliberately dumb: one socket, one request on the wire at
+a time, blocking reads.  Anything smarter (pipelining, reconnects,
+retry-on-busy policies) belongs to the application.  ``busy`` and
+``server_full`` responses surface as :class:`ServeClientError` with the
+error code attached, so a caller's backoff loop is one ``except``.
+
+:func:`start_in_thread` runs a full :class:`SimulationService` on a
+background event-loop thread and returns a handle with the bound
+address — the serve-bench harness, the tests, and the CI smoke job all
+drive a real socket through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import socket
+import threading
+from typing import Dict, Optional
+
+from .protocol import decode_frame, encode_frame
+from .server import ServiceConfig, SimulationService
+
+__all__ = ["ServeClientError", "Client", "ServerHandle",
+           "start_in_thread"]
+
+
+class ServeClientError(RuntimeError):
+    """A request the server answered with ``ok: false``."""
+
+    def __init__(self, response: dict) -> None:
+        self.code = response.get("error", "internal")
+        self.detail = response.get("detail", "")
+        self.response = response
+        super().__init__(f"{self.code}: {self.detail}")
+
+
+class Client:
+    """Blocking NDJSON client over TCP or a UNIX socket."""
+
+    def __init__(self, host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 unix_path: Optional[str] = None,
+                 timeout: float = 60.0) -> None:
+        if unix_path:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        else:
+            self._sock = socket.create_connection(
+                (host or "127.0.0.1", port or 7070), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    def request(self, frame: dict) -> dict:
+        """Send one frame, block for its response.
+
+        Raises :class:`ServeClientError` on an error response and
+        ``ConnectionError`` when the server hangs up.
+        """
+        self._file.write(encode_frame(frame))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_frame(line)
+        if not response.get("ok"):
+            raise ServeClientError(response)
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers (one per protocol op)
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def create(self, scenario: str, **options) -> str:
+        """Create a session; returns its id."""
+        frame = {"op": "create", "scenario": scenario}
+        frame.update(options)
+        return self.request(frame)["session"]
+
+    def step(self, session: str, steps: int = 1) -> dict:
+        return self.request({"op": "step", "session": session,
+                             "steps": steps})
+
+    def snapshot(self, session: str, decode: bool = True) -> dict:
+        """Snapshot a session; ``data`` is bytes when ``decode``."""
+        response = self.request({"op": "snapshot", "session": session})
+        if decode:
+            response["data"] = base64.b64decode(response["data"])
+        return response
+
+    def restore(self, session: str, snapshot: Optional[str] = None,
+                data: Optional[bytes] = None,
+                precisions: Optional[Dict[str, int]] = None) -> dict:
+        frame = {"op": "restore", "session": session}
+        if snapshot is not None:
+            frame["snapshot"] = snapshot
+        if data is not None:
+            frame["data"] = base64.b64encode(data).decode("ascii")
+        if precisions is not None:
+            frame["precisions"] = dict(precisions)
+        return self.request(frame)
+
+    def close_session(self, session: str) -> dict:
+        return self.request({"op": "close", "session": session})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ServerHandle:
+    """A service running on a background event-loop thread."""
+
+    def __init__(self, service: SimulationService,
+                 loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+        address = service.address
+        if isinstance(address, str):
+            self.unix_path: Optional[str] = address
+            self.host = self.port = None
+        else:
+            self.unix_path = None
+            self.host, self.port = address
+
+    def connect(self, timeout: float = 60.0) -> Client:
+        return Client(host=self.host, port=self.port,
+                      unix_path=self.unix_path, timeout=timeout)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self._loop).result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+
+def start_in_thread(config: Optional[ServiceConfig] = None,
+                    observer=None,
+                    timeout: float = 30.0) -> ServerHandle:
+    """Start a service on its own thread; returns once it is bound.
+
+    Pass ``port=0`` (the default via ``ServiceConfig``) to bind an
+    ephemeral TCP port, or ``unix_path`` for a socket file.
+    """
+    config = config or ServiceConfig(port=0)
+    ready = threading.Event()
+    box: dict = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        service = SimulationService(config, observer=observer)
+
+        async def _start() -> None:
+            await service.start()
+
+        try:
+            loop.run_until_complete(_start())
+        except Exception as exc:  # noqa: BLE001 - surfaced to caller
+            box["error"] = exc
+            ready.set()
+            loop.close()
+            return
+        box["service"] = service
+        box["loop"] = loop
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve-loop",
+                              daemon=True)
+    thread.start()
+    if not ready.wait(timeout):
+        raise TimeoutError("service did not start in time")
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(box["service"], box["loop"], thread)

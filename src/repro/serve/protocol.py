@@ -1,0 +1,164 @@
+"""Newline-delimited JSON wire protocol for the simulation service.
+
+One request is one JSON object on one line; one response is one JSON
+object on one line.  The framing is deliberately the same as the
+observability trace (:mod:`repro.obs.trace`): self-contained lines that
+survive torn connections, are greppable, and need no length-prefix
+state machine.  Binary payloads (session snapshots from
+:func:`repro.robustness.serialize_checkpoint`) travel base64-encoded in
+the ``data`` field.
+
+Requests
+--------
+Every request carries ``op`` (one of :data:`OPS`) plus op-specific
+fields; an optional client-chosen ``id`` is echoed back verbatim so a
+pipelining client can correlate responses.
+
+====================  =================================================
+``ping``              liveness + protocol version
+``create``            new session: ``scenario`` (required), ``scale``,
+                      ``seed``, ``precision`` (phase → mantissa bits),
+                      ``mode``, ``adaptive``, ``step_budget``
+``step``              advance: ``session``, ``steps`` (default 1)
+``snapshot``          capture: ``session`` → snapshot id + base64 bytes
+``restore``           rewind: ``session`` plus ``snapshot`` (a
+                      server-held id) or ``data`` (base64 bytes, e.g.
+                      into a freshly created session)
+``close``             end a session cleanly
+``stats``             service totals + per-session summaries
+====================  =================================================
+
+Responses are ``{"ok": true, ...}`` or
+``{"ok": false, "error": <code>, "detail": <text>}`` with ``error`` one
+of :data:`ERROR_CODES`.  ``busy`` and ``server_full`` are the
+backpressure signals: the request was *not* queued and the client
+should retry later or give up.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..obs.schema import SERVE_OPS
+
+__all__ = ["PROTOCOL_VERSION", "OPS", "ERROR_CODES", "MAX_FRAME_BYTES",
+           "ProtocolError", "ServiceError", "encode_frame",
+           "decode_frame", "parse_request", "ok_response",
+           "error_response"]
+
+PROTOCOL_VERSION = 1
+
+#: Operations a client may request (shared with the trace schema so
+#: ``serve.request`` events validate against the same list).
+OPS = SERVE_OPS
+
+#: Hard cap on one frame; snapshots of benchmark-scale worlds are tens
+#: of kilobytes, so this bounds a hostile or confused peer, not a real
+#: payload.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+ERROR_CODES = (
+    "bad_frame",        # not JSON, not an object, or oversized
+    "bad_request",      # well-formed JSON but invalid fields
+    "unknown_op",
+    "unknown_session",
+    "unknown_snapshot",
+    "server_full",      # admission: session table at capacity
+    "busy",             # admission: queue bounds hit — backpressure
+    "session_closed",
+    "budget_exceeded",  # step budget blown; session evicted
+    "internal",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed frame (transport-level failure)."""
+
+    def __init__(self, detail: str, code: str = "bad_frame") -> None:
+        super().__init__(detail)
+        self.code = code
+        self.detail = detail
+
+
+class ServiceError(Exception):
+    """A request the service refuses; maps onto one error response."""
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(detail or code)
+        self.code = code
+        self.detail = detail
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One frame: compact JSON plus the terminating newline."""
+    return (json.dumps(obj, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode_frame(line) -> dict:
+    """Parse one received line into a frame dict.
+
+    Accepts ``bytes`` or ``str``; raises :class:`ProtocolError` for
+    anything that is not a single JSON object.
+    """
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty frame")
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return frame
+
+
+def parse_request(frame: dict) -> str:
+    """Validate the request envelope; returns the ``op``.
+
+    Raises :class:`ServiceError` (not :class:`ProtocolError`): the frame
+    itself was well-formed, so the connection survives and the client
+    gets a structured error response.
+    """
+    op = frame.get("op")
+    if not isinstance(op, str):
+        raise ServiceError("bad_request", "request needs a string 'op'")
+    if op not in OPS:
+        raise ServiceError(
+            "unknown_op", f"unknown op {op!r}; valid ops: {', '.join(OPS)}")
+    session = frame.get("session")
+    if session is not None and not isinstance(session, str):
+        raise ServiceError("bad_request", "'session' must be a string")
+    if op in ("step", "snapshot", "restore", "close") and session is None:
+        raise ServiceError("bad_request", f"op {op!r} needs a 'session'")
+    steps = frame.get("steps", 1)
+    if not isinstance(steps, int) or steps < 0:
+        raise ServiceError(
+            "bad_request", "'steps' must be a non-negative integer")
+    return op
+
+
+def ok_response(request: Optional[dict] = None, **fields) -> dict:
+    """A success response, echoing the request's correlation ``id``."""
+    response = {"ok": True}
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    response.update(fields)
+    return response
+
+
+def error_response(code: str, detail: str = "",
+                   request: Optional[dict] = None) -> dict:
+    assert code in ERROR_CODES, code
+    response = {"ok": False, "error": code, "detail": detail}
+    if request is not None and isinstance(request, dict) \
+            and "id" in request:
+        response["id"] = request["id"]
+    return response

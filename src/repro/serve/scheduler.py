@@ -1,0 +1,192 @@
+"""Fixed-tick batch dispatch of session work over a worker pool.
+
+Concurrent clients produce a stream of step/snapshot/restore requests.
+Dispatching each one the moment it arrives would interleave worlds
+arbitrarily and thrash the pool; instead the scheduler runs a **tick
+loop**: it sleeps until work exists, waits one ``batch_window`` for
+stragglers to coalesce, then dispatches one batch — at most one request
+per session, fanned across a thread pool sized by the same
+``workers``/``REPRO_WORKERS`` resolution the sweep engine uses
+(:func:`repro.perf.sweep.resolve_workers`).  The batch is a barrier:
+the next tick starts when every member resolved, which keeps
+per-session request order trivially correct (a session's second queued
+request can only run in a later tick) and makes the ``serve.batch``
+trace event a meaningful unit of service time.
+
+Threads, not processes: worlds are live object graphs that do not cross
+a pickle boundary, and the step loop spends its time in numpy kernels
+that release the GIL.
+
+A request that exceeds its admission budget is abandoned — its future
+fails with ``budget_exceeded`` and the session is evicted.  The worker
+thread finishes the orphaned step in the background (Python cannot
+interrupt it), which transiently occupies one pool slot; the eviction
+guarantees it can happen at most once per session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..perf.sweep import resolve_workers
+from .protocol import ServiceError
+
+__all__ = ["BatchScheduler", "WorkItem"]
+
+
+@dataclass
+class WorkItem:
+    """One queued unit of session work."""
+
+    session: object
+    fn: Callable[[], object]
+    #: simulation steps this item advances (0 for snapshot/restore)
+    steps: int
+    budget: float
+    future: "asyncio.Future" = field(repr=False, default=None)
+    enqueued_at: float = 0.0
+
+
+class BatchScheduler:
+    """Coalesces queued work into per-tick batches."""
+
+    def __init__(self, manager, admission, workers: Optional[int] = None,
+                 batch_window: float = 0.002, observer=None,
+                 registry=None) -> None:
+        self.manager = manager
+        self.admission = admission
+        self.workers = resolve_workers(workers)
+        self.batch_window = batch_window
+        self.observer = observer
+        self.registry = registry
+        self._queue: List[WorkItem] = []
+        self._wakeup: Optional[asyncio.Event] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-serve")
+        self._task: Optional[asyncio.Task] = None
+        self.batches_dispatched = 0
+        self.steps_dispatched = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the tick loop on the running event loop."""
+        self._wakeup = asyncio.Event()
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="repro-serve-scheduler")
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for item in self._queue:
+            if not item.future.done():
+                item.future.set_exception(
+                    ServiceError("session_closed", "service stopping"))
+            self.admission.release(item.session.id)
+        self._queue.clear()
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    async def submit(self, session, fn: Callable[[], object],
+                     steps: int = 0):
+        """Queue one unit of work for a session and await its result.
+
+        Admission control runs *here*, before anything is queued — a
+        ``busy`` rejection therefore never consumes queue space.
+        """
+        self.admission.admit(session.id)
+        item = WorkItem(
+            session=session, fn=fn, steps=steps,
+            budget=self.admission.budget_for(session),
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=time.perf_counter())
+        self._queue.append(item)
+        self._wakeup.set()
+        return await item.future
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if not self._queue:
+                continue
+            # Let one window of stragglers coalesce into this tick.
+            if self.batch_window > 0:
+                await asyncio.sleep(self.batch_window)
+            batch = self._take_batch()
+            if batch:
+                await self._dispatch(batch)
+            if self._queue:
+                # Leftovers (second requests for batched sessions, or
+                # arrivals during dispatch) seed the next tick.
+                self._wakeup.set()
+
+    def _take_batch(self) -> List[WorkItem]:
+        """At most one queued item per session, preserving FIFO order."""
+        batch: List[WorkItem] = []
+        seen: set = set()
+        remaining: List[WorkItem] = []
+        for item in self._queue:
+            if item.session.id in seen:
+                remaining.append(item)
+            else:
+                seen.add(item.session.id)
+                batch.append(item)
+        self._queue = remaining
+        return batch
+
+    async def _dispatch(self, batch: List[WorkItem]) -> None:
+        start = time.perf_counter()
+        await asyncio.gather(*(self._run_item(item) for item in batch))
+        wall = time.perf_counter() - start
+        self.batches_dispatched += 1
+        steps = sum(item.steps for item in batch)
+        self.steps_dispatched += steps
+        if self.observer is not None:
+            self.observer.serve_batch(
+                batch=self.batches_dispatched, sessions=len(batch),
+                steps=steps, wall=wall)
+        elif self.registry is not None:
+            self.registry.counter("serve.batches").inc()
+            self.registry.counter("serve.steps").inc(steps)
+            self.registry.histogram("serve.batch.seconds").observe(wall)
+
+    async def _run_item(self, item: WorkItem) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            if item.session.state != "active":
+                raise ServiceError(
+                    "session_closed",
+                    f"session {item.session.id} is {item.session.state}")
+            result = await asyncio.wait_for(
+                loop.run_in_executor(self._executor, item.fn),
+                timeout=item.budget)
+            if not item.future.done():
+                item.future.set_result(result)
+        except asyncio.TimeoutError:
+            self.manager.evict(item.session.id, "budget_exceeded")
+            if not item.future.done():
+                item.future.set_exception(ServiceError(
+                    "budget_exceeded",
+                    f"step budget of {item.budget:.3f}s exceeded; "
+                    f"session {item.session.id} evicted"))
+        except ServiceError as exc:
+            if not item.future.done():
+                item.future.set_exception(exc)
+        except Exception as exc:  # noqa: BLE001 - marshal to the client
+            self.manager.evict(item.session.id, "error")
+            if not item.future.done():
+                item.future.set_exception(ServiceError(
+                    "internal", f"{type(exc).__name__}: {exc}"))
+        finally:
+            self.admission.release(item.session.id)

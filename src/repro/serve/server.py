@@ -1,0 +1,275 @@
+"""The asyncio simulation service: sessions behind an NDJSON socket.
+
+:class:`SimulationService` wires the pieces together — a
+:class:`~repro.serve.session.SessionManager` (the session table), an
+:class:`~repro.serve.admission.AdmissionController` (bounded queues),
+and a :class:`~repro.serve.scheduler.BatchScheduler` (fixed-tick
+dispatch over a worker pool) — and speaks the
+:mod:`~repro.serve.protocol` over TCP or a UNIX socket.  Every request
+is counted through :mod:`repro.obs.metrics` and, when a tracer is
+attached, streamed as schema-v2 ``serve.*`` events alongside the
+ordinary step telemetry.
+
+Ops that touch a session's world (``step``, ``snapshot``, ``restore``)
+are serialized through the scheduler so they always observe a step
+boundary; control-plane ops (``create``, ``close``, ``ping``,
+``stats``) run directly on the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..obs.metrics import MetricsRegistry
+from ..workloads import UnknownScenarioError
+from .admission import AdmissionController, AdmissionPolicy
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .scheduler import BatchScheduler
+from .session import SessionConfig, SessionManager
+
+__all__ = ["ServiceConfig", "SimulationService", "serve_forever"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``python -m repro serve`` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 7070
+    #: serve on a UNIX socket instead of TCP when set
+    unix_path: Optional[str] = None
+    max_sessions: int = 32
+    workers: Optional[int] = None
+    batch_window: float = 0.002
+    max_pending_per_session: int = 4
+    max_queue_depth: int = 256
+    step_budget: float = 30.0
+    #: optional JSONL trace path for ``serve.*`` + step telemetry
+    trace_path: Optional[str] = None
+
+
+class SimulationService:
+    """Session manager + admission + scheduler behind one socket."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 observer=None) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry or (observer.registry if observer
+                                     is not None else MetricsRegistry())
+        self.observer = observer
+        self.manager = SessionManager(self.config.max_sessions,
+                                      registry=self.registry,
+                                      observer=observer)
+        self.admission = AdmissionController(
+            AdmissionPolicy(
+                max_sessions=self.config.max_sessions,
+                max_pending_per_session=self.config.max_pending_per_session,
+                max_queue_depth=self.config.max_queue_depth,
+                step_budget=self.config.step_budget,
+            ),
+            registry=self.registry)
+        self.scheduler = BatchScheduler(
+            self.manager, self.admission, workers=self.config.workers,
+            batch_window=self.config.batch_window, observer=observer,
+            registry=self.registry)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.started_at = 0.0
+        self.requests_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the scheduler tick loop."""
+        self.scheduler.start()
+        # The stream limit must fit a whole frame: restore requests can
+        # carry base64 snapshot payloads far beyond the 64 KiB default.
+        if self.config.unix_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.unix_path,
+                limit=MAX_FRAME_BYTES)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host,
+                port=self.config.port, limit=MAX_FRAME_BYTES)
+        self.started_at = time.time()
+
+    @property
+    def address(self):
+        """Bound address: ``(host, port)`` for TCP, the path for UNIX."""
+        if self.config.unix_path:
+            return self.config.unix_path
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+        self.manager.close_all()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, ValueError):
+                    # reset, or a line beyond the stream limit — there
+                    # is no way to resync a torn NDJSON stream; drop it.
+                    break
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                except ProtocolError as exc:
+                    writer.write(encode_frame(
+                        error_response(exc.code, exc.detail)))
+                    await writer.drain()
+                    continue
+                response = await self.handle_request(frame)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except ConnectionResetError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def handle_request(self, frame: dict) -> dict:
+        """Execute one request frame; always returns a response frame."""
+        start = time.perf_counter()
+        self.requests_total += 1
+        op = frame.get("op") if isinstance(frame.get("op"), str) else None
+        session_id = (frame.get("session")
+                      if isinstance(frame.get("session"), str) else None)
+        try:
+            op = parse_request(frame)
+            response = await self._execute(op, frame)
+            ok, error = True, None
+        except ServiceError as exc:
+            response = error_response(exc.code, exc.detail, frame)
+            ok, error = False, exc.code
+        except UnknownScenarioError as exc:
+            response = error_response("bad_request", str(exc), frame)
+            ok, error = False, "bad_request"
+        except Exception as exc:  # noqa: BLE001 - never kill the server
+            response = error_response(
+                "internal", f"{type(exc).__name__}: {exc}", frame)
+            ok, error = False, "internal"
+        wall = time.perf_counter() - start
+        self.registry.counter("serve.requests",
+                              op=op or "invalid").inc()
+        self.registry.histogram("serve.request.seconds").observe(wall)
+        if self.observer is not None:
+            self.observer.serve_request(op or "invalid",
+                                        response.get("session",
+                                                     session_id),
+                                        ok, wall, error)
+        return response
+
+    async def _execute(self, op: str, frame: dict) -> dict:
+        if op == "ping":
+            return ok_response(frame, protocol=PROTOCOL_VERSION,
+                               server="repro-serve",
+                               sessions=len(self.manager))
+        if op == "create":
+            config = SessionConfig.from_frame(frame)
+            session = self.manager.create(config)
+            return ok_response(frame, **session.describe())
+        if op == "stats":
+            return ok_response(frame, **self._stats())
+
+        session = self.manager.get(frame["session"])
+        if op == "close":
+            closed = self.manager.close(session.id)
+            return ok_response(frame, session=closed.id,
+                               steps_run=closed.steps_run)
+        if op == "step":
+            steps = int(frame.get("steps", 1))
+            result = await self.scheduler.submit(
+                session, lambda: session.step(steps), steps=steps)
+            return ok_response(frame, **result)
+        if op == "snapshot":
+            result = await self.scheduler.submit(session, session.snapshot)
+            result = dict(result)
+            result["data"] = base64.b64encode(
+                result.pop("data")).decode("ascii")
+            return ok_response(frame, **result)
+        if op == "restore":
+            data = frame.get("data")
+            if data is not None:
+                try:
+                    data = base64.b64decode(data, validate=True)
+                except (ValueError, TypeError):
+                    raise ServiceError(
+                        "bad_request",
+                        "'data' must be base64 snapshot bytes") from None
+            precisions = frame.get("precisions")
+            result = await self.scheduler.submit(
+                session,
+                lambda: session.restore(frame.get("snapshot"), data,
+                                        precisions))
+            return ok_response(frame, **result)
+        raise ServiceError("unknown_op", f"unhandled op {op!r}")
+
+    def _stats(self) -> dict:
+        return {
+            "uptime": round(time.time() - self.started_at, 3),
+            "sessions": [s.describe() for s in self.manager.sessions()],
+            "active_sessions": len(self.manager),
+            "created_total": self.manager.created_total,
+            "evicted_total": self.manager.evicted_total,
+            "requests_total": self.requests_total,
+            "queue_depth": self.admission.queue_depth,
+            "rejected_total": self.admission.rejected_total,
+            "batches": self.scheduler.batches_dispatched,
+            "steps_dispatched": self.scheduler.steps_dispatched,
+            "workers": self.scheduler.workers,
+            "metrics": self.registry.snapshot(),
+        }
+
+
+async def serve_forever(config: ServiceConfig, observer=None,
+                        ready_callback=None) -> None:
+    """Run the service until cancelled (the CLI entry point)."""
+    service = SimulationService(config, observer=observer)
+    await service.start()
+    address = service.address
+    where = (address if isinstance(address, str)
+             else f"{address[0]}:{address[1]}")
+    print(f"repro-serve: listening on {where} "
+          f"(max {config.max_sessions} sessions, "
+          f"{service.scheduler.workers} workers)")
+    if ready_callback is not None:
+        ready_callback(service)
+    try:
+        await service._server.serve_forever()
+    finally:
+        await service.stop()

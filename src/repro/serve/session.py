@@ -1,0 +1,290 @@
+"""Sessions: one independently-tuned simulation per client.
+
+A :class:`Session` owns a :class:`~repro.physics.World` plus the
+per-session precision machinery the paper argues for — its own
+:class:`~repro.fp.FPContext` control register and (opt-in) its own
+:class:`~repro.tuning.PrecisionController` or guarded-recovery ladder.
+The :class:`SessionManager` is the service's session table: create /
+step / snapshot / restore / close, with snapshots stored as
+:func:`~repro.robustness.serialize_checkpoint` bytes so the same blob
+that restores in place can travel over the wire and seed a fresh
+session bit-identically.
+
+Threading contract: the manager's table is only mutated from the
+service event loop; a session's world is only touched by one scheduler
+worker at a time (the :class:`~repro.serve.scheduler.BatchScheduler`
+serializes per-session work), so sessions need no locks of their own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..fp.context import FPContext
+from ..robustness.checkpoint import (
+    capture_world,
+    deserialize_checkpoint,
+    restore_world,
+    serialize_checkpoint,
+)
+from ..workloads import build
+from .protocol import ServiceError
+
+__all__ = ["SessionConfig", "Session", "SessionManager", "state_digest"]
+
+#: Snapshots retained per session before the oldest is dropped.
+MAX_SNAPSHOTS = 8
+
+
+def state_digest(world) -> str:
+    """Deterministic hex digest of the mutable simulation state.
+
+    Two worlds on the same trajectory produce the same digest; any
+    single-bit divergence in body or cloth state changes it.  This is
+    the service's bit-identity check for snapshot/restore round-trips.
+    """
+    bodies = world.bodies
+    n = bodies.count
+    h = hashlib.sha256()
+    h.update(str(world.step_count).encode())
+    for name in ("pos", "quat", "linvel", "angvel"):
+        h.update(getattr(bodies, name)[:n].tobytes())
+    for cloth in world.cloths:
+        h.update(cloth.pos.tobytes())
+        h.update(cloth.vel.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything needed to (re)build one session's world."""
+
+    scenario: str
+    scale: float = 1.0
+    seed: Optional[int] = None
+    precision: Dict[str, int] = field(default_factory=dict)
+    mode: str = "jam"
+    #: run the per-session dynamic precision controller
+    adaptive: bool = False
+    #: per-step wall budget override (None = service default)
+    step_budget: Optional[float] = None
+
+    @classmethod
+    def from_frame(cls, frame: dict) -> "SessionConfig":
+        """Build from a ``create`` request, validating field types."""
+        scenario = frame.get("scenario")
+        if not isinstance(scenario, str):
+            raise ServiceError("bad_request",
+                               "'create' needs a string 'scenario'")
+        precision = frame.get("precision") or {}
+        if not isinstance(precision, dict) or not all(
+                isinstance(k, str) and isinstance(v, int)
+                for k, v in precision.items()):
+            raise ServiceError(
+                "bad_request",
+                "'precision' must map phase names to integer bits")
+        step_budget = frame.get("step_budget")
+        if step_budget is not None and not isinstance(
+                step_budget, (int, float)):
+            raise ServiceError("bad_request",
+                               "'step_budget' must be a number")
+        try:
+            return cls(
+                scenario=scenario,
+                scale=float(frame.get("scale", 1.0)),
+                seed=(int(frame["seed"]) if frame.get("seed") is not None
+                      else None),
+                precision={k: v for k, v in precision.items() if v < 23},
+                mode=str(frame.get("mode", "jam")),
+                adaptive=bool(frame.get("adaptive", False)),
+                step_budget=(float(step_budget)
+                             if step_budget is not None else None),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError("bad_request", str(exc)) from None
+
+
+class Session:
+    """One live simulation: world + per-session precision control."""
+
+    def __init__(self, session_id: str, config: SessionConfig) -> None:
+        from ..tuning import ControlledSimulation, PrecisionController
+
+        self.id = session_id
+        self.config = config
+        ctx = FPContext(dict(config.precision), mode=config.mode,
+                        census=False)
+        # UnknownScenarioError propagates to the create handler, which
+        # maps it onto a bad_request response listing the valid names.
+        self.world = build(config.scenario, ctx=ctx, scale=config.scale,
+                           seed=config.seed)
+        self.controller = None
+        self._sim = None
+        if config.adaptive and config.precision:
+            self.controller = PrecisionController(ctx,
+                                                  dict(config.precision))
+            self._sim = ControlledSimulation(self.world, self.controller)
+        self.state = "active"
+        self.steps_run = 0
+        self._snapshots: "OrderedDict[str, bytes]" = OrderedDict()
+        self._snapshot_seq = 0
+
+    # ------------------------------------------------------------------
+    def step(self, steps: int = 1) -> dict:
+        """Advance ``steps`` timesteps; runs on a scheduler worker."""
+        if self.state != "active":
+            raise ServiceError("session_closed",
+                               f"session {self.id} is {self.state}")
+        if self._sim is not None:
+            self._sim.run(steps)
+        else:
+            for _ in range(steps):
+                self.world.step()
+        self.steps_run += steps
+        return self.describe()
+
+    def describe(self) -> dict:
+        records = self.world.monitor.records
+        return {
+            "session": self.id,
+            "step": self.world.step_count,
+            "energy": (round(float(records[-1].total), 6)
+                       if records else None),
+            "contacts": int(self.world.last_contact_count),
+            "digest": state_digest(self.world),
+        }
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the current step boundary as wire-ready bytes."""
+        if self.state != "active":
+            raise ServiceError("session_closed",
+                               f"session {self.id} is {self.state}")
+        blob = serialize_checkpoint(capture_world(self.world))
+        self._snapshot_seq += 1
+        snap_id = f"{self.id}.c{self._snapshot_seq}"
+        self._snapshots[snap_id] = blob
+        while len(self._snapshots) > MAX_SNAPSHOTS:
+            self._snapshots.popitem(last=False)
+        return {
+            "session": self.id,
+            "snapshot": snap_id,
+            "step": self.world.step_count,
+            "bytes": len(blob),
+            "data": blob,
+            "precisions": dict(self.world.ctx.phase_precision),
+        }
+
+    def restore(self, snapshot_id: Optional[str] = None,
+                data: Optional[bytes] = None,
+                precisions: Optional[Dict[str, int]] = None) -> dict:
+        """Rewind to a held snapshot id, or to caller-supplied bytes."""
+        if self.state != "active":
+            raise ServiceError("session_closed",
+                               f"session {self.id} is {self.state}")
+        if data is None:
+            if snapshot_id is None:
+                raise ServiceError("bad_request",
+                                   "restore needs 'snapshot' or 'data'")
+            data = self._snapshots.get(snapshot_id)
+            if data is None:
+                raise ServiceError("unknown_snapshot",
+                                   f"no snapshot {snapshot_id!r} held "
+                                   f"for session {self.id}")
+        try:
+            checkpoint = deserialize_checkpoint(data)
+        except ValueError as exc:
+            raise ServiceError("bad_request", str(exc)) from None
+        n_bodies = len(checkpoint.body_state["pos"])
+        if n_bodies != self.world.bodies.count + 1 or \
+                len(checkpoint.cloth_state) != len(self.world.cloths):
+            raise ServiceError(
+                "bad_request",
+                "snapshot does not match this session's scenario/scale")
+        # A freshly built world may not have materialized the virtual
+        # world row the capture included; guarantee the capacity first.
+        self.world.bodies.ensure_world_row()
+        restore_world(self.world, checkpoint)
+        if precisions:
+            for phase, bits in precisions.items():
+                self.world.ctx.set_precision(phase, int(bits))
+        return self.describe()
+
+    def close(self, state: str = "closed") -> None:
+        self.state = state
+        self._snapshots.clear()
+
+
+class SessionManager:
+    """The session table: lifecycle plus capacity accounting."""
+
+    def __init__(self, max_sessions: int = 32, registry=None,
+                 observer=None) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        self.observer = observer
+        self._sessions: Dict[str, Session] = {}
+        self._seq = 0
+        self.created_total = 0
+        self.evicted_total = 0
+        self._registry = registry
+        self._g_active = (registry.gauge("serve.sessions")
+                          if registry is not None else None)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def sessions(self) -> List[Session]:
+        return list(self._sessions.values())
+
+    def create(self, config: SessionConfig) -> Session:
+        if len(self._sessions) >= self.max_sessions:
+            raise ServiceError(
+                "server_full",
+                f"session table full ({self.max_sessions}); close a "
+                f"session or raise --max-sessions")
+        self._seq += 1
+        session = Session(f"s{self._seq}", config)
+        self._sessions[session.id] = session
+        self.created_total += 1
+        self._track()
+        return session
+
+    def get(self, session_id: str) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise ServiceError("unknown_session",
+                               f"no session {session_id!r}")
+        return session
+
+    def close(self, session_id: str) -> Session:
+        session = self.get(session_id)
+        del self._sessions[session_id]
+        session.close()
+        self._track()
+        return session
+
+    def evict(self, session_id: str, reason: str) -> None:
+        """Forcibly remove a session (budget blown, step crashed)."""
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            return
+        session.close(state="evicted")
+        self.evicted_total += 1
+        self._track()
+        if self.observer is not None:
+            self.observer.serve_evict(session_id, reason,
+                                      session.world.step_count)
+
+    def close_all(self) -> None:
+        for session_id in list(self._sessions):
+            self.close(session_id)
+
+    def _track(self) -> None:
+        if self._g_active is not None:
+            self._g_active.set(len(self._sessions))

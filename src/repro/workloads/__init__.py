@@ -5,6 +5,7 @@ from .scenarios import (
     DEFAULT_STEPS,
     SCENARIO_ABBREVIATIONS,
     SCENARIO_NAMES,
+    UnknownScenarioError,
     build,
     default_steps,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "DEFAULT_STEPS",
     "SCENARIO_ABBREVIATIONS",
     "SCENARIO_NAMES",
+    "UnknownScenarioError",
     "build",
     "default_steps",
 ]

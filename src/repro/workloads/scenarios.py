@@ -37,9 +37,19 @@ __all__ = [
     "SCENARIO_NAMES",
     "SCENARIO_ABBREVIATIONS",
     "DEFAULT_SEED",
+    "UnknownScenarioError",
     "build",
     "default_steps",
 ]
+
+
+class UnknownScenarioError(ValueError):
+    """A scenario name :func:`build` does not know.
+
+    Subclasses :class:`ValueError` so existing callers keep working; the
+    CLI (and the serving layer's ``create`` endpoint) catch this type
+    specifically to return a clean error instead of a traceback.
+    """
 
 #: Paper Table 1/4 order.
 SCENARIO_NAMES = [
@@ -340,8 +350,9 @@ def build(
     try:
         builder = _BUILDERS[key]
     except KeyError:
-        raise ValueError(
-            f"unknown scenario {name!r}; pick from {SCENARIO_NAMES}"
+        valid = ", ".join(sorted(set(_BUILDERS) | set(_ALIASES)))
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; valid scenarios: {valid}"
         ) from None
     world = World(ctx=ctx, solver=solver)
     rng = np.random.default_rng(DEFAULT_SEED if seed is None else seed)

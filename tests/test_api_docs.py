@@ -35,5 +35,6 @@ class TestApiGuide:
         text = API_MD.read_text()
         for module in ("repro.fp", "repro.memo", "repro.physics",
                        "repro.workloads", "repro.tuning", "repro.arch",
-                       "repro.experiments"):
+                       "repro.experiments", "repro.perf", "repro.obs",
+                       "repro.serve"):
             assert module in text

@@ -124,3 +124,39 @@ class TestTraceCli:
         assert code in (0, 1)
         events, _ = read_events(out)
         assert any(e["kind"] == "step" for e in events)
+
+
+class TestUnknownScenarioExitCode:
+    @pytest.mark.parametrize("argv", [
+        ["run", "nosuch", "--steps", "2"],
+        ["tune", "nosuch", "--steps", "2"],
+        ["trace", "nosuch", "--steps", "2", "--out", "unused.jsonl"],
+    ])
+    def test_typoed_scenario_is_usage_error_2(self, argv, capsys,
+                                              tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # keep stray outputs out of the repo
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'nosuch'" in err
+        assert "valid scenarios" in err
+        assert "Traceback" not in err
+
+
+class TestServeCli:
+    def test_serve_bench_smoke(self, tmp_path, capsys):
+        assert main(["serve-bench", "--clients", "2", "--steps", "3",
+                     "--scale", "0.4", "--fidelity-steps", "3",
+                     "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro serve-bench" in out
+        assert "snapshot fidelity: bit-identical" in out
+        assert "OK" in out
+        assert list(tmp_path.glob("BENCH_*_serve.json"))
+
+    def test_serve_and_serve_bench_registered(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        assert "--max-sessions" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--help"])
+        assert "--clients" in capsys.readouterr().out

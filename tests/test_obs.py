@@ -164,6 +164,70 @@ class TestSchema:
         assert messages
 
 
+class TestSchemaV2BackCompat:
+    """The serve.* bump (v1 -> v2) must not invalidate v1 streams."""
+
+    def test_current_version_is_2_and_v1_still_supported(self):
+        from repro.obs import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
+
+        assert SCHEMA_VERSION == 2
+        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2}
+
+    @staticmethod
+    def _meta(schema):
+        return {"kind": "meta", "schema": schema,
+                "scenario": "continuous", "steps": 8,
+                "precision": {"lcp": 8}, "mode": "jam", "census": True}
+
+    def test_v_previous_meta_still_validates(self):
+        assert validate_event(self._meta(1)) == []
+        assert validate_event(self._meta(2)) == []
+        assert validate_event(self._meta(99))
+
+    def test_v1_trace_stream_still_validates(self, tmp_path):
+        """A stream written under schema 1 (no serve.* kinds) passes the
+        v2 validator untouched."""
+        path = tmp_path / "v1.jsonl"
+        v1_events = [
+            self._meta(1),
+            {"kind": "detection", "step": 3, "phase": "lcp",
+             "detail": "nan"},
+            {"kind": "controller", "step": 3, "action": "throttle",
+             "violation": True, "reexecuted": False,
+             "precisions": {"lcp": 23}},
+        ]
+        with JsonlWriter(path) as writer:
+            for event in v1_events:
+                writer.write(event)
+        events, skipped = read_events(path)
+        invalid, messages = validate_events(events)
+        assert (skipped, invalid) == (0, 0), messages
+
+    def test_serve_kinds_are_v2(self):
+        from repro.obs.schema import EVENT_KINDS, V2_KINDS
+
+        assert set(V2_KINDS) <= set(EVENT_KINDS)
+        assert all(kind.startswith("serve.") for kind in V2_KINDS)
+
+    def test_serve_request_event_validates(self):
+        good = {"kind": "serve.request", "op": "step", "session": "s1",
+                "ok": True, "wall": 0.01}
+        assert validate_event(good) == []
+        # session may be None (e.g. a rejected create)
+        assert validate_event(dict(good, session=None)) == []
+        assert validate_event(dict(good, op="warp"))  # unknown op
+        assert validate_event({"kind": "serve.request", "op": "step"})
+
+    def test_serve_batch_and_evict_validate(self):
+        assert validate_event({"kind": "serve.batch", "batch": 1,
+                               "sessions": 3, "steps": 9,
+                               "wall": 0.02}) == []
+        assert validate_event({"kind": "serve.evict", "session": "s1",
+                               "reason": "budget_exceeded",
+                               "step": 40}) == []
+        assert validate_event({"kind": "serve.evict", "session": "s1"})
+
+
 class TestTracerStepEvents:
     def test_step_events_are_schema_valid(self, tmp_path):
         path = tmp_path / "t.jsonl"

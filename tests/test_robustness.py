@@ -93,6 +93,128 @@ class TestCheckpoint:
         with pytest.raises(ValueError):
             CheckpointRing(depth=0)
 
+    def test_empty_ring_edge_cases(self):
+        ring = CheckpointRing(depth=3)
+        assert len(ring) == 0
+        assert ring.latest() is None
+        assert ring.rollback_target(0) is None
+        assert ring.rollback_target(99) is None
+        ring.truncate_after(5)  # no-op, no raise
+
+    def test_rollback_target_zero_is_latest(self):
+        ring = CheckpointRing(depth=3)
+        world = _world()
+        for _ in range(3):
+            ring.push(capture_world(world))
+            world.step()
+        assert ring.rollback_target(0) is ring.latest()
+        assert ring.rollback_target(0).step_count == 2
+
+    def test_rollback_target_rejects_negative_depth(self):
+        ring = CheckpointRing(depth=3)
+        ring.push(capture_world(_world()))
+        with pytest.raises(ValueError):
+            ring.rollback_target(-1)
+
+    def test_truncate_at_exact_boundary_keeps_that_checkpoint(self):
+        ring = CheckpointRing(depth=8)
+        world = _world()
+        for _ in range(5):
+            ring.push(capture_world(world))
+            world.step()
+        # A checkpoint captured *at* the rewind step stays valid.
+        ring.truncate_after(2)
+        assert len(ring) == 3
+        assert ring.latest().step_count == 2
+
+    def test_truncate_before_everything_empties_the_ring(self):
+        ring = CheckpointRing(depth=8)
+        world = _world()
+        world.step()
+        ring.push(capture_world(world))  # step_count == 1
+        ring.truncate_after(0)
+        assert len(ring) == 0 and ring.latest() is None
+
+
+class TestCheckpointSerialization:
+    def test_serialized_roundtrip_is_bit_exact(self):
+        from repro.robustness import (
+            deserialize_checkpoint,
+            serialize_checkpoint,
+        )
+
+        world = _world()
+        for _ in range(30):
+            world.step()  # populate warm-start cache + ledgers
+        world.quarantine_bodies([1])
+        checkpoint = capture_world(world)
+        back = deserialize_checkpoint(serialize_checkpoint(checkpoint))
+
+        assert back.step_count == checkpoint.step_count
+        for name, data in checkpoint.body_state.items():
+            assert np.array_equal(back.body_state[name], data)
+            assert back.body_state[name].dtype == data.dtype
+        assert back.monitor_records == checkpoint.monitor_records
+        assert back.injected_total == checkpoint.injected_total
+        assert back.penetration_len == checkpoint.penetration_len
+        assert back.last_contact_count == checkpoint.last_contact_count
+        assert back.quarantined == checkpoint.quarantined
+        assert set(back.contact_cache) == set(checkpoint.contact_cache)
+        for key, entries in checkpoint.contact_cache.items():
+            for (pos, imp), (bpos, bimp) in zip(entries,
+                                                back.contact_cache[key]):
+                assert np.array_equal(pos, bpos)
+                assert tuple(imp) == tuple(bimp)
+
+    def test_deserialize_rejects_corrupt_payloads(self):
+        from repro.robustness import (
+            deserialize_checkpoint,
+            serialize_checkpoint,
+        )
+
+        blob = serialize_checkpoint(capture_world(_world()))
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_checkpoint(b"NOTACKPT" + blob[8:])
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_checkpoint(blob[:-8])
+        # corrupt the JSON header (bytes after magic + length prefix)
+        mangled = blob[:16] + b"\x00\x00" + blob[18:]
+        with pytest.raises(ValueError):
+            deserialize_checkpoint(mangled)
+
+    @pytest.mark.parametrize("scenario", ["continuous", "ragdoll"])
+    def test_fresh_world_continues_bit_identically(self, scenario):
+        """capture -> bytes -> restore into a *fresh* world: the next
+        20 steps match the original trajectory bit for bit (the
+        property repro.serve's snapshot/restore endpoint depends on)."""
+        from repro.robustness import (
+            deserialize_checkpoint,
+            serialize_checkpoint,
+        )
+        from repro.workloads import build
+
+        reference = build(scenario, scale=0.4, seed=17)
+        for _ in range(10):
+            reference.step()
+        blob = serialize_checkpoint(capture_world(reference))
+
+        fresh = build(scenario, scale=0.4, seed=17)
+        fresh.bodies.ensure_world_row()
+        restore_world(fresh, deserialize_checkpoint(blob))
+        assert fresh.step_count == 10
+
+        n = reference.bodies.count
+        for _ in range(20):
+            reference.step()
+            fresh.step()
+            for name in ("pos", "quat", "linvel", "angvel"):
+                assert np.array_equal(
+                    getattr(reference.bodies, name)[:n],
+                    getattr(fresh.bodies, name)[:n]), name
+        for ref_cloth, new_cloth in zip(reference.cloths, fresh.cloths):
+            assert np.array_equal(ref_cloth.pos, new_cloth.pos)
+            assert np.array_equal(ref_cloth.vel, new_cloth.vel)
+
 
 class TestFaultInjector:
     def _corrupt(self, injector, n=256, precision=8):

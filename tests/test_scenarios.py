@@ -27,6 +27,18 @@ class TestRoster:
         with pytest.raises(ValueError):
             build("quake")
 
+    def test_unknown_scenario_error_lists_valid_names(self):
+        from repro.workloads import UnknownScenarioError
+
+        with pytest.raises(UnknownScenarioError) as err:
+            build("quake")
+        message = str(err.value)
+        assert "valid scenarios" in message
+        for name in SCENARIO_NAMES:
+            assert name in message
+        # still a ValueError, so pre-existing callers keep working
+        assert isinstance(err.value, ValueError)
+
     def test_mix_alias(self):
         world = build("mix", ctx=FPContext(census=False), scale=0.4)
         assert world.bodies.count > 0

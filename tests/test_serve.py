@@ -1,0 +1,513 @@
+"""Tests for the multi-session simulation service (``repro.serve``)."""
+
+import base64
+import threading
+
+import pytest
+
+from repro.obs import NullSink, Tracer, validate_events
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    Client,
+    ServeBenchConfig,
+    ServeClientError,
+    ServiceConfig,
+    ProtocolError,
+    ServiceError,
+    decode_frame,
+    encode_frame,
+    render_serve_summary,
+    run_serve_bench,
+    start_in_thread,
+    state_digest,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serve.session import SessionConfig, SessionManager
+from repro.workloads import build
+
+
+def _capture_tracer():
+    """A tracer whose sink appends every event to a shared list."""
+    captured = []
+    sink = NullSink()
+    sink.write = lambda event: captured.append(event)
+    return Tracer(sink), captured
+
+
+def _server(**overrides):
+    observer = overrides.pop("observer", None)
+    defaults = dict(port=0, max_sessions=8)
+    defaults.update(overrides)
+    return start_in_thread(ServiceConfig(**defaults), observer=observer)
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        frame = {"op": "step", "session": "s1", "steps": 3}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encoded_frame_is_one_line(self):
+        raw = encode_frame({"op": "ping"})
+        assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2, 3]\n")  # not an object
+        with pytest.raises(ProtocolError):
+            decode_frame(b"   \n")  # empty
+
+    def test_decode_rejects_oversized_frame(self):
+        blob = b'{"op": "' + b"x" * MAX_FRAME_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError):
+            decode_frame(blob)
+
+    def test_parse_request_validates_envelope(self):
+        assert parse_request({"op": "ping"}) == "ping"
+        with pytest.raises(ServiceError) as err:
+            parse_request({"op": "warp"})
+        assert err.value.code == "unknown_op"
+        with pytest.raises(ServiceError) as err:
+            parse_request({"op": "step"})  # session required
+        assert err.value.code == "bad_request"
+        with pytest.raises(ServiceError):
+            parse_request({"op": "step", "session": "s1", "steps": -1})
+        with pytest.raises(ServiceError):
+            parse_request({"steps": 1})  # op missing
+
+    def test_responses_echo_correlation_id(self):
+        request = {"op": "ping", "id": "xyz"}
+        assert ok_response(request, pong=True)["id"] == "xyz"
+        assert error_response("busy", "later", request)["id"] == "xyz"
+        assert "id" not in ok_response({"op": "ping"})
+
+    def test_error_codes_cover_service_errors(self):
+        for code in ("busy", "server_full", "budget_exceeded"):
+            assert code in ERROR_CODES
+
+
+class TestSessionConfig:
+    def test_from_frame_defaults(self):
+        config = SessionConfig.from_frame({"op": "create",
+                                           "scenario": "continuous"})
+        assert config.scenario == "continuous"
+        assert config.scale == 1.0 and config.seed is None
+        assert config.precision == {} and not config.adaptive
+
+    def test_from_frame_requires_scenario_string(self):
+        with pytest.raises(ServiceError) as err:
+            SessionConfig.from_frame({"op": "create"})
+        assert err.value.code == "bad_request"
+        with pytest.raises(ServiceError):
+            SessionConfig.from_frame({"op": "create", "scenario": 7})
+
+    def test_from_frame_validates_precision_map(self):
+        with pytest.raises(ServiceError):
+            SessionConfig.from_frame(
+                {"scenario": "continuous", "precision": {"lcp": "six"}})
+        config = SessionConfig.from_frame(
+            {"scenario": "continuous",
+             "precision": {"lcp": 8, "narrow": 23}})
+        # full-precision (>= 23 bit) entries are dropped, like the CLI
+        assert config.precision == {"lcp": 8}
+
+    def test_from_frame_validates_step_budget(self):
+        with pytest.raises(ServiceError):
+            SessionConfig.from_frame(
+                {"scenario": "continuous", "step_budget": "fast"})
+        config = SessionConfig.from_frame(
+            {"scenario": "continuous", "step_budget": 2})
+        assert config.step_budget == 2.0
+
+
+class TestSessionManager:
+    def _config(self):
+        return SessionConfig(scenario="continuous", scale=0.4, seed=3)
+
+    def test_lifecycle(self):
+        manager = SessionManager(max_sessions=2)
+        session = manager.create(self._config())
+        assert len(manager) == 1
+        assert manager.get(session.id) is session
+        result = session.step(2)
+        assert result["step"] == 2 and session.steps_run == 2
+        manager.close(session.id)
+        assert len(manager) == 0
+        with pytest.raises(ServiceError) as err:
+            manager.get(session.id)
+        assert err.value.code == "unknown_session"
+
+    def test_capacity_rejected_as_server_full(self):
+        manager = SessionManager(max_sessions=1)
+        manager.create(self._config())
+        with pytest.raises(ServiceError) as err:
+            manager.create(self._config())
+        assert err.value.code == "server_full"
+
+    def test_closed_session_refuses_work(self):
+        manager = SessionManager(max_sessions=1)
+        session = manager.create(self._config())
+        manager.close(session.id)
+        with pytest.raises(ServiceError) as err:
+            session.step()
+        assert err.value.code == "session_closed"
+
+    def test_evict_marks_and_notifies(self):
+        tracer, captured = _capture_tracer()
+        manager = SessionManager(max_sessions=1, observer=tracer)
+        session = manager.create(self._config())
+        manager.evict(session.id, "budget_exceeded")
+        assert session.state == "evicted"
+        assert manager.evicted_total == 1
+        manager.evict(session.id, "budget_exceeded")  # idempotent
+        assert manager.evicted_total == 1
+        evicts = [e for e in captured if e["kind"] == "serve.evict"]
+        assert len(evicts) == 1
+        assert evicts[0]["reason"] == "budget_exceeded"
+
+    def test_snapshot_restore_in_place(self):
+        manager = SessionManager(max_sessions=1)
+        session = manager.create(self._config())
+        session.step(5)
+        snap = session.snapshot()
+        digest_before = session.describe()["digest"]
+        session.step(5)
+        assert session.describe()["digest"] != digest_before
+        session.restore(snapshot_id=snap["snapshot"])
+        assert session.describe()["digest"] == digest_before
+
+    def test_restore_rejects_unknown_snapshot_and_bad_bytes(self):
+        manager = SessionManager(max_sessions=1)
+        session = manager.create(self._config())
+        with pytest.raises(ServiceError) as err:
+            session.restore(snapshot_id="nope")
+        assert err.value.code == "unknown_snapshot"
+        with pytest.raises(ServiceError) as err:
+            session.restore(data=b"garbage")
+        assert err.value.code == "bad_request"
+
+    def test_restore_rejects_mismatched_scenario(self):
+        manager = SessionManager(max_sessions=2)
+        small = manager.create(self._config())
+        big = manager.create(SessionConfig(scenario="ragdoll", scale=0.4))
+        snap = small.snapshot()
+        with pytest.raises(ServiceError) as err:
+            big.restore(data=snap["data"])
+        assert err.value.code == "bad_request"
+
+    def test_snapshot_ring_is_bounded(self):
+        from repro.serve.session import MAX_SNAPSHOTS
+
+        manager = SessionManager(max_sessions=1)
+        session = manager.create(self._config())
+        first = session.snapshot()["snapshot"]
+        for _ in range(MAX_SNAPSHOTS):
+            session.snapshot()
+        with pytest.raises(ServiceError) as err:
+            session.restore(snapshot_id=first)  # oldest was dropped
+        assert err.value.code == "unknown_snapshot"
+
+
+class TestStateDigest:
+    def test_same_trajectory_same_digest(self):
+        a = build("continuous", scale=0.4, seed=11)
+        b = build("continuous", scale=0.4, seed=11)
+        for _ in range(5):
+            a.step()
+            b.step()
+        assert state_digest(a) == state_digest(b)
+
+    def test_divergence_changes_digest(self):
+        a = build("continuous", scale=0.4, seed=11)
+        b = build("continuous", scale=0.4, seed=11)
+        b.apply_impulse(0, [0, 1e-4, 0])
+        a.step()
+        b.step()
+        assert state_digest(a) != state_digest(b)
+
+
+class TestAdmissionController:
+    def test_per_session_backlog_rejected_busy(self):
+        admission = AdmissionController(
+            AdmissionPolicy(max_pending_per_session=2, max_queue_depth=10))
+        admission.admit("s1")
+        admission.admit("s1")
+        with pytest.raises(ServiceError) as err:
+            admission.admit("s1")
+        assert err.value.code == "busy"
+        assert admission.rejected_total == 1
+        admission.admit("s2")  # other sessions unaffected
+
+    def test_global_queue_depth_rejected_busy(self):
+        admission = AdmissionController(
+            AdmissionPolicy(max_pending_per_session=10, max_queue_depth=2))
+        admission.admit("s1")
+        admission.admit("s2")
+        with pytest.raises(ServiceError) as err:
+            admission.admit("s3")
+        assert err.value.code == "busy"
+
+    def test_release_frees_capacity(self):
+        admission = AdmissionController(
+            AdmissionPolicy(max_pending_per_session=1, max_queue_depth=1))
+        admission.admit("s1")
+        admission.release("s1")
+        admission.admit("s1")  # no raise
+        assert admission.queue_depth == 1
+        assert admission.pending_for("s1") == 1
+
+    def test_budget_override_per_session(self):
+        admission = AdmissionController(AdmissionPolicy(step_budget=9.0))
+        default = SessionConfig(scenario="continuous")
+        custom = SessionConfig(scenario="continuous", step_budget=0.5)
+
+        class Holder:
+            def __init__(self, config):
+                self.config = config
+
+        assert admission.budget_for(Holder(default)) == 9.0
+        assert admission.budget_for(Holder(custom)) == 0.5
+
+
+class TestServiceOverTheWire:
+    def test_ping_create_step_close(self):
+        handle = _server()
+        try:
+            with handle.connect() as client:
+                pong = client.ping()
+                assert pong["protocol"] == 1 and pong["sessions"] == 0
+                session = client.create("continuous", scale=0.4, seed=3)
+                result = client.step(session, 5)
+                assert result["step"] == 5
+                assert result["contacts"] >= 0
+                stats = client.stats()
+                assert stats["active_sessions"] == 1
+                assert stats["created_total"] == 1
+                closed = client.close_session(session)
+                assert closed["steps_run"] == 5
+                with pytest.raises(ServeClientError) as err:
+                    client.step(session)
+                assert err.value.code == "unknown_session"
+        finally:
+            handle.stop()
+
+    def test_unknown_scenario_lists_valid_names(self):
+        handle = _server()
+        try:
+            with handle.connect() as client:
+                with pytest.raises(ServeClientError) as err:
+                    client.create("nosuch")
+                assert err.value.code == "bad_request"
+                assert "valid scenarios" in err.value.detail
+                assert "continuous" in err.value.detail
+        finally:
+            handle.stop()
+
+    def test_malformed_frame_keeps_connection_alive(self):
+        handle = _server()
+        try:
+            with handle.connect() as client:
+                client._file.write(b"this is not json\n")
+                client._file.flush()
+                response = decode_frame(client._file.readline())
+                assert response["ok"] is False
+                assert response["error"] == "bad_frame"
+                assert client.ping()["ok"]  # connection survived
+        finally:
+            handle.stop()
+
+    def test_server_full_create(self):
+        handle = _server(max_sessions=1)
+        try:
+            with handle.connect() as client:
+                client.create("continuous", scale=0.4)
+                with pytest.raises(ServeClientError) as err:
+                    client.create("continuous", scale=0.4)
+                assert err.value.code == "server_full"
+        finally:
+            handle.stop()
+
+    def test_budget_blown_evicts_session(self):
+        handle = _server()
+        try:
+            with handle.connect() as client:
+                session = client.create("continuous", scale=0.4,
+                                        step_budget=1e-4)
+                with pytest.raises(ServeClientError) as err:
+                    client.step(session, 50)
+                assert err.value.code == "budget_exceeded"
+                with pytest.raises(ServeClientError) as err:
+                    client.step(session)
+                assert err.value.code == "unknown_session"
+                assert client.stats()["evicted_total"] == 1
+        finally:
+            handle.stop()
+
+    def test_snapshot_restore_bit_identity_over_wire(self):
+        """The acceptance-criteria property, end to end on the socket."""
+        handle = _server()
+        opts = dict(scale=0.4, seed=7)
+        try:
+            with handle.connect() as client:
+                straight = client.create("continuous", **opts)
+                digest_straight = client.step(straight, 20)["digest"]
+
+                snapped = client.create("continuous", **opts)
+                client.step(snapped, 10)
+                snap = client.snapshot(snapped)
+                assert snap["step"] == 10 and len(snap["data"]) > 0
+                digest_snapped = client.step(snapped, 10)["digest"]
+
+                fresh = client.create("continuous", **opts)
+                restored = client.restore(fresh, data=snap["data"],
+                                          precisions=snap["precisions"])
+                assert restored["step"] == 10
+                digest_fresh = client.step(fresh, 10)["digest"]
+
+                client.restore(snapped, snapshot=snap["snapshot"])
+                digest_rewound = client.step(snapped, 10)["digest"]
+
+                assert digest_straight == digest_snapped
+                assert digest_straight == digest_fresh
+                assert digest_straight == digest_rewound
+        finally:
+            handle.stop()
+
+    def test_restore_rejects_bad_base64(self):
+        handle = _server()
+        try:
+            with handle.connect() as client:
+                session = client.create("continuous", scale=0.4)
+                with pytest.raises(ServeClientError) as err:
+                    client.request({"op": "restore", "session": session,
+                                    "data": "!!! not base64 !!!"})
+                assert err.value.code == "bad_request"
+        finally:
+            handle.stop()
+
+    def test_adaptive_session_steps(self):
+        handle = _server()
+        try:
+            with handle.connect() as client:
+                session = client.create("continuous", scale=0.4,
+                                        precision={"lcp": 8},
+                                        adaptive=True)
+                assert client.step(session, 5)["step"] == 5
+        finally:
+            handle.stop()
+
+
+class TestConcurrentSessionsTraced:
+    def test_three_sessions_with_snapshot_restore_emit_valid_events(self):
+        """The CI smoke scenario: 3 concurrent clients, 20 steps each,
+        one snapshot/restore, with every serve.* event schema-valid."""
+        tracer, captured = _capture_tracer()
+        handle = start_in_thread(ServiceConfig(port=0, max_sessions=8),
+                                 observer=tracer)
+        digests = {}
+        errors = []
+
+        def _drive(tag):
+            try:
+                with handle.connect() as client:
+                    session = client.create("continuous", scale=0.4,
+                                            seed=5)
+                    client.step(session, 10)
+                    snap = client.snapshot(session)
+                    client.step(session, 10)
+                    client.restore(session, snapshot=snap["snapshot"])
+                    digests[tag] = client.step(session, 10)["digest"]
+                    client.close_session(session)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(f"{tag}: {exc}")
+
+        threads = [threading.Thread(target=_drive, args=(i,))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        handle.stop()
+
+        assert not errors
+        # identical configs on identical trajectories agree
+        assert len(set(digests.values())) == 1
+
+        serve_events = [e for e in captured
+                        if e["kind"].startswith("serve.")]
+        requests = [e for e in serve_events
+                    if e["kind"] == "serve.request"]
+        batches = [e for e in serve_events if e["kind"] == "serve.batch"]
+        assert all(e["ok"] for e in requests)
+        ops = {e["op"] for e in requests}
+        assert {"create", "step", "snapshot", "restore",
+                "close"} <= ops
+        assert batches and all(e["sessions"] >= 1 for e in batches)
+        assert sum(e["steps"] for e in batches) == 3 * 30
+        invalid, problems = validate_events(serve_events)
+        assert invalid == 0, problems
+
+    def test_registry_counts_requests_and_batches(self):
+        handle = _server()
+        try:
+            with handle.connect() as client:
+                session = client.create("continuous", scale=0.4)
+                client.step(session, 3)
+                stats = client.stats()
+            metrics = stats["metrics"]
+            assert metrics["serve.requests{op=create}"]["value"] == 1
+            assert metrics["serve.requests{op=step}"]["value"] == 1
+            assert metrics["serve.sessions"]["value"] == 1
+            assert stats["batches"] >= 1
+            assert stats["steps_dispatched"] == 3
+        finally:
+            handle.stop()
+
+
+class TestServeBench:
+    def test_bench_smoke_payload(self, tmp_path):
+        payload = run_serve_bench(ServeBenchConfig(
+            clients=2, steps_per_client=3, scale=0.4,
+            fidelity_steps=3, output_dir=str(tmp_path)))
+        assert payload["ok"] is True
+        bench = payload["serve_bench"]
+        assert bench["requests_ok"] == 6
+        assert bench["sessions_dropped"] == 0
+        assert bench["steps_per_sec"] > 0
+        assert bench["p95_ms"] >= bench["p50_ms"] >= 0
+        assert bench["fidelity"]["bit_identical"] is True
+        written = list(tmp_path.glob("BENCH_*_serve.json"))
+        assert len(written) == 1
+
+    def test_render_summary_mentions_the_gates(self, tmp_path):
+        payload = run_serve_bench(ServeBenchConfig(
+            clients=2, steps_per_client=2, scale=0.4,
+            fidelity_steps=2, output_dir=str(tmp_path)))
+        text = render_serve_summary(payload)
+        assert "steps/s aggregate" in text
+        assert "p50" in text and "p95" in text
+        assert "bit-identical" in text
+        assert text.strip().endswith(payload["path"].split("/")[-1])
+
+
+class TestSnapshotWireEncoding:
+    def test_snapshot_payload_is_base64_on_the_wire(self):
+        handle = _server()
+        try:
+            with handle.connect() as client:
+                session = client.create("continuous", scale=0.4)
+                client.step(session, 2)
+                raw = client.request({"op": "snapshot",
+                                      "session": session})
+                blob = base64.b64decode(raw["data"], validate=True)
+                assert blob[:8] == b"RPROCKPT"
+        finally:
+            handle.stop()
