@@ -200,6 +200,18 @@ def _add_serve_parser(sub) -> None:
                         "its session is evicted")
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="stream serve.* + step telemetry to this JSONL")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="per-session snapshot journals for crash-safe "
+                        "restart recovery (omit to disable durability)")
+    p.add_argument("--journal-every", type=int, default=32,
+                   help="steps a session may advance between journal "
+                        "entries")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   help="seconds a SIGTERM/SIGINT drain waits for "
+                        "in-flight batches")
+    p.add_argument("--allow-chaos", action="store_true",
+                   help="permit fault-drill session fields "
+                        "(inject_rate, chaos_slow_*)")
 
 
 def _add_serve_bench_parser(sub) -> None:
@@ -222,6 +234,18 @@ def _add_serve_bench_parser(sub) -> None:
                         "check")
     p.add_argument("--output", default="results",
                    help="directory for BENCH_<stamp>_serve.json")
+    p.add_argument("--chaos", action="store_true",
+                   help="run the fault drill after the load phase: "
+                        "injected soft errors, killed connections, "
+                        "slow steps, one mid-run server restart "
+                        "recovered from journals")
+    p.add_argument("--chaos-inject-rate", type=float, default=0.02,
+                   help="soft-error rate for the guarded chaos "
+                        "sessions")
+    p.add_argument("--chaos-kill-every", type=int, default=10,
+                   help="client RSTs its connection every N steps")
+    p.add_argument("--chaos-recovery-p95", type=float, default=5.0,
+                   help="p95 recovery-time gate in seconds")
 
 
 def _cmd_scenarios() -> int:
@@ -473,6 +497,10 @@ def _cmd_serve(args) -> int:
         max_queue_depth=args.max_queue,
         step_budget=args.step_budget,
         trace_path=args.trace,
+        journal_dir=args.journal_dir,
+        journal_every=args.journal_every,
+        drain_grace=args.drain_grace,
+        allow_chaos=args.allow_chaos,
     )
     observer = None
     if args.trace:
@@ -508,6 +536,10 @@ def _cmd_serve_bench(args) -> int:
         batch_window=args.batch_window,
         fidelity_steps=args.fidelity_steps,
         output_dir=args.output,
+        chaos=args.chaos,
+        chaos_inject_rate=args.chaos_inject_rate,
+        chaos_kill_every=args.chaos_kill_every,
+        chaos_recovery_p95_s=args.chaos_recovery_p95,
     ))
     print(render_serve_summary(payload))
     return 0 if payload["ok"] else 1

@@ -1,4 +1,4 @@
-"""Trace event schema (version 2) and its validator.
+"""Trace event schema (version 3) and its validator.
 
 Every JSONL line is one event; ``kind`` discriminates.  The step record
 carries the four signal families the paper's argument is built on:
@@ -16,9 +16,12 @@ spiked at step 41, and what did recovery cost?".
 
 Version 2 adds the serving layer's ``serve.*`` kinds (per-request
 outcome, per-batch dispatch, session eviction) so a service trace and a
-simulation trace interleave in one file.  Older streams stay valid:
-``meta.schema`` may carry any version in
-:data:`SUPPORTED_SCHEMA_VERSIONS`, and the v1 kinds are unchanged.
+simulation trace interleave in one file.  Version 3 adds the
+resilience kinds: ``serve.recover`` (one event per recovery-ladder
+transition — rung, outcome, rollback step, wall cost) and
+``serve.drain`` (one event per graceful shutdown).  Older streams stay
+valid: ``meta.schema`` may carry any version in
+:data:`SUPPORTED_SCHEMA_VERSIONS`, and earlier kinds are unchanged.
 
 The validator is deliberately structural (required keys + coarse
 types), not exhaustive: the trace must stay writable from hot paths and
@@ -30,13 +33,15 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS", "EVENT_KINDS",
-           "SERVE_OPS", "V2_KINDS", "validate_event", "validate_events"]
+           "SERVE_OPS", "V2_KINDS", "V3_KINDS", "validate_event",
+           "validate_events"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Versions the validator accepts in ``meta.schema`` — a v1 trace (no
-#: ``serve.*`` events) must keep validating after the v2 bump.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: ``serve.*`` events) or v2 trace (no resilience events) must keep
+#: validating after the v3 bump.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 _NUM = (int, float)
 
@@ -111,10 +116,32 @@ EVENT_KINDS: Dict[str, Dict[str, tuple]] = {
         "reason": (str,),
         "step": (int,),
     },
+    # --- schema v3: resilience events (repro.serve.resilience) ---
+    "serve.recover": {
+        "session": (str,),
+        "rung": (int,),        # 0 retry-full-precision, 1 rollback,
+                               # 2 quarantine
+        "outcome": (str,),     # "recovered" | "degraded" | "respawned"
+                               # | "lost"
+        "reason": (str,),
+        "wall": _NUM,
+        "step": (int,),        # the step the session resumed at
+    },
+    "serve.drain": {
+        "sessions": (int,),
+        "journaled": (int,),
+        "completed": (bool,),  # False = grace period expired
+        "wall": _NUM,
+    },
 }
 
 #: Kinds introduced by schema version 2.
 V2_KINDS = ("serve.request", "serve.batch", "serve.evict")
+
+#: Kinds introduced by schema version 3.
+V3_KINDS = ("serve.recover", "serve.drain")
+
+_RECOVER_OUTCOMES = ("recovered", "degraded", "respawned", "lost")
 
 _CENSUS_FIELDS = ("total", "trivial", "memo_hits", "lut_hits",
                   "nontrivial")
@@ -171,6 +198,10 @@ def validate_event(event: dict) -> List[str]:
     elif kind == "serve.request" and event["op"] not in SERVE_OPS:
         errors.append(f"serve.request.op: {event['op']!r} not in "
                       f"{SERVE_OPS}")
+    elif kind == "serve.recover" and \
+            event["outcome"] not in _RECOVER_OUTCOMES:
+        errors.append(f"serve.recover.outcome: {event['outcome']!r} "
+                      f"not in {_RECOVER_OUTCOMES}")
     return errors
 
 

@@ -286,6 +286,35 @@ class Tracer:
         })
         self.registry.counter("serve.evictions", reason=reason).inc()
 
+    def serve_recover(self, session: str, rung: int, outcome: str,
+                      reason: str, wall: float, step: int) -> None:
+        """One recovery-ladder transition for a served session
+        (schema v3): rung 0 = full-precision re-execution, rung 1 =
+        rollback/respawn from the journal, rung 2 = quarantine."""
+        self.emit({
+            "kind": "serve.recover",
+            "session": session,
+            "rung": rung,
+            "outcome": outcome,
+            "reason": reason,
+            "wall": round(wall, 6),
+            "step": step,
+        })
+        self.registry.counter("serve.recoveries", outcome=outcome).inc()
+        self.registry.histogram("serve.recovery.seconds").observe(wall)
+
+    def serve_drain(self, sessions: int, journaled: int,
+                    completed: bool, wall: float) -> None:
+        """One graceful shutdown (schema v3)."""
+        self.emit({
+            "kind": "serve.drain",
+            "sessions": sessions,
+            "journaled": journaled,
+            "completed": completed,
+            "wall": round(wall, 6),
+        })
+        self.registry.counter("serve.drains").inc()
+
     # ------------------------------------------------------------------
     # Sweep hooks
     # ------------------------------------------------------------------

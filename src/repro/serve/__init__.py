@@ -20,20 +20,35 @@ Layers:
   step budgets;
 * :mod:`~repro.serve.scheduler` — the fixed-tick ``BatchScheduler``
   over a thread pool;
-* :mod:`~repro.serve.server` — the asyncio TCP/UNIX service;
-* :mod:`~repro.serve.client` — the thin synchronous ``Client`` and the
-  in-thread server harness;
-* :mod:`~repro.serve.bench` — the ``repro serve-bench`` load harness.
+* :mod:`~repro.serve.resilience` — per-session snapshot journals,
+  digest-verified restart recovery, and the degraded/lost outcomes of
+  the server-side recovery ladder;
+* :mod:`~repro.serve.server` — the asyncio TCP/UNIX service (graceful
+  drain, journal recovery on start, idempotent request replay);
+* :mod:`~repro.serve.client` — the thin synchronous ``Client``, the
+  retrying/reconnecting ``ResilientClient``, and the in-thread server
+  harness;
+* :mod:`~repro.serve.bench` — the ``repro serve-bench`` load harness
+  and its ``--chaos`` fault drill.
 
-Everything is observable: requests, batches, and evictions count
-through :mod:`repro.obs.metrics`, and with a tracer attached they
-stream as schema-v2 ``serve.*`` events on the same JSONL timeline as
-the step telemetry.
+Everything is observable: requests, batches, evictions, recoveries,
+and drains count through :mod:`repro.obs.metrics`, and with a tracer
+attached they stream as schema-v3 ``serve.*`` events on the same JSONL
+timeline as the step telemetry.
 """
 
 from .admission import AdmissionController, AdmissionPolicy
 from .bench import ServeBenchConfig, render_serve_summary, run_serve_bench
-from .client import Client, ServeClientError, ServerHandle, start_in_thread
+from .client import (
+    Client,
+    ClientTimeoutError,
+    ConnectionLost,
+    ResilientClient,
+    RetryPolicy,
+    ServeClientError,
+    ServerHandle,
+    start_in_thread,
+)
 from .protocol import (
     ERROR_CODES,
     MAX_FRAME_BYTES,
@@ -44,6 +59,15 @@ from .protocol import (
     decode_frame,
     encode_frame,
 )
+from .resilience import (
+    JournalStore,
+    RecoveredSession,
+    SessionDegraded,
+    SessionJournal,
+    SessionLost,
+    read_journal,
+    recover_sessions,
+)
 from .scheduler import BatchScheduler
 from .server import ServiceConfig, SimulationService, serve_forever
 from .session import Session, SessionConfig, SessionManager, state_digest
@@ -53,11 +77,17 @@ __all__ = [
     "AdmissionPolicy",
     "BatchScheduler",
     "Client",
+    "ClientTimeoutError",
+    "ConnectionLost",
     "ERROR_CODES",
+    "JournalStore",
     "MAX_FRAME_BYTES",
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RecoveredSession",
+    "ResilientClient",
+    "RetryPolicy",
     "ServeBenchConfig",
     "ServeClientError",
     "ServerHandle",
@@ -65,10 +95,15 @@ __all__ = [
     "ServiceError",
     "Session",
     "SessionConfig",
+    "SessionDegraded",
+    "SessionJournal",
+    "SessionLost",
     "SessionManager",
     "SimulationService",
     "decode_frame",
     "encode_frame",
+    "read_journal",
+    "recover_sessions",
     "render_serve_summary",
     "run_serve_bench",
     "serve_forever",

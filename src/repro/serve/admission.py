@@ -38,6 +38,9 @@ class AdmissionPolicy:
     #: default per-step-request wall budget (seconds); a session's
     #: ``step_budget`` config overrides it.
     step_budget: float = 30.0
+    #: expected scheduler tick period (seconds) — only used to derive
+    #: the ``retry_after_ms`` hint on ``busy`` rejections.
+    tick_period: float = 0.002
 
 
 class AdmissionController:
@@ -66,26 +69,42 @@ class AdmissionController:
             return session.config.step_budget
         return self.policy.step_budget
 
+    def retry_after_ms(self) -> int:
+        """How long a rejected client should wait before retrying.
+
+        One scheduler tick drains at most one request per session, so
+        the backlog clears in roughly ``queue_depth`` ticks; the hint
+        scales with the depth that caused the rejection, floored at one
+        tick.  It is advice, not a reservation — the client's retry
+        policy still owns jitter and bounds.
+        """
+        ticks = max(1, self._depth)
+        return max(1, int(ticks * self.policy.tick_period * 1000))
+
     # ------------------------------------------------------------------
     def admit(self, session_id: str) -> None:
         """Reserve one queue slot for ``session_id`` or raise ``busy``.
 
         The caller must pair every successful ``admit`` with exactly one
         :meth:`release` (the scheduler does this when the request
-        resolves, times out, or fails).
+        resolves, times out, or fails).  ``busy`` rejections carry a
+        ``retry_after_ms`` hint derived from queue depth and tick
+        period.
         """
+        hint = {"retry_after_ms": self.retry_after_ms()}
         if self._depth >= self.policy.max_queue_depth:
             self._reject("queue_full")
             raise ServiceError(
                 "busy", f"service queue full "
-                        f"({self.policy.max_queue_depth} requests)")
+                        f"({self.policy.max_queue_depth} requests)",
+                extra=hint)
         if self._pending.get(session_id, 0) >= \
                 self.policy.max_pending_per_session:
             self._reject("session_backlog")
             raise ServiceError(
                 "busy", f"session {session_id} already has "
                         f"{self.policy.max_pending_per_session} requests "
-                        f"queued")
+                        f"queued", extra=hint)
         self._pending[session_id] = self._pending.get(session_id, 0) + 1
         self._depth += 1
         self.admitted_total += 1

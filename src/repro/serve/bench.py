@@ -16,10 +16,23 @@ the actual socket protocol, and reports:
 
 The payload lands next to the perf harness's snapshots as
 ``BENCH_<stamp>_serve.json`` so the CI bench artifact carries both.
+
+Chaos mode (``repro serve-bench --chaos``) is the service-level fault
+drill the resilience layer is gated on: guarded sessions run with the
+PR 1 soft-error injector enabled, every client periodically RSTs its
+own connection, one session runs deliberately slow against a per-step
+deadline, and halfway through the run the whole server is stopped
+without warning and restarted from its journals.  The gate is zero
+unrecovered session loss — every session is journal-recovered
+bit-identically (``state_digest`` match), every client reaches its
+target step count through reconnect/replay — plus a bounded p95
+recovery time, all recorded in the same ``BENCH_<stamp>_serve.json``
+payload.
 """
 
 from __future__ import annotations
 
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -27,7 +40,14 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..experiments.runcache import write_json_atomic
-from .client import Client, ServeClientError, start_in_thread
+from ..obs.tracer import Tracer
+from .client import (
+    Client,
+    ResilientClient,
+    RetryPolicy,
+    ServeClientError,
+    start_in_thread,
+)
 from .server import ServiceConfig
 
 __all__ = ["ServeBenchConfig", "run_serve_bench", "render_serve_summary"]
@@ -45,6 +65,16 @@ class ServeBenchConfig:
     #: steps on each side of the fidelity snapshot
     fidelity_steps: int = 10
     output_dir: str = "results"
+    # --- chaos mode ---
+    chaos: bool = False
+    #: seeded soft-error rate for the guarded chaos sessions
+    chaos_inject_rate: float = 0.02
+    #: each client RSTs its own connection every N steps (0 = never)
+    chaos_kill_every: int = 10
+    #: journal cadence under chaos (tight, so rollbacks stay cheap)
+    chaos_journal_every: int = 8
+    #: p95 recovery-time gate (seconds) over all ladder transitions
+    chaos_recovery_p95_s: float = 5.0
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -110,6 +140,179 @@ def _fidelity_check(handle, config: ServeBenchConfig) -> dict:
     }
 
 
+class _CaptureSink:
+    """Trace sink that keeps events in memory (shared across the
+    pre- and post-restart service instances in chaos mode)."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+def _chaos_client(provider, config: ServeBenchConfig, index: int,
+                  barrier, latencies: List[float], errors: List[str],
+                  finished: List[dict]) -> None:
+    """One chaos client: guarded + injected session, periodic RSTs.
+
+    Client 0 additionally runs a deliberately slow world against a
+    per-step deadline so the deadline rung of the ladder is exercised.
+    """
+    policy = RetryPolicy(max_attempts=10, base_delay=0.05,
+                         max_delay=1.0, jitter=0.5)
+    client = ResilientClient(provider, policy=policy, timeout=30.0,
+                             seed=index)
+    try:
+        # Tuned precisions matter: injected faults ride the reduced-
+        # precision op path, so an untuned session would see none.
+        options = dict(scale=config.scale, seed=config.seed + index,
+                       precision={"narrow": 12, "lcp": 12},
+                       guarded=True,
+                       inject_rate=config.chaos_inject_rate)
+        if index == 0:
+            options.update(chaos_slow_every=7, chaos_slow_s=0.03,
+                           step_deadline=0.02)
+        session = client.create(config.scenario, **options)
+        barrier.wait(timeout=60.0)
+        for i in range(config.steps_per_client):
+            start = time.perf_counter()
+            client.step(session, 1)
+            latencies.append(time.perf_counter() - start)
+            if config.chaos_kill_every and \
+                    (i + 1) % config.chaos_kill_every == 0:
+                client.kill_connection()
+        finished.append({"session": session,
+                         "final_step": client.acked_step(session),
+                         "retries": client.retries,
+                         "reconnects": client.reconnects})
+    except Exception as exc:  # noqa: BLE001 - any escape fails the gate
+        errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+    finally:
+        client.close()
+
+
+def _run_chaos_bench(config: ServeBenchConfig) -> dict:
+    """The chaos drill: injected faults, killed connections, slow
+    steps, and one abrupt mid-run server restart recovered from the
+    journals.  Returns the ``chaos`` payload section plus gate fields.
+    """
+    journal_dir = tempfile.mkdtemp(prefix="repro-serve-journal-")
+    sink = _CaptureSink()
+    tracer = Tracer(sink=sink)
+
+    def service_config() -> ServiceConfig:
+        return ServiceConfig(
+            port=0,
+            max_sessions=max(32, config.clients + 4),
+            workers=config.workers,
+            batch_window=config.batch_window,
+            journal_dir=journal_dir,
+            journal_every=config.chaos_journal_every,
+            allow_chaos=True,
+            # Generous absolute budget: the slow session must trip its
+            # *deadline* (ladder), not the eviction budget.
+            step_budget=20.0,
+        )
+
+    holder = {"handle": start_in_thread(service_config(),
+                                        observer=tracer)}
+
+    def provider() -> dict:
+        return holder["handle"].address()
+
+    latencies: List[float] = []
+    errors: List[str] = []
+    finished: List[dict] = []
+    barrier = threading.Barrier(config.clients)
+    threads = [
+        threading.Thread(
+            target=_chaos_client,
+            args=(provider, config, i, barrier, latencies, errors,
+                  finished),
+            name=f"serve-chaos-client-{i}")
+        for i in range(config.clients)
+    ]
+    load_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+
+    # Mid-run crash: once half the total steps have been served, stop
+    # the server with no drain and restart it from the journals.
+    total_expected = config.clients * config.steps_per_client
+    deadline = time.perf_counter() + 120.0
+    while len(latencies) < total_expected // 2 and \
+            any(t.is_alive() for t in threads) and \
+            time.perf_counter() < deadline:
+        time.sleep(0.01)
+    old = holder["handle"]
+    sessions_at_crash = len(old.service.manager)
+    old.stop()
+    restart_start = time.perf_counter()
+    new_handle = start_in_thread(service_config(), observer=tracer)
+    restart_wall = time.perf_counter() - restart_start
+    holder["handle"] = new_handle
+    recovered = list(new_handle.service.recovered)
+
+    for thread in threads:
+        thread.join(timeout=180.0)
+    load_wall = time.perf_counter() - load_start
+
+    try:
+        with new_handle.connect() as client:
+            stats = client.stats()
+    finally:
+        new_handle.stop()
+
+    recover_events = [e for e in sink.events
+                      if e.get("kind") == "serve.recover"]
+    recovery_walls = sorted(e["wall"] for e in recover_events)
+    lost = [e for e in recover_events if e["outcome"] == "lost"]
+    recovery_failed = [r for r in recovered if not r.get("ok")]
+    p95_recovery_s = _percentile(recovery_walls, 0.95)
+    unrecovered = len(lost) + len(recovery_failed) + \
+        (config.clients - len(finished))
+    chaos = {
+        "journal_dir": journal_dir,
+        "inject_rate": config.chaos_inject_rate,
+        "kill_every": config.chaos_kill_every,
+        "journal_every": config.chaos_journal_every,
+        "sessions_at_crash": sessions_at_crash,
+        "restart_recovered_ok": len(recovered) - len(recovery_failed),
+        "restart_recovery_failed": [dict(r) for r in recovery_failed],
+        "restart_wall_s": round(restart_wall, 4),
+        "recover_events": len(recover_events),
+        "recoveries_by_outcome": {
+            outcome: sum(1 for e in recover_events
+                         if e["outcome"] == outcome)
+            for outcome in ("recovered", "degraded", "respawned",
+                            "lost")
+        },
+        "p95_recovery_ms": round(p95_recovery_s * 1e3, 3),
+        "p95_recovery_budget_ms": round(
+            config.chaos_recovery_p95_s * 1e3, 3),
+        "client_retries": sum(f["retries"] for f in finished),
+        "client_reconnects": sum(f["reconnects"] for f in finished),
+        "clients_finished": len(finished),
+        "unrecovered_sessions": unrecovered,
+        "steps_served": len(latencies),
+        "wall": round(load_wall, 4),
+        "errors": errors,
+        "stats": {k: stats[k] for k in
+                  ("recovered_total", "respawned_total", "recoveries",
+                   "journal_writes", "evicted_total", "incidents")},
+    }
+    chaos["ok"] = (unrecovered == 0 and not errors
+                   and len(latencies) == total_expected
+                   and p95_recovery_s <= config.chaos_recovery_p95_s
+                   and all(f["final_step"] is not None
+                           for f in finished))
+    return chaos
+
+
 def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
     """Run the serving benchmark; returns the written payload."""
     config = config or ServeBenchConfig()
@@ -172,9 +375,11 @@ def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
         "client_errors": errors,
         "fidelity": fidelity,
     }
+    chaos = _run_chaos_bench(config) if config.chaos else None
     ok = (dropped == 0 and not errors
           and total_steps == config.clients * config.steps_per_client
-          and fidelity["bit_identical"])
+          and fidelity["bit_identical"]
+          and (chaos is None or chaos["ok"]))
     stamp = time.strftime("%Y%m%d_%H%M%S")
     payload = {
         "kind": "repro-serve-bench",
@@ -182,6 +387,8 @@ def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
         "ok": ok,
         "serve_bench": serve_bench,
     }
+    if chaos is not None:
+        payload["chaos"] = chaos
     out_dir = Path(config.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{stamp}_serve.json"
@@ -213,6 +420,28 @@ def render_serve_summary(payload: dict) -> str:
     ]
     for error in bench["client_errors"]:
         lines.append(f"  client error: {error}")
+    chaos = payload.get("chaos")
+    if chaos is not None:
+        outcomes = chaos["recoveries_by_outcome"]
+        lines += [
+            f"  chaos drill: {chaos['steps_served']} steps under "
+            f"inject_rate={chaos['inject_rate']}, connection kills "
+            f"every {chaos['kill_every']} steps, 1 mid-run restart",
+            f"    restart: {chaos['restart_recovered_ok']}/"
+            f"{chaos['sessions_at_crash']} sessions recovered from "
+            f"journal in {chaos['restart_wall_s']:.2f}s",
+            f"    ladder: {chaos['recover_events']} recoveries "
+            f"(rung0 {outcomes['recovered']}, rollback "
+            f"{outcomes['degraded']}, respawn {outcomes['respawned']}, "
+            f"lost {outcomes['lost']}), "
+            f"p95 {chaos['p95_recovery_ms']:.1f} ms "
+            f"(budget {chaos['p95_recovery_budget_ms']:.0f} ms)",
+            f"    clients: {chaos['client_reconnects']} reconnects, "
+            f"{chaos['client_retries']} retries, "
+            f"{chaos['unrecovered_sessions']} unrecovered sessions",
+        ]
+        for error in chaos["errors"]:
+            lines.append(f"    chaos error: {error}")
     lines.append(("OK" if payload["ok"] else "FAILED")
                  + f" — written: {Path(payload['path']).name}")
     return "\n".join(lines)

@@ -68,6 +68,10 @@ ERROR_CODES = (
     "busy",             # admission: queue bounds hit — backpressure
     "session_closed",
     "budget_exceeded",  # step budget blown; session evicted
+    "session_degraded",  # recovered by rolling back to the last journal
+                         # entry; response carries the step it resumed at
+    "session_lost",     # the recovery ladder ran out — session quarantined
+    "draining",         # server shutting down gracefully; retry elsewhere
     "internal",
 )
 
@@ -82,13 +86,21 @@ class ProtocolError(ValueError):
 
 
 class ServiceError(Exception):
-    """A request the service refuses; maps onto one error response."""
+    """A request the service refuses; maps onto one error response.
 
-    def __init__(self, code: str, detail: str = "") -> None:
+    ``extra`` fields (e.g. ``retry_after_ms`` on ``busy``/``draining``,
+    or ``step`` on ``session_degraded``) are merged into the error
+    response so structured hints reach the client without a second
+    round-trip.
+    """
+
+    def __init__(self, code: str, detail: str = "",
+                 extra: Optional[dict] = None) -> None:
         assert code in ERROR_CODES, code
         super().__init__(detail or code)
         self.code = code
         self.detail = detail
+        self.extra = dict(extra) if extra else {}
 
 
 def encode_frame(obj: dict) -> bytes:
@@ -155,9 +167,12 @@ def ok_response(request: Optional[dict] = None, **fields) -> dict:
 
 
 def error_response(code: str, detail: str = "",
-                   request: Optional[dict] = None) -> dict:
+                   request: Optional[dict] = None,
+                   extra: Optional[dict] = None) -> dict:
     assert code in ERROR_CODES, code
     response = {"ok": False, "error": code, "detail": detail}
+    if extra:
+        response.update(extra)
     if request is not None and isinstance(request, dict) \
             and "id" in request:
         response["id"] = request["id"]

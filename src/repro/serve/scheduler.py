@@ -18,10 +18,22 @@ a pickle boundary, and the step loop spends its time in numpy kernels
 that release the GIL.
 
 A request that exceeds its admission budget is abandoned — its future
-fails with ``budget_exceeded`` and the session is evicted.  The worker
-thread finishes the orphaned step in the background (Python cannot
-interrupt it), which transiently occupies one pool slot; the eviction
-guarantees it can happen at most once per session.
+fails with ``budget_exceeded``.  When the session has a journal mark
+the scheduler *respawns* it (fresh world rewound to the last journaled
+checkpoint, digest-verified) so a single stuck step does not lose the
+session; otherwise it is evicted.  Either way the worker thread
+finishes the orphaned step in the background (Python cannot interrupt
+it), which transiently occupies one pool slot.
+
+Durability rides the tick loop: after each batch barrier the scheduler
+journals every batched session that has advanced ``journal_every``
+steps since its last entry — checkpoint capture happens here on the
+event loop (the session is guaranteed idle at the barrier and captures
+are deep copies), while serialization and the disk append run on the
+journal store's writer thread, off the hot path.  Recovery-ladder
+events recorded by sessions on worker threads are drained here too and
+emitted as ``serve.recover`` trace events, keeping all observer calls
+on the loop thread.
 """
 
 from __future__ import annotations
@@ -56,28 +68,59 @@ class BatchScheduler:
 
     def __init__(self, manager, admission, workers: Optional[int] = None,
                  batch_window: float = 0.002, observer=None,
-                 registry=None) -> None:
+                 registry=None, journal=None,
+                 journal_every: int = 32, incidents=None) -> None:
         self.manager = manager
         self.admission = admission
+        #: optional :class:`~repro.robustness.IncidentLog`
+        self.incidents = incidents
         self.workers = resolve_workers(workers)
         self.batch_window = batch_window
         self.observer = observer
         self.registry = registry
+        #: optional :class:`~repro.serve.resilience.JournalStore`
+        self.journal = journal
+        #: steps a session may advance before its next journal entry
+        self.journal_every = max(1, journal_every)
         self._queue: List[WorkItem] = []
         self._wakeup: Optional[asyncio.Event] = None
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers,
             thread_name_prefix="repro-serve")
         self._task: Optional[asyncio.Task] = None
+        self._in_flight = 0
+        self._idle: Optional[asyncio.Event] = None
         self.batches_dispatched = 0
         self.steps_dispatched = 0
+        self.journal_writes = 0
+        self.recoveries_total = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Begin the tick loop on the running event loop."""
         self._wakeup = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._task = asyncio.get_running_loop().create_task(
             self._run(), name="repro-serve-scheduler")
+
+    async def quiesce(self, timeout: float = 30.0) -> bool:
+        """Wait until the queue is empty and no batch is in flight.
+
+        The drain path calls this after admission has been shut off, so
+        the backlog is finite.  Returns ``False`` on timeout.
+        """
+        deadline = time.perf_counter() + timeout
+        while self._queue or self._in_flight:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return False
+            try:
+                await asyncio.wait_for(self._idle.wait(),
+                                       timeout=min(remaining, 0.05))
+            except asyncio.TimeoutError:
+                pass
+        return True
 
     async def stop(self) -> None:
         if self._task is not None:
@@ -89,8 +132,11 @@ class BatchScheduler:
             self._task = None
         for item in self._queue:
             if not item.future.done():
+                # "draining" (not "session_closed"): the session still
+                # exists and is journaled — a resilient client should
+                # retry against the restarted service.
                 item.future.set_exception(
-                    ServiceError("session_closed", "service stopping"))
+                    ServiceError("draining", "service stopping"))
             self.admission.release(item.session.id)
         self._queue.clear()
         self._executor.shutdown(wait=False)
@@ -147,7 +193,14 @@ class BatchScheduler:
 
     async def _dispatch(self, batch: List[WorkItem]) -> None:
         start = time.perf_counter()
-        await asyncio.gather(*(self._run_item(item) for item in batch))
+        self._in_flight = len(batch)
+        self._idle.clear()
+        try:
+            await asyncio.gather(*(self._run_item(item)
+                                   for item in batch))
+        finally:
+            self._in_flight = 0
+            self._idle.set()
         wall = time.perf_counter() - start
         self.batches_dispatched += 1
         steps = sum(item.steps for item in batch)
@@ -160,6 +213,49 @@ class BatchScheduler:
             self.registry.counter("serve.batches").inc()
             self.registry.counter("serve.steps").inc(steps)
             self.registry.histogram("serve.batch.seconds").observe(wall)
+        self._after_batch(batch)
+
+    def _after_batch(self, batch: List[WorkItem]) -> None:
+        """Post-barrier housekeeping: recovery events and journaling.
+
+        Runs on the event loop while every batched session is idle —
+        the only point where a session's world can be captured and its
+        worker-thread recovery records read without a lock.
+        """
+        for item in batch:
+            # The table entry may be a respawned replacement; events
+            # and journal marks belong to whatever is live now.
+            session = self.manager._sessions.get(item.session.id,
+                                                 item.session)
+            for event in session.drain_recovery_events():
+                self._emit_recovery(event)
+            if item.session is not session:
+                for event in item.session.drain_recovery_events():
+                    self._emit_recovery(event)
+            if session.state != "active" or item.steps <= 0:
+                continue
+            if session.steps_since_journal >= self.journal_every or \
+                    session.last_journal is None:
+                checkpoint, step, state = session.capture_for_journal()
+                session.mark_journaled(checkpoint, step, state)
+                if self.journal is not None:
+                    self.journal.append_snapshot(session.id, checkpoint,
+                                                 step, state)
+                    self.journal_writes += 1
+
+    def _emit_recovery(self, event: dict) -> None:
+        self.recoveries_total += 1
+        if self.incidents is not None:
+            self.incidents.recovery(
+                event["step"], event["rung"], event["outcome"],
+                f"session {event['session']}: {event['reason']}")
+        if self.observer is not None:
+            self.observer.serve_recover(**event)
+        elif self.registry is not None:
+            self.registry.counter("serve.recoveries",
+                                  outcome=event["outcome"]).inc()
+            self.registry.histogram(
+                "serve.recovery.seconds").observe(event["wall"])
 
     async def _run_item(self, item: WorkItem) -> None:
         loop = asyncio.get_running_loop()
@@ -174,19 +270,54 @@ class BatchScheduler:
             if not item.future.done():
                 item.future.set_result(result)
         except asyncio.TimeoutError:
-            self.manager.evict(item.session.id, "budget_exceeded")
+            outcome = self._respawn_or_evict(
+                item, f"step budget of {item.budget:.3f}s exceeded")
             if not item.future.done():
                 item.future.set_exception(ServiceError(
                     "budget_exceeded",
                     f"step budget of {item.budget:.3f}s exceeded; "
-                    f"session {item.session.id} evicted"))
+                    f"session {item.session.id} {outcome}"))
         except ServiceError as exc:
             if not item.future.done():
                 item.future.set_exception(exc)
         except Exception as exc:  # noqa: BLE001 - marshal to the client
-            self.manager.evict(item.session.id, "error")
+            detail = f"{type(exc).__name__}: {exc}"
+            outcome = self._respawn_or_evict(item, detail)
             if not item.future.done():
-                item.future.set_exception(ServiceError(
-                    "internal", f"{type(exc).__name__}: {exc}"))
+                if outcome.startswith("respawned"):
+                    session = self.manager._sessions[item.session.id]
+                    item.future.set_exception(ServiceError(
+                        "session_degraded",
+                        f"step failed ({detail}); session respawned at "
+                        f"journaled step {session.world.step_count}",
+                        extra={"session": item.session.id,
+                               "step": session.world.step_count}))
+                else:
+                    item.future.set_exception(ServiceError(
+                        "internal", f"{detail}; session "
+                                    f"{item.session.id} evicted"))
         finally:
             self.admission.release(item.session.id)
+
+    def _respawn_or_evict(self, item: WorkItem, reason: str) -> str:
+        """Recover a failed/stuck session from its journal, or evict.
+
+        Returns a short outcome string for the client-facing detail.
+        The respawn leaves the wedged world to its orphaned worker
+        thread and installs a digest-verified replacement rewound to
+        the last journal entry.
+        """
+        start = time.perf_counter()
+        fresh = self.manager.respawn(item.session.id)
+        if fresh is None:
+            self.manager.evict(item.session.id, "error")
+            return "evicted"
+        self._emit_recovery({
+            "session": item.session.id,
+            "rung": 1,
+            "outcome": "respawned",
+            "reason": reason,
+            "wall": time.perf_counter() - start,
+            "step": fresh.world.step_count,
+        })
+        return f"respawned at step {fresh.world.step_count}"

@@ -3,28 +3,48 @@
 :class:`SimulationService` wires the pieces together — a
 :class:`~repro.serve.session.SessionManager` (the session table), an
 :class:`~repro.serve.admission.AdmissionController` (bounded queues),
-and a :class:`~repro.serve.scheduler.BatchScheduler` (fixed-tick
-dispatch over a worker pool) — and speaks the
-:mod:`~repro.serve.protocol` over TCP or a UNIX socket.  Every request
-is counted through :mod:`repro.obs.metrics` and, when a tracer is
-attached, streamed as schema-v2 ``serve.*`` events alongside the
-ordinary step telemetry.
+a :class:`~repro.serve.scheduler.BatchScheduler` (fixed-tick dispatch
+over a worker pool), and an optional
+:class:`~repro.serve.resilience.JournalStore` (crash durability) —
+and speaks the :mod:`~repro.serve.protocol` over TCP or a UNIX socket.
+Every request is counted through :mod:`repro.obs.metrics` and, when a
+tracer is attached, streamed as schema-v3 ``serve.*`` events alongside
+the ordinary step telemetry.
 
 Ops that touch a session's world (``step``, ``snapshot``, ``restore``)
 are serialized through the scheduler so they always observe a step
 boundary; control-plane ops (``create``, ``close``, ``ping``,
 ``stats``) run directly on the event loop.
+
+Crash safety: with ``journal_dir`` set, :meth:`SimulationService.start`
+replays every journal on disk and reinstalls the sessions it finds —
+digest-verified, so a recovered world is bit-identical to the one that
+was journaled or it is reported as failed.  Mutating requests that
+carry a client ``id`` are idempotent: a retry of an already-executed
+``(session, id)`` pair replays the recorded response (marked
+``"replayed": true``) instead of stepping the world twice — which is
+what makes the client's retry-after-reconnect loop safe.
+
+Shutdown is a *drain*, not a teardown: :meth:`SimulationService.drain`
+stops accepting connections, answers new work with a retryable
+``draining`` error, lets in-flight batches complete, writes a final
+journal entry for every live session, and only then stops — so a
+SIGTERM'd service restarts with zero session loss.
 """
 
 from __future__ import annotations
 
 import asyncio
 import base64
+import contextlib
+import signal
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Set
 
 from ..obs.metrics import MetricsRegistry
+from ..robustness.incidents import IncidentLog
 from ..workloads import UnknownScenarioError
 from .admission import AdmissionController, AdmissionPolicy
 from .protocol import (
@@ -38,10 +58,14 @@ from .protocol import (
     ok_response,
     parse_request,
 )
+from .resilience import JournalStore
 from .scheduler import BatchScheduler
 from .session import SessionConfig, SessionManager
 
 __all__ = ["ServiceConfig", "SimulationService", "serve_forever"]
+
+#: Replayable responses retained for idempotent retry, service-wide.
+REPLAY_CACHE_SIZE = 1024
 
 
 @dataclass(frozen=True)
@@ -60,6 +84,15 @@ class ServiceConfig:
     step_budget: float = 30.0
     #: optional JSONL trace path for ``serve.*`` + step telemetry
     trace_path: Optional[str] = None
+    #: directory for per-session snapshot journals; None disables
+    #: durability (sessions die with the process)
+    journal_dir: Optional[str] = None
+    #: steps a session may advance before its next journal entry
+    journal_every: int = 32
+    #: seconds the drain path waits for in-flight batches
+    drain_grace: float = 10.0
+    #: permit fault-drill session fields (inject_rate, chaos_slow_*)
+    allow_chaos: bool = False
 
 
 class SimulationService:
@@ -72,30 +105,50 @@ class SimulationService:
         self.registry = registry or (observer.registry if observer
                                      is not None else MetricsRegistry())
         self.observer = observer
+        self.incidents = IncidentLog()
+        self.journal = (JournalStore(self.config.journal_dir)
+                        if self.config.journal_dir else None)
         self.manager = SessionManager(self.config.max_sessions,
                                       registry=self.registry,
-                                      observer=observer)
+                                      observer=observer,
+                                      journal=self.journal)
         self.admission = AdmissionController(
             AdmissionPolicy(
                 max_sessions=self.config.max_sessions,
                 max_pending_per_session=self.config.max_pending_per_session,
                 max_queue_depth=self.config.max_queue_depth,
                 step_budget=self.config.step_budget,
+                tick_period=max(self.config.batch_window, 0.001),
             ),
             registry=self.registry)
         self.scheduler = BatchScheduler(
             self.manager, self.admission, workers=self.config.workers,
             batch_window=self.config.batch_window, observer=observer,
-            registry=self.registry)
+            registry=self.registry, journal=self.journal,
+            journal_every=self.config.journal_every,
+            incidents=self.incidents)
         self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._replay: "OrderedDict" = OrderedDict()
+        self._draining = False
         self.started_at = 0.0
         self.requests_total = 0
+        #: per-journal recovery summaries from the last :meth:`start`
+        self.recovered: List[dict] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the socket and start the scheduler tick loop."""
+        """Recover journaled sessions, bind the socket, start ticking."""
+        if self.journal is not None:
+            self.recovered = self.manager.recover_from(self.journal)
+            for entry in self.recovered:
+                if not entry.get("ok"):
+                    self.incidents.detection(
+                        entry.get("step") or 0, "serve",
+                        f"journal recovery failed for "
+                        f"{entry['session']}: {entry.get('error')}")
         self.scheduler.start()
         # The stream limit must fit a whole frame: restore requests can
         # carry base64 snapshot payloads far beyond the 64 KiB default.
@@ -117,19 +170,67 @@ class SimulationService:
         sock = self._server.sockets[0]
         return sock.getsockname()[:2]
 
+    async def drain(self) -> dict:
+        """Graceful shutdown: admission off, batches finish, journals
+        flush, then stop.  Returns a summary for the caller to log."""
+        if self._draining:
+            return {"sessions": len(self.manager), "journaled": 0,
+                    "completed": True, "wall": 0.0}
+        self._draining = True
+        start = time.perf_counter()
+        if self._server is not None:
+            # No new connections; established ones keep being answered
+            # (with ``draining`` errors for new work).
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        completed = await self.scheduler.quiesce(
+            timeout=self.config.drain_grace)
+        journaled = 0
+        for session in self.manager.sessions():
+            if session.state != "active":
+                continue
+            checkpoint, step, state = session.capture_for_journal()
+            session.mark_journaled(checkpoint, step, state)
+            if self.journal is not None:
+                self.journal.append_snapshot(session.id, checkpoint,
+                                             step, state)
+                journaled += 1
+        if self.journal is not None:
+            self.journal.flush()
+        summary = {
+            "sessions": len(self.manager),
+            "journaled": journaled,
+            "completed": completed,
+            "wall": round(time.perf_counter() - start, 6),
+        }
+        if self.observer is not None:
+            self.observer.serve_drain(**summary)
+        else:
+            self.registry.counter("serve.drains").inc()
+        await self.stop()
+        return summary
+
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._connections):
+            writer.close()
         await self.scheduler.stop()
+        # Journals survive close_all: stopping the service must leave
+        # every session recoverable by the next one.
         self.manager.close_all()
+        if self.journal is not None:
+            self.journal.close()
 
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -150,9 +251,10 @@ class SimulationService:
                 response = await self.handle_request(frame)
                 writer.write(encode_frame(response))
                 await writer.drain()
-        except ConnectionResetError:
+        except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -174,12 +276,20 @@ class SimulationService:
             response = await self._execute(op, frame)
             ok, error = True, None
         except ServiceError as exc:
-            response = error_response(exc.code, exc.detail, frame)
+            response = error_response(exc.code, exc.detail, frame,
+                                      extra=exc.extra)
             ok, error = False, exc.code
         except UnknownScenarioError as exc:
             response = error_response("bad_request", str(exc), frame)
             ok, error = False, "bad_request"
         except Exception as exc:  # noqa: BLE001 - never kill the server
+            # The connection survives, but the failure must not vanish:
+            # an unexpected exception here is a server bug by definition.
+            self.incidents.detection(
+                0, "serve",
+                f"internal error on {op or 'invalid'!r}: "
+                f"{type(exc).__name__}: {exc}")
+            self.registry.counter("serve.internal_errors").inc()
             response = error_response(
                 "internal", f"{type(exc).__name__}: {exc}", frame)
             ok, error = False, "internal"
@@ -194,13 +304,55 @@ class SimulationService:
                                         ok, wall, error)
         return response
 
+    # ------------------------------------------------------------------
+    def _replay_key(self, op: str, frame: dict):
+        """Cache key for idempotent retry, or ``None``.
+
+        Only ops that mutate a session are cached — a replayed ``step``
+        must not advance the world a second time.  Reads (``snapshot``,
+        ``stats``, ``ping``) are naturally idempotent.
+        """
+        rid = frame.get("id")
+        if rid is None or op not in ("step", "restore", "close"):
+            return None
+        session = frame.get("session")
+        if not isinstance(session, str):
+            return None
+        return (session, str(rid))
+
+    def _remember(self, key, response: dict) -> None:
+        self._replay[key] = dict(response)
+        while len(self._replay) > REPLAY_CACHE_SIZE:
+            self._replay.popitem(last=False)
+
     async def _execute(self, op: str, frame: dict) -> dict:
+        key = self._replay_key(op, frame)
+        if key is not None:
+            cached = self._replay.get(key)
+            if cached is not None:
+                self.registry.counter("serve.replays").inc()
+                response = dict(cached)
+                response["replayed"] = True
+                return response
+        if self._draining and op in ("create", "step", "snapshot",
+                                     "restore"):
+            raise ServiceError(
+                "draining", "service is draining; retry after restart",
+                extra={"retry_after_ms": 1000})
+        response = await self._execute_op(op, frame)
+        if key is not None:
+            self._remember(key, response)
+        return response
+
+    async def _execute_op(self, op: str, frame: dict) -> dict:
         if op == "ping":
             return ok_response(frame, protocol=PROTOCOL_VERSION,
                                server="repro-serve",
-                               sessions=len(self.manager))
+                               sessions=len(self.manager),
+                               draining=self._draining)
         if op == "create":
-            config = SessionConfig.from_frame(frame)
+            config = SessionConfig.from_frame(
+                frame, allow_chaos=self.config.allow_chaos)
             session = self.manager.create(config)
             return ok_response(frame, **session.describe())
         if op == "stats":
@@ -246,6 +398,12 @@ class SimulationService:
             "active_sessions": len(self.manager),
             "created_total": self.manager.created_total,
             "evicted_total": self.manager.evicted_total,
+            "respawned_total": self.manager.respawned_total,
+            "recovered_total": self.manager.recovered_total,
+            "recoveries": self.scheduler.recoveries_total,
+            "journal_writes": self.scheduler.journal_writes,
+            "incidents": len(self.incidents.records),
+            "draining": self._draining,
             "requests_total": self.requests_total,
             "queue_depth": self.admission.queue_depth,
             "rejected_total": self.admission.rejected_total,
@@ -258,7 +416,13 @@ class SimulationService:
 
 async def serve_forever(config: ServiceConfig, observer=None,
                         ready_callback=None) -> None:
-    """Run the service until cancelled (the CLI entry point)."""
+    """Run the service until SIGTERM/SIGINT, then drain gracefully.
+
+    This is the CLI entry point.  Signal handlers are installed on the
+    running loop when possible (main thread); elsewhere — e.g. the
+    in-thread test harness — the caller cancels the coroutine instead
+    and the ``finally`` still stops the service cleanly.
+    """
     service = SimulationService(config, observer=observer)
     await service.start()
     address = service.address
@@ -267,9 +431,47 @@ async def serve_forever(config: ServiceConfig, observer=None,
     print(f"repro-serve: listening on {where} "
           f"(max {config.max_sessions} sessions, "
           f"{service.scheduler.workers} workers)")
+    recovered_ok = [r for r in service.recovered if r.get("ok")]
+    if service.recovered:
+        failed = len(service.recovered) - len(recovered_ok)
+        print(f"repro-serve: recovered {len(recovered_ok)} session(s) "
+              f"from {config.journal_dir}"
+              + (f" ({failed} failed digest/rebuild)" if failed else ""))
     if ready_callback is not None:
         ready_callback(service)
+
+    loop = asyncio.get_running_loop()
+    drain_requested = asyncio.Event()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, drain_requested.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            # Not the main thread (tests) or unsupported platform:
+            # fall back to cancellation-driven shutdown.
+            pass
     try:
-        await service._server.serve_forever()
+        if installed:
+            server = service._server
+            wait = loop.create_task(drain_requested.wait())
+            forever = loop.create_task(server.serve_forever())
+            await asyncio.wait({wait, forever},
+                               return_when=asyncio.FIRST_COMPLETED)
+            for task in (wait, forever):
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+            if drain_requested.is_set():
+                print("repro-serve: shutdown signal received; draining")
+                summary = await service.drain()
+                print(f"repro-serve: drained "
+                      f"({summary['sessions']} session(s) journaled, "
+                      f"{summary['wall']:.2f}s)")
+        else:
+            await service._server.serve_forever()
     finally:
+        for sig in installed:
+            with contextlib.suppress(Exception):
+                loop.remove_signal_handler(sig)
         await service.stop()

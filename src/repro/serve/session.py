@@ -10,33 +10,61 @@ step / snapshot / restore / close, with snapshots stored as
 that restores in place can travel over the wire and seed a fresh
 session bit-identically.
 
+Resilience (this is where the paper's deception-needs-detection
+argument meets the service): a ``guarded`` session steps under the
+phase-boundary invariant guards with a **server-side recovery
+ladder** — a step that raises, trips a guard, or blows its soft
+deadline is (0) re-executed at full precision from the pre-step
+checkpoint, then (1) rolled back to the session's last journal entry
+(the client gets a structured ``session_degraded`` response carrying
+the step it resumed at), then (2) quarantined with a ``session_lost``
+response — instead of poisoning the batch or tearing down the
+connection.  The :class:`SessionManager` pairs with a
+:class:`~repro.serve.resilience.JournalStore` so every session is
+reconstructible after a crash, and can *respawn* a session whose
+worker thread is stuck from its last journaled checkpoint.
+
 Threading contract: the manager's table is only mutated from the
 service event loop; a session's world is only touched by one scheduler
 worker at a time (the :class:`~repro.serve.scheduler.BatchScheduler`
 serializes per-session work), so sessions need no locks of their own.
+Recovery events recorded on a worker thread are drained by the
+scheduler after the batch barrier, on the event loop.
 """
 
 from __future__ import annotations
 
 import hashlib
+import re
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..fp.context import FPContext
 from ..robustness.checkpoint import (
+    CheckpointRing,
     capture_world,
     deserialize_checkpoint,
     restore_world,
     serialize_checkpoint,
 )
+from ..robustness.recovery import _full_precision
 from ..workloads import build
 from .protocol import ServiceError
+from .resilience import SessionDegraded, SessionLost, recover_sessions
 
 __all__ = ["SessionConfig", "Session", "SessionManager", "state_digest"]
 
 #: Snapshots retained per session before the oldest is dropped.
 MAX_SNAPSHOTS = 8
+
+#: Full-precision cool-down steps after a rung-r recovery: (r+1) times.
+LADDER_BACKOFF_STEPS = 5
+
+_SESSION_ID = re.compile(r"^s(\d+)$")
 
 
 def state_digest(world) -> str:
@@ -44,7 +72,8 @@ def state_digest(world) -> str:
 
     Two worlds on the same trajectory produce the same digest; any
     single-bit divergence in body or cloth state changes it.  This is
-    the service's bit-identity check for snapshot/restore round-trips.
+    the service's bit-identity check for snapshot/restore round-trips
+    and for journal recovery after a restart.
     """
     bodies = world.bodies
     n = bodies.count
@@ -71,9 +100,21 @@ class SessionConfig:
     adaptive: bool = False
     #: per-step wall budget override (None = service default)
     step_budget: Optional[float] = None
+    #: step under phase guards with the server-side recovery ladder
+    guarded: bool = False
+    #: soft per-step deadline (seconds); a slower step triggers the
+    #: ladder (distinct from ``step_budget``, which evicts/respawns)
+    step_deadline: Optional[float] = None
+    #: seeded soft-error injection rate (fault drills; requires the
+    #: service's ``allow_chaos``)
+    inject_rate: float = 0.0
+    #: chaos drill: sleep ``chaos_slow_s`` before every Nth step
+    chaos_slow_every: int = 0
+    chaos_slow_s: float = 0.0
 
     @classmethod
-    def from_frame(cls, frame: dict) -> "SessionConfig":
+    def from_frame(cls, frame: dict,
+                   allow_chaos: bool = False) -> "SessionConfig":
         """Build from a ``create`` request, validating field types."""
         scenario = frame.get("scenario")
         if not isinstance(scenario, str):
@@ -86,12 +127,21 @@ class SessionConfig:
             raise ServiceError(
                 "bad_request",
                 "'precision' must map phase names to integer bits")
-        step_budget = frame.get("step_budget")
-        if step_budget is not None and not isinstance(
-                step_budget, (int, float)):
-            raise ServiceError("bad_request",
-                               "'step_budget' must be a number")
+        for name in ("step_budget", "step_deadline", "inject_rate",
+                     "chaos_slow_s"):
+            value = frame.get(name)
+            if value is not None and not isinstance(value, (int, float)):
+                raise ServiceError("bad_request",
+                                   f"'{name}' must be a number")
+        if not allow_chaos and (frame.get("inject_rate")
+                                or frame.get("chaos_slow_every")):
+            raise ServiceError(
+                "bad_request",
+                "fault-drill fields (inject_rate, chaos_slow_every) "
+                "need the service started with --allow-chaos")
         try:
+            step_budget = frame.get("step_budget")
+            step_deadline = frame.get("step_deadline")
             return cls(
                 scenario=scenario,
                 scale=float(frame.get("scale", 1.0)),
@@ -102,9 +152,45 @@ class SessionConfig:
                 adaptive=bool(frame.get("adaptive", False)),
                 step_budget=(float(step_budget)
                              if step_budget is not None else None),
+                guarded=bool(frame.get("guarded", False)),
+                step_deadline=(float(step_deadline)
+                               if step_deadline is not None else None),
+                inject_rate=float(frame.get("inject_rate", 0.0) or 0.0),
+                chaos_slow_every=int(frame.get("chaos_slow_every", 0)
+                                     or 0),
+                chaos_slow_s=float(frame.get("chaos_slow_s", 0.0)
+                                   or 0.0),
             )
         except (TypeError, ValueError) as exc:
             raise ServiceError("bad_request", str(exc)) from None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form for the journal's config record."""
+        return {
+            "scenario": self.scenario,
+            "scale": self.scale,
+            "seed": self.seed,
+            "precision": dict(self.precision),
+            "mode": self.mode,
+            "adaptive": self.adaptive,
+            "step_budget": self.step_budget,
+            "guarded": self.guarded,
+            "step_deadline": self.step_deadline,
+            "inject_rate": self.inject_rate,
+            "chaos_slow_every": self.chaos_slow_every,
+            "chaos_slow_s": self.chaos_slow_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionConfig":
+        """Rebuild from a journal config record (unknown keys ignored)."""
+        fields = {f: data[f] for f in cls.__dataclass_fields__
+                  if f in data}
+        precision = fields.get("precision") or {}
+        fields["precision"] = {str(k): int(v)
+                               for k, v in precision.items()}
+        return cls(**fields)
 
 
 class Session:
@@ -127,10 +213,34 @@ class Session:
             self.controller = PrecisionController(ctx,
                                                   dict(config.precision))
             self._sim = ControlledSimulation(self.world, self.controller)
+        self.guards = None
+        self.injector = None
+        self.ring: Optional[CheckpointRing] = None
+        if config.guarded or config.inject_rate > 0:
+            from ..robustness.guards import PhaseGuards
+            from ..robustness.injector import FaultInjector
+
+            self.guards = PhaseGuards()
+            self.world.guards = self.guards
+            if config.inject_rate > 0:
+                self.injector = FaultInjector(rate=config.inject_rate,
+                                              seed=config.seed or 0)
+                self.world.ctx.injector = self.injector
+            # Depth 2: rung 0 only needs the pre-step boundary; deeper
+            # history lives in the journal.
+            self.ring = CheckpointRing(2)
         self.state = "active"
         self.steps_run = 0
         self._snapshots: "OrderedDict[str, bytes]" = OrderedDict()
         self._snapshot_seq = 0
+        #: (WorldCheckpoint, step, state_digest) of the last journal
+        #: entry — the rung-1 rollback target and the respawn substrate.
+        self._last_journal: Optional[Tuple] = None
+        self.steps_since_journal = 0
+        self.recovery_count = 0
+        self._recovery_events: List[dict] = []
+        self._cooldown = 0
+        self._chaos_counter = 0
 
     # ------------------------------------------------------------------
     def step(self, steps: int = 1) -> dict:
@@ -138,12 +248,20 @@ class Session:
         if self.state != "active":
             raise ServiceError("session_closed",
                                f"session {self.id} is {self.state}")
-        if self._sim is not None:
+        if self.guards is not None:
+            for _ in range(steps):
+                self._guarded_step()
+                self.steps_run += 1
+                self.steps_since_journal += 1
+        elif self._sim is not None:
             self._sim.run(steps)
+            self.steps_run += steps
+            self.steps_since_journal += steps
         else:
             for _ in range(steps):
                 self.world.step()
-        self.steps_run += steps
+            self.steps_run += steps
+            self.steps_since_journal += steps
         return self.describe()
 
     def describe(self) -> dict:
@@ -155,7 +273,146 @@ class Session:
                        if records else None),
             "contacts": int(self.world.last_contact_count),
             "digest": state_digest(self.world),
+            "state": self.state,
         }
+
+    # ------------------------------------------------------------------
+    # The server-side recovery ladder (guarded sessions)
+    # ------------------------------------------------------------------
+    def _guarded_step(self) -> None:
+        """One guarded timestep: checkpoint, attempt, ladder on failure."""
+        world = self.world
+        self.ring.push(capture_world(world))
+        if self.injector is not None:
+            self.injector.step = world.step_count
+        in_cooldown = self._cooldown > 0
+        if in_cooldown:
+            self._cooldown -= 1
+        failure = self._attempt(full_precision=in_cooldown,
+                                inject=not in_cooldown, primary=True)
+        if failure is None:
+            self._observe(reexecuted=False)
+            return
+
+        start = time.perf_counter()
+        failed_step = self.ring.latest().step_count
+        # Rung 0: the paper's fail-safe — re-execute at full precision
+        # from the pre-step checkpoint, injection suppressed.
+        restore_world(world, self.ring.latest())
+        retry = self._attempt(full_precision=True, inject=False,
+                              primary=False)
+        if retry is None:
+            self._recovered(0, "recovered", failure, start, failed_step)
+            self._observe(reexecuted=True)
+            return
+
+        # Rung 1: roll back to the last journal entry; the client is
+        # told the step it resumed at and owns the replay.
+        if self._last_journal is not None:
+            checkpoint, journal_step, state = self._last_journal
+            world.bodies.ensure_world_row()
+            restore_world(world, checkpoint)
+            self.ring = CheckpointRing(2)
+            self._recovered(1, "degraded", retry, start, journal_step)
+            raise SessionDegraded(
+                self.id, journal_step,
+                f"rolled back to journaled step {journal_step} "
+                f"after: {retry}")
+
+        # Rung 2: quarantine the session instead of poisoning the batch.
+        self.state = "quarantined"
+        self._recovered(2, "lost", retry, start, failed_step)
+        raise SessionLost(self.id, f"ladder exhausted: {retry}")
+
+    def _attempt(self, full_precision: bool, inject: bool,
+                 primary: bool) -> Optional[str]:
+        """Execute one step; return a failure description or ``None``.
+
+        ``primary`` distinguishes the first attempt (chaos delays apply,
+        the soft deadline is enforced) from ladder retries (neither —
+        a retry must be able to make progress).
+        """
+        world = self.world
+        if self.injector is not None:
+            self.injector.enabled = inject
+        start = time.perf_counter()
+        if primary and self.config.chaos_slow_every > 0:
+            self._chaos_counter += 1
+            if self._chaos_counter % self.config.chaos_slow_every == 0:
+                time.sleep(self.config.chaos_slow_s)
+        try:
+            # Injected NaN/Inf propagating through numpy is expected —
+            # the guards catch it at the phase boundary.
+            with np.errstate(invalid="ignore", over="ignore",
+                             divide="ignore"):
+                if full_precision:
+                    with _full_precision(world.ctx):
+                        world.step()
+                else:
+                    world.step()
+        except Exception as exc:  # noqa: BLE001 - a crash is a symptom
+            self.guards._report(world.step_count, "step", "exception",
+                                f"{type(exc).__name__}: {exc}")
+        finally:
+            if self.injector is not None:
+                self.injector.enabled = True
+        elapsed = time.perf_counter() - start
+        violations = self.guards.drain()
+        if violations:
+            head = violations[0].describe()
+            extra = len(violations) - 1
+            return head if not extra else f"{head} (+{extra} more)"
+        deadline = self.config.step_deadline
+        if primary and deadline is not None and elapsed > deadline:
+            return (f"step deadline exceeded "
+                    f"({elapsed:.4f}s > {deadline:.4f}s)")
+        return None
+
+    def _observe(self, reexecuted: bool) -> None:
+        if self.controller is None:
+            return
+        diff = self.world.monitor.relative_step_difference()
+        self.controller.observe(diff, self.world.step_count - 1,
+                                reexecuted)
+        if reexecuted:
+            self.controller.reexecutions += 1
+
+    def _recovered(self, rung: int, outcome: str, reason: str,
+                   start: float, step: int) -> None:
+        self.recovery_count += 1
+        self._cooldown = max(self._cooldown,
+                             LADDER_BACKOFF_STEPS * (rung + 1))
+        self._recovery_events.append({
+            "session": self.id,
+            "rung": rung,
+            "outcome": outcome,
+            "reason": reason,
+            "wall": time.perf_counter() - start,
+            "step": step,
+        })
+
+    def drain_recovery_events(self) -> List[dict]:
+        """Hand recorded ladder transitions to the scheduler (post-batch,
+        on the event loop) for tracing/metrics."""
+        events, self._recovery_events = self._recovery_events, []
+        return events
+
+    # ------------------------------------------------------------------
+    # Journal integration
+    # ------------------------------------------------------------------
+    def capture_for_journal(self) -> Tuple:
+        """``(checkpoint, step, state_digest)`` at the current boundary."""
+        checkpoint = capture_world(self.world)
+        return checkpoint, self.world.step_count, state_digest(self.world)
+
+    def mark_journaled(self, checkpoint, step: int, state: str) -> None:
+        """Record the checkpoint that now backs rung-1 rollback/respawn."""
+        self._last_journal = (checkpoint, step, state)
+        self.steps_since_journal = 0
+
+    @property
+    def last_journal(self) -> Optional[Tuple]:
+        return self._last_journal
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -219,18 +476,22 @@ class Session:
 
 
 class SessionManager:
-    """The session table: lifecycle plus capacity accounting."""
+    """The session table: lifecycle, capacity, journals, recovery."""
 
     def __init__(self, max_sessions: int = 32, registry=None,
-                 observer=None) -> None:
+                 observer=None, journal=None) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         self.max_sessions = max_sessions
         self.observer = observer
+        #: optional :class:`~repro.serve.resilience.JournalStore`
+        self.journal = journal
         self._sessions: Dict[str, Session] = {}
         self._seq = 0
         self.created_total = 0
         self.evicted_total = 0
+        self.respawned_total = 0
+        self.recovered_total = 0
         self._registry = registry
         self._g_active = (registry.gauge("serve.sessions")
                           if registry is not None else None)
@@ -242,17 +503,31 @@ class SessionManager:
     def sessions(self) -> List[Session]:
         return list(self._sessions.values())
 
-    def create(self, config: SessionConfig) -> Session:
+    def create(self, config: SessionConfig,
+               session_id: Optional[str] = None) -> Session:
         if len(self._sessions) >= self.max_sessions:
             raise ServiceError(
                 "server_full",
                 f"session table full ({self.max_sessions}); close a "
                 f"session or raise --max-sessions")
-        self._seq += 1
-        session = Session(f"s{self._seq}", config)
+        if session_id is None:
+            self._seq += 1
+            session_id = f"s{self._seq}"
+        session = Session(session_id, config)
         self._sessions[session.id] = session
         self.created_total += 1
         self._track()
+        # Seed the rollback/respawn substrate: guarded sessions always
+        # get an in-memory journal mark; a store makes it durable.
+        if self.journal is not None or session.guards is not None:
+            checkpoint, step, state = session.capture_for_journal()
+            session.mark_journaled(checkpoint, step, state)
+            if self.journal is not None:
+                self.journal.open_session(
+                    session.id,
+                    {"session": session.id, "config": config.to_dict()})
+                self.journal.append_snapshot(session.id, checkpoint,
+                                             step, state)
         return session
 
     def get(self, session_id: str) -> Session:
@@ -267,10 +542,17 @@ class SessionManager:
         del self._sessions[session_id]
         session.close()
         self._track()
+        if self.journal is not None:
+            # Clean close: nothing left to recover.
+            self.journal.discard(session_id)
         return session
 
     def evict(self, session_id: str, reason: str) -> None:
-        """Forcibly remove a session (budget blown, step crashed)."""
+        """Forcibly remove a session (budget blown, step crashed).
+
+        The journal file is deliberately retained: an evicted session
+        is recoverable after a service restart.
+        """
         session = self._sessions.pop(session_id, None)
         if session is None:
             return
@@ -281,9 +563,98 @@ class SessionManager:
             self.observer.serve_evict(session_id, reason,
                                       session.world.step_count)
 
+    def respawn(self, session_id: str) -> Optional[Session]:
+        """Replace a wedged session with a fresh world rewound to its
+        last journaled checkpoint.
+
+        The stuck worker thread keeps the *old* world (Python cannot
+        interrupt it) and finishes into the void; the table entry now
+        points at a verified replacement.  Returns ``None`` when there
+        is nothing to respawn from (no journal mark, or the restored
+        state fails its digest check).
+        """
+        old = self._sessions.get(session_id)
+        if old is None or old.last_journal is None:
+            return None
+        checkpoint, step, state = old.last_journal
+        try:
+            fresh = Session(session_id, old.config)
+            fresh.world.bodies.ensure_world_row()
+            restore_world(fresh.world, checkpoint)
+        except Exception:  # noqa: BLE001 - fall back to eviction
+            return None
+        if state and state_digest(fresh.world) != state:
+            return None
+        fresh.mark_journaled(checkpoint, step, state)
+        fresh.steps_run = old.steps_run
+        old.close(state="evicted")
+        self._sessions[session_id] = fresh
+        self.respawned_total += 1
+        return fresh
+
+    def recover_from(self, store) -> List[dict]:
+        """Rebuild every journaled session after a restart.
+
+        Each recovered world is verified against the state digest
+        recorded at capture time — recovery is bit-identical or it is
+        reported as failed (the journal is left on disk for forensics).
+        Returns one summary dict per journal file.
+        """
+        summary: List[dict] = []
+        for rec in recover_sessions(store.directory):
+            entry = {"session": rec.session_id, "ok": False,
+                     "step": rec.step}
+            if len(self._sessions) >= self.max_sessions:
+                entry["error"] = "session table full"
+                summary.append(entry)
+                continue
+            try:
+                config = SessionConfig.from_dict(rec.config)
+                session = Session(rec.session_id, config)
+                if rec.checkpoint is not None:
+                    session.world.bodies.ensure_world_row()
+                    restore_world(session.world, rec.checkpoint)
+            except Exception as exc:  # noqa: BLE001 - reported per file
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+                summary.append(entry)
+                continue
+            digest = state_digest(session.world)
+            if rec.state and digest != rec.state:
+                entry["error"] = "state digest mismatch"
+                summary.append(entry)
+                continue
+            checkpoint = rec.checkpoint
+            if checkpoint is None:
+                checkpoint, _, digest = session.capture_for_journal()
+            session.mark_journaled(checkpoint,
+                                   session.world.step_count, digest)
+            self._sessions[session.id] = session
+            match = _SESSION_ID.match(session.id)
+            if match:
+                self._seq = max(self._seq, int(match.group(1)))
+            self.recovered_total += 1
+            self._track()
+            # Compact the recovered journal to config + the verified
+            # snapshot so record counts restart from a known state.
+            store.compact(session.id,
+                          {"session": session.id,
+                           "config": config.to_dict()},
+                          checkpoint, session.world.step_count, digest)
+            entry.update(ok=True, step=session.world.step_count,
+                         digest=digest)
+            summary.append(entry)
+        return summary
+
     def close_all(self) -> None:
-        for session_id in list(self._sessions):
-            self.close(session_id)
+        """Shut every session down — journals are deliberately kept.
+
+        This is the *service* going away, not clients closing cleanly,
+        so the on-disk journals must survive for restart recovery.
+        """
+        for session_id, session in list(self._sessions.items()):
+            del self._sessions[session_id]
+            session.close()
+        self._track()
 
     def _track(self) -> None:
         if self._g_active is not None:

@@ -165,13 +165,13 @@ class TestSchema:
 
 
 class TestSchemaV2BackCompat:
-    """The serve.* bump (v1 -> v2) must not invalidate v1 streams."""
+    """Schema bumps (v1 -> v2 -> v3) must not invalidate old streams."""
 
-    def test_current_version_is_2_and_v1_still_supported(self):
+    def test_current_version_is_3_and_older_still_supported(self):
         from repro.obs import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
 
-        assert SCHEMA_VERSION == 2
-        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2}
+        assert SCHEMA_VERSION == 3
+        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2, 3}
 
     @staticmethod
     def _meta(schema):
@@ -182,6 +182,7 @@ class TestSchemaV2BackCompat:
     def test_v_previous_meta_still_validates(self):
         assert validate_event(self._meta(1)) == []
         assert validate_event(self._meta(2)) == []
+        assert validate_event(self._meta(3)) == []
         assert validate_event(self._meta(99))
 
     def test_v1_trace_stream_still_validates(self, tmp_path):
@@ -208,6 +209,27 @@ class TestSchemaV2BackCompat:
 
         assert set(V2_KINDS) <= set(EVENT_KINDS)
         assert all(kind.startswith("serve.") for kind in V2_KINDS)
+
+    def test_resilience_kinds_are_v3(self):
+        from repro.obs.schema import EVENT_KINDS, V2_KINDS, V3_KINDS
+
+        assert set(V3_KINDS) <= set(EVENT_KINDS)
+        assert not set(V3_KINDS) & set(V2_KINDS)
+        assert all(kind.startswith("serve.") for kind in V3_KINDS)
+
+    def test_serve_recover_event_validates(self):
+        good = {"kind": "serve.recover", "session": "s1", "rung": 1,
+                "outcome": "degraded", "reason": "guard tripped",
+                "wall": 0.02, "step": 40}
+        assert validate_event(good) == []
+        assert validate_event(dict(good, outcome="vanished"))
+        assert validate_event({"kind": "serve.recover", "session": "s1"})
+
+    def test_serve_drain_event_validates(self):
+        good = {"kind": "serve.drain", "sessions": 3, "journaled": 3,
+                "completed": True, "wall": 0.5}
+        assert validate_event(good) == []
+        assert validate_event({"kind": "serve.drain", "sessions": 3})
 
     def test_serve_request_event_validates(self):
         good = {"kind": "serve.request", "op": "step", "session": "s1",

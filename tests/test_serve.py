@@ -511,3 +511,72 @@ class TestSnapshotWireEncoding:
                 assert blob[:8] == b"RPROCKPT"
         finally:
             handle.stop()
+
+
+class TestConnectionFaults:
+    """Torn frames and mid-batch disconnects must stay contained: the
+    one bad connection drops, its session stays recoverable via the
+    journal, and everyone else keeps batching."""
+
+    def test_torn_partial_frame_then_eof_drops_only_that_connection(self):
+        handle = _server()
+        try:
+            with handle.connect() as good:
+                session = good.create("continuous", scale=0.4)
+                bad = handle.connect()
+                # Half a frame, no newline, then a hard close: the
+                # server cannot resync a torn NDJSON stream and must
+                # simply drop the connection.
+                bad._file.write(b'{"op": "step", "session": "s1"')
+                bad._file.flush()
+                bad._sock.close()
+                # The healthy connection is unaffected.
+                assert good.step(session)["step"] == 1
+                assert good.ping()["ok"]
+        finally:
+            handle.stop()
+
+    def test_binary_garbage_line_gets_bad_frame_not_a_hangup(self):
+        handle = _server()
+        try:
+            with handle.connect() as client:
+                client._file.write(b"\x00\xff\xfe garbage \xba\xad\n")
+                client._file.flush()
+                response = decode_frame(client._file.readline())
+                assert response["ok"] is False
+                assert response["error"] == "bad_frame"
+                assert client.ping()["ok"]
+        finally:
+            handle.stop()
+
+    def test_mid_batch_disconnect_keeps_batching_and_journal(
+            self, tmp_path):
+        journal_dir = tmp_path / "journals"
+        handle = _server(journal_dir=str(journal_dir), journal_every=1)
+        try:
+            survivor = handle.connect()
+            victim = handle.connect()
+            s_keep = survivor.create("continuous", scale=0.4, seed=1)
+            s_drop = victim.create("continuous", scale=0.4, seed=2)
+            survivor.step(s_keep, 2)
+            victim.step(s_drop, 2)
+            # Fire a step and RST the connection before reading the
+            # response — the server is mid-batch when the socket dies.
+            victim._file.write(encode_frame(
+                {"op": "step", "session": s_drop, "steps": 1}))
+            victim._file.flush()
+            victim.kill()
+            # The other session keeps batching.
+            for i in range(3, 6):
+                assert survivor.step(s_keep)["step"] == i
+            stats = survivor.stats()
+            sessions = {s["session"] for s in stats["sessions"]}
+            assert {s_keep, s_drop} <= sessions  # nothing evicted
+            survivor.close()
+        finally:
+            handle.stop()
+        # The dropped client's session is recoverable from its journal.
+        from repro.serve import recover_sessions
+
+        recovered = {r.session_id for r in recover_sessions(journal_dir)}
+        assert s_drop in recovered
