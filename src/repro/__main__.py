@@ -27,10 +27,15 @@ Commands
     Run the multi-session simulation service: independently-tuned
     sessions behind an NDJSON TCP/UNIX socket, with batched stepping,
     admission control, and snapshot/restore (see ``repro.serve``).
+    With ``--shards N`` it runs the scale-out topology instead: a
+    gateway routing sessions by consistent hash over N worker-shard
+    subprocesses, with live migration and shard-crash recovery.
 ``serve-bench``
     Drive an in-process service with N concurrent synthetic clients;
     reports p50/p95 step latency, aggregate steps/sec, and the
     snapshot-fidelity check into a ``BENCH_<stamp>_serve.json``.
+    ``--shards N`` benchmarks the gateway topology (scaling ratio vs
+    a 1-shard baseline, live migration under load).
 ``table1`` / ``table3`` / ``table4`` / ``table5`` / ``table8`` /
 ``figure5`` / ``figure6`` / ``figure7`` / ``figure8``
     Regenerate one paper artifact and print it.
@@ -212,6 +217,15 @@ def _add_serve_parser(sub) -> None:
     p.add_argument("--allow-chaos", action="store_true",
                    help="permit fault-drill session fields "
                         "(inject_rate, chaos_slow_*)")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="scale out: run a gateway over N worker-shard "
+                        "subprocesses instead of a single-process "
+                        "service (sessions routed by consistent hash, "
+                        "live migration, shard-crash recovery)")
+    p.add_argument("--runtime-dir", default=None, metavar="DIR",
+                   help="shard sockets + per-shard journals live here "
+                        "(default: a fresh temp dir; pass a fixed path "
+                        "to survive gateway restarts)")
 
 
 def _add_serve_bench_parser(sub) -> None:
@@ -246,6 +260,20 @@ def _add_serve_bench_parser(sub) -> None:
                    help="client RSTs its connection every N steps")
     p.add_argument("--chaos-recovery-p95", type=float, default=5.0,
                    help="p95 recovery-time gate in seconds")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="benchmark the gateway + N worker-shard "
+                        "topology instead of the single-process "
+                        "service (includes a forced live migration "
+                        "under load)")
+    p.add_argument("--shard-min-scaling", type=float, default=0.0,
+                   help="fail unless N-shard steps/sec is at least "
+                        "this multiple of the 1-shard gateway "
+                        "baseline (0 = report only)")
+    p.add_argument("--shard-migrations", type=int, default=1,
+                   help="forced live migrations during the load phase")
+    p.add_argument("--no-shard-baseline", action="store_true",
+                   help="skip the 1-shard baseline run (no scaling "
+                        "ratio; faster CI smoke)")
 
 
 def _cmd_scenarios() -> int:
@@ -290,7 +318,7 @@ def _cmd_run(args) -> int:
           f"(injected {world.monitor.injected_total:.2f} J)")
     print(f"  final contacts: {world.last_contact_count}, "
           f"islands: {world.island_count}, max penetration: "
-          f"{max(world.penetration_series or [0.0]):.4f} m")
+          f"{world.penetration_series.maximum(default=0.0):.4f} m")
     if args.census:
         for phase in ("narrow", "lcp"):
             totals = ctx.phase_totals(phase)
@@ -486,6 +514,41 @@ def _cmd_serve(args) -> int:
 
     from .serve import ServiceConfig, serve_forever
 
+    observer = None
+    if args.trace:
+        from .obs import JsonlWriter, Tracer
+
+        observer = Tracer(JsonlWriter(args.trace))
+        observer.meta(scenario="serve", steps=0, precision={},
+                      mode="service", census=False)
+    if args.shards:
+        from .serve import GatewayConfig, gateway_forever
+
+        gateway_config = GatewayConfig(
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            shards=args.shards,
+            runtime_dir=args.runtime_dir,
+            max_sessions=args.max_sessions,
+            workers=args.workers,
+            batch_window=args.batch_window,
+            step_budget=args.step_budget,
+            journal_every=args.journal_every,
+            drain_grace=args.drain_grace,
+            allow_chaos=args.allow_chaos,
+            trace_path=args.trace,
+        )
+        try:
+            asyncio.run(gateway_forever(gateway_config,
+                                        observer=observer))
+        except KeyboardInterrupt:
+            print("repro-serve: shutting down")
+        finally:
+            if observer is not None:
+                observer.close()
+        return 0
+
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -502,13 +565,6 @@ def _cmd_serve(args) -> int:
         drain_grace=args.drain_grace,
         allow_chaos=args.allow_chaos,
     )
-    observer = None
-    if args.trace:
-        from .obs import JsonlWriter, Tracer
-
-        observer = Tracer(JsonlWriter(args.trace))
-        observer.meta(scenario="serve", steps=0, precision={},
-                      mode="service", census=False)
     try:
         asyncio.run(serve_forever(config, observer=observer))
     except KeyboardInterrupt:
@@ -540,6 +596,10 @@ def _cmd_serve_bench(args) -> int:
         chaos_inject_rate=args.chaos_inject_rate,
         chaos_kill_every=args.chaos_kill_every,
         chaos_recovery_p95_s=args.chaos_recovery_p95,
+        shards=args.shards,
+        shard_baseline=not args.no_shard_baseline,
+        shard_min_scaling=args.shard_min_scaling,
+        shard_migrations=args.shard_migrations,
     ))
     print(render_serve_summary(payload))
     return 0 if payload["ok"] else 1

@@ -1,4 +1,4 @@
-"""Trace event schema (version 3) and its validator.
+"""Trace event schema (version 4) and its validator.
 
 Every JSONL line is one event; ``kind`` discriminates.  The step record
 carries the four signal families the paper's argument is built on:
@@ -19,7 +19,12 @@ outcome, per-batch dispatch, session eviction) so a service trace and a
 simulation trace interleave in one file.  Version 3 adds the
 resilience kinds: ``serve.recover`` (one event per recovery-ladder
 transition — rung, outcome, rollback step, wall cost) and
-``serve.drain`` (one event per graceful shutdown).  Older streams stay
+``serve.drain`` (one event per graceful shutdown).  Version 4 adds the
+sharded-topology kinds emitted by the gateway (``repro.serve.shard``):
+``serve.route`` (a session pinned to a shard — at create, crash
+recovery, or after a migration repoints it) and ``serve.migrate`` (one
+event per live migration attempt with source/target shard, the step the
+snapshot moved at, digest verdict and wall cost).  Older streams stay
 valid: ``meta.schema`` may carry any version in
 :data:`SUPPORTED_SCHEMA_VERSIONS`, and earlier kinds are unchanged.
 
@@ -33,15 +38,15 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS", "EVENT_KINDS",
-           "SERVE_OPS", "V2_KINDS", "V3_KINDS", "validate_event",
-           "validate_events"]
+           "SERVE_OPS", "V2_KINDS", "V3_KINDS", "V4_KINDS",
+           "validate_event", "validate_events"]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Versions the validator accepts in ``meta.schema`` — a v1 trace (no
-#: ``serve.*`` events) or v2 trace (no resilience events) must keep
-#: validating after the v3 bump.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+#: ``serve.*`` events), v2 trace (no resilience events) or v3 trace (no
+#: shard events) must keep validating after the v4 bump.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 _NUM = (int, float)
 
@@ -133,6 +138,20 @@ EVENT_KINDS: Dict[str, Dict[str, tuple]] = {
         "completed": (bool,),  # False = grace period expired
         "wall": _NUM,
     },
+    # --- schema v4: sharded-topology events (repro.serve.shard) ---
+    "serve.route": {
+        "session": (str,),
+        "shard": (int,),
+        "reason": (str,),      # "create" | "recover" | "migrate"
+    },
+    "serve.migrate": {
+        "session": (str,),
+        "source": (int,),
+        "target": (int,),
+        "step": (int,),        # step count the snapshot moved at
+        "ok": (bool,),         # digest-verified and repointed
+        "wall": _NUM,
+    },
 }
 
 #: Kinds introduced by schema version 2.
@@ -141,7 +160,12 @@ V2_KINDS = ("serve.request", "serve.batch", "serve.evict")
 #: Kinds introduced by schema version 3.
 V3_KINDS = ("serve.recover", "serve.drain")
 
+#: Kinds introduced by schema version 4.
+V4_KINDS = ("serve.route", "serve.migrate")
+
 _RECOVER_OUTCOMES = ("recovered", "degraded", "respawned", "lost")
+
+_ROUTE_REASONS = ("create", "recover", "migrate")
 
 _CENSUS_FIELDS = ("total", "trivial", "memo_hits", "lut_hits",
                   "nontrivial")
@@ -151,7 +175,9 @@ _CONTROLLER_ACTIONS = ("throttle", "decay", "hold")
 #: Wire-protocol operations (``repro.serve.protocol`` builds on this —
 #: defined here so the validator needs no import from the serve layer).
 SERVE_OPS = ("ping", "create", "step", "snapshot", "restore", "close",
-             "stats")
+             "stats",
+             # schema v4: gateway admin ops (repro.serve.shard)
+             "migrate", "drain_shard", "rebalance", "topology")
 
 
 def validate_event(event: dict) -> List[str]:
@@ -202,6 +228,9 @@ def validate_event(event: dict) -> List[str]:
             event["outcome"] not in _RECOVER_OUTCOMES:
         errors.append(f"serve.recover.outcome: {event['outcome']!r} "
                       f"not in {_RECOVER_OUTCOMES}")
+    elif kind == "serve.route" and event["reason"] not in _ROUTE_REASONS:
+        errors.append(f"serve.route.reason: {event['reason']!r} not in "
+                      f"{_ROUTE_REASONS}")
     return errors
 
 

@@ -315,6 +315,34 @@ class Tracer:
         })
         self.registry.counter("serve.drains").inc()
 
+    def serve_route(self, session: str, shard: int, reason: str) -> None:
+        """A session pinned to a shard by the gateway (schema v4):
+        at create, after crash recovery, or when a migration repoints
+        its routing entry."""
+        self.emit({
+            "kind": "serve.route",
+            "session": session,
+            "shard": shard,
+            "reason": reason,
+        })
+        self.registry.counter("serve.routes", reason=reason).inc()
+
+    def serve_migrate(self, session: str, source: int, target: int,
+                      step: int, ok: bool, wall: float) -> None:
+        """One live-migration attempt between shards (schema v4)."""
+        self.emit({
+            "kind": "serve.migrate",
+            "session": session,
+            "source": source,
+            "target": target,
+            "step": step,
+            "ok": ok,
+            "wall": round(wall, 6),
+        })
+        self.registry.counter(
+            "serve.migrations", outcome="ok" if ok else "failed").inc()
+        self.registry.histogram("serve.migration.seconds").observe(wall)
+
     # ------------------------------------------------------------------
     # Sweep hooks
     # ------------------------------------------------------------------

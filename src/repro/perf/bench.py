@@ -17,6 +17,7 @@ accuracy for sweep time.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import platform
@@ -35,7 +36,25 @@ from ..fp.rounding import RoundingMode, fused_binop, reduce_array_fast
 from ..workloads import SCENARIO_NAMES, build
 from .sweep import SweepJob, SweepOutcome, SweepRunner
 
-__all__ = ["BenchProtocol", "QUICK_SCENARIOS", "run_bench", "render_summary"]
+__all__ = ["BenchProtocol", "QUICK_SCENARIOS", "bench_stamp", "run_bench",
+           "render_summary"]
+
+#: Monotone per-process suffix so two payloads written in the same
+#: process never collide even within one wall-clock second.
+_STAMP_COUNTER = itertools.count(1)
+
+
+def bench_stamp() -> str:
+    """Collision-proof payload stamp: wall time + pid + sequence number.
+
+    ``time.strftime`` alone collides when two runs (CI matrix lanes, the
+    sharded bench's back-to-back topologies) land in the same second and
+    silently overwrite each other's ``BENCH_*.json``.  The stamp stays
+    sortable-by-time first, and keeps the ``BENCH_<stamp>[_serve].json``
+    naming scheme every baseline-comparison glob relies on.
+    """
+    return (f"{time.strftime('%Y%m%d_%H%M%S')}"
+            f"_p{os.getpid()}n{next(_STAMP_COUNTER)}")
 
 #: Scenario subset for ``--quick`` (CI smoke); always includes the
 #: paper's hardest mixed workload.
@@ -283,7 +302,7 @@ def run_bench(
                         f"'{scenario}'; speedup reported as null")
             speedups[scenario] = entry
 
-    stamp = time.strftime("%Y%m%d_%H%M%S")
+    stamp = bench_stamp()
     payload = {
         "kind": "repro-bench",
         "stamp": stamp,
@@ -386,5 +405,6 @@ def render_summary(payload: dict) -> str:
             + ("OK" if overhead["ok"] else "REGRESSED"))
     for warning in payload.get("warnings", ()):
         out += f"\nwarning: {warning}"
-    out += f"\nwritten: BENCH_{payload['stamp']}.json"
+    written = payload.get("path", f"BENCH_{payload['stamp']}.json")
+    out += f"\nwritten: {Path(written).name}"
     return out

@@ -13,7 +13,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from .shapes import GeomStore, ShapeType
+from .shapes import GeomStore
 
 __all__ = ["candidate_pairs"]
 
@@ -38,12 +38,9 @@ def candidate_pairs(
         & (lo[None, :, :] <= hi[:, None, :]),
         axis=2,
     )
-    body = np.array([g.body for g in geoms.geoms])
-    static = np.array(
-        [g.body < 0 or g.shape is ShapeType.PLANE for g in geoms.geoms]
-    )
-    same_body = body[:, None] == body[None, :]
-    both_static = static[:, None] & static[None, :]
-    candidate = overlap & ~same_body & ~both_static
+    # Pair eligibility (same-body / both-static exclusions) is a pure
+    # function of geom membership, cached on the store instead of being
+    # rebuilt from per-geom Python attribute access every step.
+    candidate = overlap & geoms.pair_eligibility()
     ii, jj = np.nonzero(np.triu(candidate, k=1))
     return list(zip(ii.tolist(), jj.tolist()))

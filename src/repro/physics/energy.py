@@ -20,6 +20,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from .series import BoundedSeries
+
 __all__ = ["EnergyMonitor", "EnergyRecord"]
 
 #: Instruction cost the paper reports for the monitoring code.
@@ -57,7 +59,9 @@ class EnergyMonitor:
     def __init__(self, gravity, reference_height: float = 0.0) -> None:
         self.gravity = np.asarray(gravity, dtype=np.float64)
         self.reference_height = reference_height
-        self.records: List[EnergyRecord] = []
+        # Windowed: a record per step would leak on long-lived serve
+        # sessions; every consumer reads the tail or the retained window.
+        self.records = BoundedSeries()
         self._injected_total = 0.0
 
     # ------------------------------------------------------------------

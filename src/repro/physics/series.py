@@ -1,0 +1,162 @@
+"""Bounded per-step series storage for long-lived worlds.
+
+``World.penetration_series`` and ``EnergyMonitor.records`` historically
+grew one entry per step forever — harmless for the paper's few-hundred
+step experiments, a slow memory leak for a session stepped for hours on
+a serve shard.  :class:`BoundedSeries` keeps the most recent ``window``
+entries in a deque while preserving the *logical* sequence semantics the
+experiments rely on:
+
+* ``len()`` reports the logical length (evicted + retained), so
+  checkpoint captures (``penetration_len``, ``monitor_records``) are
+  unchanged;
+* ``series[i]`` and ``series[a:b]`` address logical positions — negative
+  indices and tail slices like ``series[steps // 2:]`` behave exactly
+  like a list as long as they land inside the retained window (the
+  default window of 4096 comfortably covers every experiment);
+* ``truncate(n)`` rewinds to the first ``n`` logical entries, the exact
+  operation checkpoint restore performs (rollbacks are at most a few
+  dozen steps deep, far shallower than the window);
+* a running maximum over *all* appended values (including evicted ones)
+  is maintained when ``track_max=True``, so
+  ``believability.energy_trace`` reports the same peak penetration it
+  would have read from the unbounded list.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+__all__ = ["BoundedSeries", "DEFAULT_SERIES_WINDOW"]
+
+#: Retained entries per series.  Far above any experiment's step count
+#: (Table 1/4 runs are a few hundred steps), so short runs see list
+#: semantics bit-for-bit; only multi-hour serve sessions ever evict.
+DEFAULT_SERIES_WINDOW = 4096
+
+
+class BoundedSeries:
+    """A list-like per-step series retaining only the last ``window`` items."""
+
+    __slots__ = ("window", "track_max", "_items", "_evicted", "_max")
+
+    def __init__(self, window: int = DEFAULT_SERIES_WINDOW,
+                 track_max: bool = False) -> None:
+        if window < 1:
+            raise ValueError("series window must be >= 1")
+        self.window = int(window)
+        self.track_max = track_max
+        self._items: Deque = deque()
+        self._evicted = 0
+        self._max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def append(self, item) -> None:
+        self._items.append(item)
+        if self.track_max:
+            value = float(item)
+            if self._max is None or value > self._max:
+                self._max = value
+        if len(self._items) > self.window:
+            self._items.popleft()
+            self._evicted += 1
+
+    def __len__(self) -> int:
+        return self._evicted + len(self._items)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator:
+        """Iterate the retained window (oldest retained first)."""
+        return iter(self._items)
+
+    @property
+    def evicted(self) -> int:
+        """Entries dropped off the left edge of the window."""
+        return self._evicted
+
+    # ------------------------------------------------------------------
+    def _normalize(self, index: int) -> int:
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("series index out of range")
+        return index
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            out: List = []
+            for logical in range(start, stop, step):
+                offset = logical - self._evicted
+                if 0 <= offset < len(self._items):
+                    out.append(self._items[offset])
+            return out
+        logical = self._normalize(int(index))
+        offset = logical - self._evicted
+        if offset < 0:
+            raise IndexError(
+                f"series[{index}] was evicted (window={self.window}, "
+                f"evicted={self._evicted})")
+        return self._items[offset]
+
+    def __delitem__(self, index) -> None:
+        # Only the tail-truncation pattern ``del series[n:]`` is
+        # meaningful for a step series; anything else is a caller bug.
+        if (not isinstance(index, slice) or index.step is not None
+                or index.stop is not None):
+            raise TypeError("BoundedSeries only supports `del series[n:]`")
+        start = index.start if index.start is not None else 0
+        if start < 0:
+            start += len(self)
+        self.truncate(max(0, start))
+
+    # ------------------------------------------------------------------
+    def truncate(self, length: int) -> None:
+        """Rewind to the first ``length`` logical entries.
+
+        This is checkpoint-restore's discard of post-checkpoint samples.
+        Rolling back past the retained window would need history the
+        buffer no longer has, so it raises rather than silently
+        corrupting the series; rollback depth (a handful of journal
+        intervals) is always far below the window.
+        """
+        if length >= len(self):
+            return
+        if length < self._evicted:
+            raise ValueError(
+                f"cannot truncate to {length}: only entries from "
+                f"{self._evicted} onward are retained")
+        for _ in range(len(self) - length):
+            self._items.pop()
+        if self.track_max:
+            if self._evicted == 0:
+                # Exact: recompute over the full (retained) history so a
+                # rollback forgets discarded samples, matching a list.
+                self._max = (max(float(v) for v in self._items)
+                             if self._items else None)
+            # Once entries have been evicted the prefix max is
+            # unrecoverable; the running max then summarizes everything
+            # the series has seen, which only long-lived serve sessions
+            # (never the experiments) can observe.
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._evicted = 0
+        self._max = None
+
+    # ------------------------------------------------------------------
+    def maximum(self, default: Optional[float] = None) -> Optional[float]:
+        """Running max over every appended value (evicted ones included)."""
+        if not self.track_max:
+            raise TypeError("series was created with track_max=False")
+        if self._max is None:
+            return default
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BoundedSeries(len={len(self)}, window={self.window}, "
+                f"evicted={self._evicted})")

@@ -49,6 +49,9 @@ class GeomStore:
 
     def __init__(self) -> None:
         self.geoms: List[Geom] = []
+        # Broad-phase pair-eligibility cache; geom membership changes
+        # only through _append / remove, which invalidate it.
+        self._pair_cache: Optional[np.ndarray] = None
 
     def add_sphere(self, body: int, radius: float, **props) -> int:
         return self._append(
@@ -78,13 +81,41 @@ class GeomStore:
 
     def _append(self, geom: Geom) -> int:
         self.geoms.append(geom)
+        self._pair_cache = None
         return len(self.geoms) - 1
+
+    def remove(self, index: int) -> Geom:
+        """Remove and return the geom at ``index`` (shifts later indices)."""
+        geom = self.geoms.pop(index)
+        self._pair_cache = None
+        return geom
 
     def __len__(self) -> int:
         return len(self.geoms)
 
     def __getitem__(self, index: int) -> Geom:
         return self.geoms[index]
+
+    def pair_eligibility(self) -> np.ndarray:
+        """Boolean [n, n] mask of geom pairs allowed to collide.
+
+        ``mask[i, j]`` is False when i and j sit on the same body or are
+        both static (planes, or geoms on the world body).  The mask only
+        depends on geom membership — not on per-step state — so it is
+        cached and rebuilt lazily after adds/removals, sparing the broad
+        phase a per-geom Python attribute walk every step.
+        """
+        cache = self._pair_cache
+        if cache is None or cache.shape[0] != len(self.geoms):
+            body = np.array([g.body for g in self.geoms], dtype=np.int64)
+            static = np.array(
+                [g.body < 0 or g.shape is ShapeType.PLANE
+                 for g in self.geoms], dtype=bool)
+            same_body = body[:, None] == body[None, :]
+            both_static = static[:, None] & static[None, :]
+            cache = ~same_body & ~both_static
+            self._pair_cache = cache
+        return cache
 
     # ------------------------------------------------------------------
     # World AABBs (full-precision bookkeeping; not part of the studied

@@ -30,6 +30,7 @@ from .energy import EnergyMonitor
 from .explosion import Explosion
 from .island import partition_islands
 from .joints import JointStore
+from .series import BoundedSeries
 from .shapes import GeomStore, box_inertia, capsule_inertia, sphere_inertia
 
 __all__ = ["World", "SleepParams"]
@@ -76,8 +77,10 @@ class World:
         self.step_count = 0
         self.island_labels = np.empty(0, dtype=np.int32)
         self.last_contact_count = 0
-        #: per-step max contact penetration depth (believability input)
-        self.penetration_series: List[float] = []
+        #: per-step max contact penetration depth (believability input);
+        #: windowed so long-lived serve sessions don't leak memory, with
+        #: a running max preserving the believability peak statistic
+        self.penetration_series = BoundedSeries(track_max=True)
         #: called after each step with (world, energy_record)
         self.on_step: Optional[Callable] = None
         #: optional :class:`~repro.robustness.PhaseGuards`; when set,

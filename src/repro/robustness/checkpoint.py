@@ -85,9 +85,9 @@ def restore_world(world, checkpoint: WorldCheckpoint) -> None:
         cloth.vel = vel.copy()
     world.step_count = checkpoint.step_count
     # Truncate (not pop): a rollback may discard several steps at once.
-    del world.monitor.records[checkpoint.monitor_records:]
+    world.monitor.records.truncate(checkpoint.monitor_records)
     world.monitor._injected_total = checkpoint.injected_total
-    del world.penetration_series[checkpoint.penetration_len:]
+    world.penetration_series.truncate(checkpoint.penetration_len)
     world.last_contact_count = checkpoint.last_contact_count
     world.contact_cache._store = {
         key: list(entries)

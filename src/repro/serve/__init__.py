@@ -29,7 +29,11 @@ Layers:
   retrying/reconnecting ``ResilientClient``, and the in-thread server
   harness;
 * :mod:`~repro.serve.bench` — the ``repro serve-bench`` load harness
-  and its ``--chaos`` fault drill.
+  and its ``--chaos`` fault drill;
+* :mod:`~repro.serve.shard` — the scale-out topology: a client-facing
+  gateway routing sessions by consistent hash over N worker-shard
+  subprocesses, with live digest-verified session migration and
+  journal-based recovery of crashed shards.
 
 Everything is observable: requests, batches, evictions, recoveries,
 and drains count through :mod:`repro.obs.metrics`, and with a tracer
@@ -71,6 +75,17 @@ from .resilience import (
 from .scheduler import BatchScheduler
 from .server import ServiceConfig, SimulationService, serve_forever
 from .session import Session, SessionConfig, SessionManager, state_digest
+# Imported last: shard modules import from .server/.client above.
+from .shard import (
+    GatewayConfig,
+    GatewayHandle,
+    HashRing,
+    ShardGateway,
+    ShardProcess,
+    ShardSupervisor,
+    gateway_forever,
+    start_gateway_in_thread,
+)
 
 __all__ = [
     "AdmissionController",
@@ -80,6 +95,9 @@ __all__ = [
     "ClientTimeoutError",
     "ConnectionLost",
     "ERROR_CODES",
+    "GatewayConfig",
+    "GatewayHandle",
+    "HashRing",
     "JournalStore",
     "MAX_FRAME_BYTES",
     "OPS",
@@ -99,14 +117,19 @@ __all__ = [
     "SessionJournal",
     "SessionLost",
     "SessionManager",
+    "ShardGateway",
+    "ShardProcess",
+    "ShardSupervisor",
     "SimulationService",
     "decode_frame",
     "encode_frame",
+    "gateway_forever",
     "read_journal",
     "recover_sessions",
     "render_serve_summary",
     "run_serve_bench",
     "serve_forever",
+    "start_gateway_in_thread",
     "start_in_thread",
     "state_digest",
 ]

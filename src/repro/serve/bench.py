@@ -28,6 +28,14 @@ bit-identically (``state_digest`` match), every client reaches its
 target step count through reconnect/replay — plus a bounded p95
 recovery time, all recorded in the same ``BENCH_<stamp>_serve.json``
 payload.
+
+Sharded mode (``repro serve-bench --shards N``) benchmarks the
+gateway + worker-shard topology instead: the same client load runs
+against an N-shard gateway (and, unless disabled, a 1-shard gateway
+baseline for the scaling ratio), with forced live migrations during
+the load — the migrated session's next 20 steps must stay
+bit-identical to an unmigrated control — and the usual zero-drop and
+snapshot-fidelity gates, all through the gateway socket.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from typing import List, Optional
 
 from ..experiments.runcache import write_json_atomic
 from ..obs.tracer import Tracer
+from ..perf.bench import bench_stamp
 from .client import (
     Client,
     ResilientClient,
@@ -65,6 +74,16 @@ class ServeBenchConfig:
     #: steps on each side of the fidelity snapshot
     fidelity_steps: int = 10
     output_dir: str = "results"
+    # --- sharded mode (``--shards N``) ---
+    #: 0 = single-process service; N >= 1 = gateway over N shards
+    shards: int = 0
+    #: also run a 1-shard gateway baseline and report the scaling ratio
+    shard_baseline: bool = True
+    #: minimum N-shard/1-shard steps/sec ratio (0 = report, don't gate —
+    #: shared CI runners make scaling gates flaky)
+    shard_min_scaling: float = 0.0
+    #: forced live migrations while the load is running
+    shard_migrations: int = 1
     # --- chaos mode ---
     chaos: bool = False
     #: seeded soft-error rate for the guarded chaos sessions
@@ -313,9 +332,172 @@ def _run_chaos_bench(config: ServeBenchConfig) -> dict:
     return chaos
 
 
+def _run_gateway_load(config: ServeBenchConfig, shards: int,
+                      migrations: int = 0) -> dict:
+    """Drive the standard client load against a gateway topology.
+
+    With ``migrations > 0`` a probe session pair (migrated vs control,
+    identical config) runs *during* the load: the migrated session must
+    stay bit-identical to the control for 20 steps after each move —
+    the ISSUE's migrate-under-load gate.
+    """
+    from .shard import GatewayConfig, start_gateway_in_thread
+
+    gateway_config = GatewayConfig(
+        port=0,
+        shards=shards,
+        max_sessions=max(32, config.clients + 8),
+        workers=config.workers,
+        batch_window=config.batch_window,
+    )
+    handle = start_gateway_in_thread(gateway_config)
+    try:
+        latencies: List[float] = []
+        errors: List[str] = []
+        barrier = threading.Barrier(config.clients + 1)
+        threads = [
+            threading.Thread(
+                target=_client_load,
+                args=(handle, config, barrier, latencies, errors),
+                name=f"serve-shard-client-{i}")
+            for i in range(config.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        migration = None
+        with handle.connect() as probe:
+            mig = probe.create(config.scenario, scale=config.scale,
+                               seed=config.seed + 1000)
+            ctrl = probe.create(config.scenario, scale=config.scale,
+                                seed=config.seed + 1000)
+            barrier.wait(timeout=60.0)
+            load_start = time.perf_counter()
+            # Every client created its session before the barrier, so
+            # this snapshot shows the consistent-hash placement.
+            placement = {
+                str(entry["shard"]): entry["sessions"]
+                for entry in probe.request({"op": "topology"})["shards"]}
+            if migrations and shards > 1:
+                migration = _migration_probe(
+                    handle, probe, mig, ctrl, migrations)
+            for thread in threads:
+                thread.join(timeout=600.0)
+            load_wall = time.perf_counter() - load_start
+            probe.close_session(mig)
+            probe.close_session(ctrl)
+            topology = probe.request({"op": "topology"})
+        fidelity = (_fidelity_check(handle, config)
+                    if migrations else None)
+    finally:
+        handle.stop()
+
+    total_steps = len(latencies)
+    latencies.sort()
+    result = {
+        "shards": shards,
+        "requests_ok": total_steps,
+        "steps_per_sec": (round(total_steps / load_wall, 3)
+                          if load_wall > 0 else 0.0),
+        "wall": round(load_wall, 4),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+        "max_ms": round((latencies[-1] if latencies else 0.0) * 1e3, 3),
+        "sessions_per_shard": placement,
+        "migrations_total": topology["migrations"],
+        "sessions_lost": topology["sessions_lost"],
+        "client_errors": errors,
+    }
+    if migration is not None:
+        result["migration"] = migration
+    if fidelity is not None:
+        result["fidelity"] = fidelity
+    return result
+
+
+def _migration_probe(handle, probe, mig: str, ctrl: str,
+                     migrations: int) -> dict:
+    """Live-migrate ``mig`` while the load runs; ``ctrl`` never moves.
+
+    After every move both sessions advance 20 steps and their digests
+    must stay identical — migration may not perturb a single bit.
+    """
+    moves = []
+    identical = True
+    probe.step(mig, 5)
+    probe.step(ctrl, 5)
+    for _ in range(migrations):
+        moved = handle.run(handle.gateway.migrate(mig))
+        digest_mig = probe.step(mig, 20)["digest"]
+        digest_ctrl = probe.step(ctrl, 20)["digest"]
+        identical = identical and digest_mig == digest_ctrl
+        moves.append({
+            "source": moved["source"],
+            "target": moved["target"],
+            "step": moved["step"],
+            "wall": moved["wall"],
+            "digest_migrated": digest_mig,
+            "digest_control": digest_ctrl,
+        })
+    return {
+        "moves": moves,
+        "steps_after_each_move": 20,
+        "bit_identical": identical,
+    }
+
+
+def _run_shard_bench(config: ServeBenchConfig) -> dict:
+    """The ``--shards N`` topology benchmark: N-shard gateway load
+    (with forced live migration), optional 1-shard baseline, scaling
+    ratio, and the fidelity check through the gateway."""
+    sharded = _run_gateway_load(config, config.shards,
+                                migrations=config.shard_migrations)
+    baseline = None
+    scaling = None
+    if config.shard_baseline and config.shards > 1:
+        baseline = _run_gateway_load(config, 1, migrations=0)
+        if baseline["steps_per_sec"]:
+            scaling = round(sharded["steps_per_sec"]
+                            / baseline["steps_per_sec"], 3)
+    migration = sharded.get("migration")
+    fidelity = sharded.get("fidelity")
+    dropped = sharded["sessions_lost"] + len(sharded["client_errors"])
+    expected = config.clients * config.steps_per_client
+    ok = (dropped == 0
+          and sharded["requests_ok"] == expected
+          and (migration is None or migration["bit_identical"])
+          and (fidelity is None or fidelity["bit_identical"])
+          and (scaling is None
+               or config.shard_min_scaling <= 0
+               or scaling >= config.shard_min_scaling))
+    section = {
+        "topology": sharded,
+        "baseline_1shard": baseline,
+        "scaling_x": scaling,
+        "min_scaling_gate": config.shard_min_scaling,
+        "dropped": dropped,
+        "ok": ok,
+    }
+    return section
+
+
 def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
     """Run the serving benchmark; returns the written payload."""
     config = config or ServeBenchConfig()
+    if config.shards:
+        section = _run_shard_bench(config)
+        stamp = bench_stamp()
+        payload = {
+            "kind": "repro-serve-bench",
+            "stamp": stamp,
+            "ok": section["ok"],
+            "shards": section,
+        }
+        out_dir = Path(config.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{stamp}_serve.json"
+        write_json_atomic(path, payload)
+        payload["path"] = str(path)
+        return payload
     service_config = ServiceConfig(
         port=0,
         max_sessions=max(32, config.clients + 4),
@@ -380,7 +562,7 @@ def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
           and total_steps == config.clients * config.steps_per_client
           and fidelity["bit_identical"]
           and (chaos is None or chaos["ok"]))
-    stamp = time.strftime("%Y%m%d_%H%M%S")
+    stamp = bench_stamp()
     payload = {
         "kind": "repro-serve-bench",
         "stamp": stamp,
@@ -397,8 +579,57 @@ def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
     return payload
 
 
+def _render_shard_summary(payload: dict) -> str:
+    section = payload["shards"]
+    topo = section["topology"]
+    lines = [
+        f"repro serve-bench — gateway over {topo['shards']} shard(s)",
+        f"  throughput: {topo['steps_per_sec']:.1f} steps/s aggregate "
+        f"over {topo['wall']:.2f}s",
+        f"  step latency: p50 {topo['p50_ms']:.2f} ms, "
+        f"p95 {topo['p95_ms']:.2f} ms, max {topo['max_ms']:.2f} ms",
+        f"  placement: "
+        + ", ".join(f"shard {k}: {v}"
+                    for k, v in sorted(topo["sessions_per_shard"]
+                                       .items())),
+    ]
+    baseline = section["baseline_1shard"]
+    if baseline is not None:
+        gate = section["min_scaling_gate"]
+        lines.append(
+            f"  scaling: {section['scaling_x']}x over the 1-shard "
+            f"gateway ({baseline['steps_per_sec']:.1f} steps/s)"
+            + (f", gate >= {gate}x" if gate > 0 else ""))
+    migration = topo.get("migration")
+    if migration is not None:
+        walls = ", ".join(f"{m['source']}->{m['target']} "
+                          f"{m['wall'] * 1e3:.0f}ms"
+                          for m in migration["moves"])
+        lines.append(
+            f"  live migration under load: {len(migration['moves'])} "
+            f"move(s) [{walls}], next "
+            f"{migration['steps_after_each_move']} steps "
+            + ("bit-identical to the unmigrated control"
+               if migration["bit_identical"] else "DIVERGED"))
+    fidelity = topo.get("fidelity")
+    if fidelity is not None:
+        lines.append("  snapshot fidelity (through gateway): "
+                     + ("bit-identical" if fidelity["bit_identical"]
+                        else "DIVERGED"))
+    lines.append(f"  dropped: {section['dropped']} "
+                 f"(sessions lost {topo['sessions_lost']}, "
+                 f"client errors {len(topo['client_errors'])})")
+    for error in topo["client_errors"]:
+        lines.append(f"  client error: {error}")
+    lines.append(("OK" if payload["ok"] else "FAILED")
+                 + f" — written: {Path(payload['path']).name}")
+    return "\n".join(lines)
+
+
 def render_serve_summary(payload: dict) -> str:
     """Human-readable serve-bench report for the CLI."""
+    if "shards" in payload:
+        return _render_shard_summary(payload)
     bench = payload["serve_bench"]
     fidelity = bench["fidelity"]
     lines = [

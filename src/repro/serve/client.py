@@ -221,7 +221,8 @@ class RetryPolicy:
     """Bounded exponential backoff with jitter.
 
     ``retry_codes`` are the server responses worth waiting out —
-    ``busy`` (backpressure) and ``draining`` (restart imminent); every
+    ``busy`` (backpressure), ``draining`` (restart imminent) and
+    ``shard_down`` (the gateway is recovering a crashed shard); every
     other error code is a real answer and is raised immediately.
     """
 
@@ -230,7 +231,7 @@ class RetryPolicy:
     max_delay: float = 2.0
     #: multiplicative jitter: the delay is scaled by 1..(1+jitter)
     jitter: float = 0.5
-    retry_codes: tuple = ("busy", "draining")
+    retry_codes: tuple = ("busy", "draining", "shard_down")
 
     def delay(self, attempt: int, rng: random.Random,
               hint_s: Optional[float] = None) -> float:

@@ -26,7 +26,15 @@ pipelining client can correlate responses.
                       into a freshly created session)
 ``close``             end a session cleanly
 ``stats``             service totals + per-session summaries
+``topology``          gateway only: shard processes + routing table
+``migrate``           gateway only: move ``session`` to ``target`` shard
+``drain_shard``       gateway only: move every session off ``shard``
+``rebalance``         gateway only: repoint sessions to ring placement
 ====================  =================================================
+
+The four gateway admin ops are answered by the sharded gateway
+(:mod:`repro.serve.shard`); a single-process server refuses them with
+``bad_request`` so a client never mistakes one topology for the other.
 
 Responses are ``{"ok": true, ...}`` or
 ``{"ok": false, "error": <code>, "detail": <text>}`` with ``error`` one
@@ -42,10 +50,10 @@ from typing import Optional
 
 from ..obs.schema import SERVE_OPS
 
-__all__ = ["PROTOCOL_VERSION", "OPS", "ERROR_CODES", "MAX_FRAME_BYTES",
-           "ProtocolError", "ServiceError", "encode_frame",
-           "decode_frame", "parse_request", "ok_response",
-           "error_response"]
+__all__ = ["PROTOCOL_VERSION", "OPS", "GATEWAY_OPS", "ERROR_CODES",
+           "MAX_FRAME_BYTES", "ProtocolError", "ServiceError",
+           "encode_frame", "decode_frame", "parse_request",
+           "ok_response", "error_response"]
 
 PROTOCOL_VERSION = 1
 
@@ -72,8 +80,13 @@ ERROR_CODES = (
                          # entry; response carries the step it resumed at
     "session_lost",     # the recovery ladder ran out — session quarantined
     "draining",         # server shutting down gracefully; retry elsewhere
+    "shard_down",       # gateway: shard unreachable, recovery running —
+                        # retryable, sessions journal-restore elsewhere
     "internal",
 )
+
+#: Ops only the sharded gateway answers (subset of :data:`OPS`).
+GATEWAY_OPS = ("migrate", "drain_shard", "rebalance", "topology")
 
 
 class ProtocolError(ValueError):
@@ -148,12 +161,24 @@ def parse_request(frame: dict) -> str:
     session = frame.get("session")
     if session is not None and not isinstance(session, str):
         raise ServiceError("bad_request", "'session' must be a string")
-    if op in ("step", "snapshot", "restore", "close") and session is None:
+    if op in ("step", "snapshot", "restore", "close", "migrate") \
+            and session is None:
         raise ServiceError("bad_request", f"op {op!r} needs a 'session'")
     steps = frame.get("steps", 1)
     if not isinstance(steps, int) or steps < 0:
         raise ServiceError(
             "bad_request", "'steps' must be a non-negative integer")
+    session_id = frame.get("session_id")
+    if session_id is not None and not isinstance(session_id, str):
+        raise ServiceError("bad_request", "'session_id' must be a string")
+    for field in ("shard", "target"):
+        value = frame.get(field)
+        if value is not None and not isinstance(value, int):
+            raise ServiceError(
+                "bad_request", f"{field!r} must be an integer shard index")
+    if op == "drain_shard" and frame.get("shard") is None:
+        raise ServiceError(
+            "bad_request", "op 'drain_shard' needs a 'shard' index")
     return op
 
 

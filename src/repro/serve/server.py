@@ -48,6 +48,7 @@ from ..robustness.incidents import IncidentLog
 from ..workloads import UnknownScenarioError
 from .admission import AdmissionController, AdmissionPolicy
 from .protocol import (
+    GATEWAY_OPS,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
@@ -353,10 +354,18 @@ class SimulationService:
         if op == "create":
             config = SessionConfig.from_frame(
                 frame, allow_chaos=self.config.allow_chaos)
-            session = self.manager.create(config)
+            # The sharded gateway assigns globally-unique ids up front
+            # so a session keeps its identity across shard migrations.
+            session = self.manager.create(config,
+                                          session_id=frame.get("session_id"))
             return ok_response(frame, **session.describe())
         if op == "stats":
             return ok_response(frame, **self._stats())
+        if op in GATEWAY_OPS:
+            raise ServiceError(
+                "bad_request",
+                f"op {op!r} is answered by the sharded gateway "
+                f"(repro serve --shards N), not a single-process server")
 
         session = self.manager.get(frame["session"])
         if op == "close":
@@ -388,6 +397,17 @@ class SimulationService:
                 session,
                 lambda: session.restore(frame.get("snapshot"), data,
                                         precisions))
+            # Re-journal immediately: the previous journal entry
+            # describes a pre-restore trajectory, so a crash (or a
+            # rung-1 rollback) before the next journaled batch would
+            # otherwise resurrect state the client just rewound away.
+            # This is also what makes a migrated session durable on its
+            # target shard from the first request.
+            if self.journal is not None:
+                checkpoint, step, state = session.capture_for_journal()
+                session.mark_journaled(checkpoint, step, state)
+                self.journal.append_snapshot(session.id, checkpoint,
+                                             step, state)
             return ok_response(frame, **result)
         raise ServiceError("unknown_op", f"unhandled op {op!r}")
 

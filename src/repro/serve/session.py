@@ -513,6 +513,11 @@ class SessionManager:
         if session_id is None:
             self._seq += 1
             session_id = f"s{self._seq}"
+        elif session_id in self._sessions:
+            # Gateway-assigned ids must never silently replace a live
+            # session (a routing bug would otherwise corrupt both).
+            raise ServiceError(
+                "bad_request", f"session id {session_id!r} already exists")
         session = Session(session_id, config)
         self._sessions[session.id] = session
         self.created_total += 1

@@ -1,0 +1,96 @@
+"""Consistent hashing of session ids onto shard indices.
+
+The gateway must place sessions deterministically: the same session id
+lands on the same shard in every process, every run, and after a
+gateway restart — Python's builtin ``hash()`` is salted per process, so
+placement is built on blake2b instead.  Virtual nodes smooth the
+distribution (with only a handful of physical shards, one hash each
+would leave the ring badly unbalanced), and consistent hashing keeps
+remapping minimal: removing a shard only moves the keys that lived on
+it, which is exactly the property crash recovery and ``drain_shard``
+rely on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["HashRing", "stable_hash"]
+
+#: Virtual nodes per physical shard.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over integer shard indices."""
+
+    def __init__(self, nodes: Iterable[int] = (),
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._nodes: List[int] = []
+        #: sorted (point, node) pairs; parallel arrays for bisect
+        self._points: List[int] = []
+        self._owners: List[int] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._nodes))
+
+    # ------------------------------------------------------------------
+    def add(self, node: int) -> None:
+        node = int(node)
+        if node in self._nodes:
+            return
+        self._nodes.append(node)
+        for replica in range(self.vnodes):
+            point = stable_hash(f"shard-{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: int) -> None:
+        node = int(node)
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != node]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> int:
+        """The shard owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._nodes:
+            raise LookupError("hash ring has no shards")
+        point = stable_hash(key)
+        index = bisect.bisect(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def distribution(self, keys: Sequence[str]) -> Dict[int, int]:
+        """Key count per shard — bench/telemetry helper."""
+        counts: Dict[int, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

@@ -1,0 +1,172 @@
+"""Shard worker processes and their supervisor.
+
+Each shard is a separate OS process — that is the whole point: the
+single-process service batches steps over a thread pool and the GIL
+caps it at roughly one core.  A shard runs the *unchanged*
+:class:`~repro.serve.server.SimulationService` stack (session manager,
+batch scheduler, admission, journal) on a per-shard UNIX socket with a
+per-shard journal directory, so everything PR 5/6 guarantees — digest
+verified snapshots, crash recovery, drain — holds per shard.
+
+Workers are spawned (not forked): the gateway's asyncio loop and
+threads must not leak into children, and a spawned child re-imports
+``repro`` cleanly.  SIGTERM asks a shard to drain (final journal entry
+per session, exit 0); SIGKILL is the crash the gateway's recovery path
+exists for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import socket
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..server import ServiceConfig, serve_forever
+
+__all__ = ["ShardProcess", "ShardSupervisor", "shard_entry"]
+
+#: Seconds a freshly spawned shard gets to bind its socket (spawn
+#: re-imports numpy; cold starts on busy CI runners are slow).
+DEFAULT_READY_TIMEOUT = 60.0
+
+
+def shard_entry(config_fields: Dict) -> None:
+    """Subprocess entry point: run one shard until SIGTERM.
+
+    ``config_fields`` are :class:`ServiceConfig` kwargs (a plain dict so
+    the spawn pickling surface stays trivial).
+    """
+    import asyncio
+
+    asyncio.run(serve_forever(ServiceConfig(**config_fields)))
+
+
+class ShardProcess:
+    """One shard subprocess: socket path, journal dir, process handle."""
+
+    def __init__(self, index: int, runtime_dir: Path,
+                 config: ServiceConfig) -> None:
+        self.index = index
+        self.runtime_dir = Path(runtime_dir)
+        self.socket_path = self.runtime_dir / f"shard-{index}.sock"
+        self.journal_dir = self.runtime_dir / f"journal-{index}"
+        self.config = dataclasses.replace(
+            config, unix_path=str(self.socket_path),
+            journal_dir=str(self.journal_dir))
+        self._process: Optional[multiprocessing.Process] = None
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    def start(self) -> None:
+        if self.alive:
+            raise RuntimeError(f"shard {self.index} is already running")
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        # A stale socket file from a killed shard blocks the re-bind.
+        self.socket_path.unlink(missing_ok=True)
+        ctx = multiprocessing.get_context("spawn")
+        self._process = ctx.Process(
+            target=shard_entry, args=(dataclasses.asdict(self.config),),
+            name=f"repro-shard-{self.index}", daemon=True)
+        self._process.start()
+
+    def wait_ready(self, timeout: float = DEFAULT_READY_TIMEOUT) -> None:
+        """Block until the shard's socket accepts connections."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not self.alive:
+                raise RuntimeError(
+                    f"shard {self.index} exited during startup "
+                    f"(exitcode {self._process.exitcode})")
+            try:
+                with socket.socket(socket.AF_UNIX,
+                                   socket.SOCK_STREAM) as probe:
+                    probe.settimeout(1.0)
+                    probe.connect(str(self.socket_path))
+                return
+            except OSError:
+                time.sleep(0.05)
+        raise TimeoutError(
+            f"shard {self.index} did not become ready in {timeout:.0f}s")
+
+    # ------------------------------------------------------------------
+    def terminate(self, grace: float = 15.0) -> None:
+        """SIGTERM (drain) then SIGKILL if the grace period expires."""
+        process = self._process
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(grace)
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+        self._process = None
+
+    def kill(self) -> None:
+        """SIGKILL — the crash-simulation path (no drain, no journal)."""
+        process = self._process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(5.0)
+
+    def restart(self) -> None:
+        """Replace a dead (or killed) process with a fresh one.
+
+        The journal directory is left in place on purpose: the new
+        process recovers whatever sessions the gateway did not already
+        migrate off it.
+        """
+        if self.alive:
+            raise RuntimeError(f"shard {self.index} is still alive")
+        self._process = None
+        self.restarts += 1
+        self.start()
+
+
+class ShardSupervisor:
+    """Owns the N shard processes of one gateway."""
+
+    def __init__(self, shards: int, runtime_dir: Path,
+                 config: ServiceConfig) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.runtime_dir = Path(runtime_dir)
+        self.shards: List[ShardProcess] = [
+            ShardProcess(index, self.runtime_dir, config)
+            for index in range(shards)]
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __getitem__(self, index: int) -> ShardProcess:
+        return self.shards[index]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def start_all(self, timeout: float = DEFAULT_READY_TIMEOUT) -> None:
+        """Spawn every shard, then wait until all sockets accept."""
+        self.runtime_dir.mkdir(parents=True, exist_ok=True)
+        for shard in self.shards:
+            shard.start()
+        deadline = time.monotonic() + timeout
+        for shard in self.shards:
+            shard.wait_ready(max(1.0, deadline - time.monotonic()))
+
+    def stop_all(self, grace: float = 15.0) -> None:
+        for shard in self.shards:
+            shard.terminate(grace)
+
+    def dead_shards(self) -> List[int]:
+        return [shard.index for shard in self.shards if not shard.alive]

@@ -106,8 +106,9 @@ def energy_trace(
     conserved = world.monitor.conserved_series()
     if not np.isfinite(conserved).all():
         blew_up = True
-    penetration = (
-        max(world.penetration_series) if world.penetration_series else 0.0)
+    # Running max: exact even if the windowed series has evicted early
+    # samples (it never does at experiment step counts).
+    penetration = world.penetration_series.maximum(default=0.0)
     return EnergyTrace(conserved=conserved, blew_up=blew_up,
                        max_penetration=penetration)
 

@@ -182,3 +182,53 @@ class TestBroadphase:
         geoms, aabbs = self._setup([[0, 0, 0], [1.0, 0, 0]])
         # AABBs touch exactly (0.5 + 0.5): inclusive overlap
         assert broadphase.candidate_pairs(geoms, aabbs) == [(0, 1)]
+
+
+class TestPairEligibilityCache:
+    """The cached body/static eligibility matrix on GeomStore."""
+
+    def _store(self):
+        geoms = GeomStore()
+        geoms.add_plane([0, 1, 0], 0.0)
+        geoms.add_sphere(0, 0.5)
+        geoms.add_sphere(1, 0.5)
+        geoms.add_box(1, [0.5, 0.5, 0.5])
+        return geoms
+
+    def test_cache_reused_between_calls(self):
+        geoms = self._store()
+        first = geoms.pair_eligibility()
+        assert geoms.pair_eligibility() is first
+
+    def test_cache_invalidated_on_add(self):
+        geoms = self._store()
+        stale = geoms.pair_eligibility()
+        geoms.add_sphere(2, 0.25)
+        fresh = geoms.pair_eligibility()
+        assert fresh is not stale
+        assert fresh.shape == (5, 5)
+
+    def test_cache_invalidated_on_remove(self):
+        geoms = self._store()
+        geoms.pair_eligibility()
+        removed = geoms.remove(3)
+        assert removed.body == 1
+        assert geoms.pair_eligibility().shape == (3, 3)
+
+    def test_matrix_matches_exclusion_rules(self):
+        geoms = self._store()
+        eligible = geoms.pair_eligibility()
+        assert not eligible[0, 0]            # both static (same plane)
+        assert not eligible[2, 3]            # same body
+        assert eligible[0, 1] and eligible[1, 2]
+        assert np.array_equal(eligible, eligible.T)
+
+    def test_candidate_pairs_identical_with_cold_and_warm_cache(self):
+        geoms = self._store()
+        pos = np.array([[0, 0.4, 0], [0.6, 0.4, 0]], dtype=np.float32)
+        rot = np.tile(np.eye(3, dtype=np.float32), (2, 1, 1))
+        aabbs = geoms.world_aabbs(pos, rot)
+        cold = broadphase.candidate_pairs(geoms, aabbs)
+        warm = broadphase.candidate_pairs(geoms, aabbs)
+        assert cold == warm
+        assert (0, 1) in cold and (2, 3) not in cold

@@ -165,13 +165,13 @@ class TestSchema:
 
 
 class TestSchemaV2BackCompat:
-    """Schema bumps (v1 -> v2 -> v3) must not invalidate old streams."""
+    """Schema bumps (v1 -> ... -> v4) must not invalidate old streams."""
 
-    def test_current_version_is_3_and_older_still_supported(self):
+    def test_current_version_is_4_and_older_still_supported(self):
         from repro.obs import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
 
-        assert SCHEMA_VERSION == 3
-        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2, 3}
+        assert SCHEMA_VERSION == 4
+        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2, 3, 4}
 
     @staticmethod
     def _meta(schema):
@@ -183,6 +183,7 @@ class TestSchemaV2BackCompat:
         assert validate_event(self._meta(1)) == []
         assert validate_event(self._meta(2)) == []
         assert validate_event(self._meta(3)) == []
+        assert validate_event(self._meta(4)) == []
         assert validate_event(self._meta(99))
 
     def test_v1_trace_stream_still_validates(self, tmp_path):

@@ -1,0 +1,151 @@
+"""Tests for :class:`repro.physics.series.BoundedSeries` and its
+integration points — ``World.penetration_series``,
+``EnergyMonitor.records``, and checkpoint truncation — which bound the
+former always-growing per-step lists without changing short-run
+semantics."""
+
+import pytest
+
+from repro.physics.series import BoundedSeries, DEFAULT_SERIES_WINDOW
+from repro.robustness.checkpoint import capture_world, restore_world
+from repro.workloads import build
+
+
+class TestBoundedSeriesListParity:
+    """Within the window the series must behave exactly like a list."""
+
+    def _pair(self, n=20, window=DEFAULT_SERIES_WINDOW):
+        series = BoundedSeries(window=window, track_max=True)
+        reference = []
+        for i in range(n):
+            value = float((i * 7) % 13)
+            series.append(value)
+            reference.append(value)
+        return series, reference
+
+    def test_len_iter_and_indexing(self):
+        series, reference = self._pair()
+        assert len(series) == len(reference)
+        assert list(series) == reference
+        assert series[0] == reference[0]
+        assert series[-1] == reference[-1]
+        assert series[7] == reference[7]
+
+    def test_slicing(self):
+        series, reference = self._pair()
+        assert series[5:] == reference[5:]
+        assert series[3:12] == reference[3:12]
+        assert series[60:] == reference[60:] == []
+
+    def test_max_matches_builtin(self):
+        series, reference = self._pair()
+        assert series.maximum() == max(reference)
+
+    def test_del_tail_matches_list(self):
+        series, reference = self._pair()
+        del series[12:]
+        del reference[12:]
+        assert list(series) == reference
+        assert series.maximum() == max(reference)
+
+    def test_empty_series(self):
+        series = BoundedSeries(track_max=True)
+        assert len(series) == 0
+        assert not series
+        assert series.maximum(default=0.0) == 0.0
+        assert series[3:] == []
+
+
+class TestBoundedSeriesEviction:
+    def test_memory_is_bounded_but_length_is_logical(self):
+        series = BoundedSeries(window=8)
+        for i in range(100):
+            series.append(i)
+        assert len(series) == 100
+        assert series.evicted == 92
+        assert list(series) == list(range(92, 100))
+        assert series[-1] == 99
+        assert series[92] == 92
+
+    def test_evicted_index_raises(self):
+        series = BoundedSeries(window=8)
+        for i in range(100):
+            series.append(i)
+        with pytest.raises(IndexError):
+            series[0]
+
+    def test_running_max_survives_eviction(self):
+        series = BoundedSeries(window=4, track_max=True)
+        series.append(9.0)          # the peak, soon evicted
+        for _ in range(20):
+            series.append(1.0)
+        assert series.evicted > 0
+        assert series.maximum() == 9.0
+
+    def test_truncate_below_evicted_raises(self):
+        series = BoundedSeries(window=4)
+        for i in range(10):
+            series.append(i)
+        with pytest.raises(ValueError):
+            series.truncate(2)
+
+    def test_truncate_within_window_after_eviction(self):
+        series = BoundedSeries(window=8)
+        for i in range(20):
+            series.append(i)
+        series.truncate(16)
+        assert len(series) == 16
+        assert list(series) == [12, 13, 14, 15]
+
+    def test_truncate_without_eviction_recomputes_exact_max(self):
+        series = BoundedSeries(track_max=True)
+        for value in (1.0, 8.0, 2.0):
+            series.append(value)
+        series.truncate(1)
+        # A list would forget the discarded 8.0; so must we.
+        assert series.maximum() == 1.0
+        series.truncate(0)
+        assert series.maximum(default=-1.0) == -1.0
+
+
+class TestWorldIntegration:
+    def test_world_series_are_bounded_types(self):
+        world = build("continuous", scale=0.3)
+        assert isinstance(world.penetration_series, BoundedSeries)
+        assert isinstance(world.monitor.records, BoundedSeries)
+
+    def test_checkpoint_restore_truncates_series(self):
+        world = build("continuous", scale=0.3, seed=3)
+        for _ in range(10):
+            world.step()
+        checkpoint = capture_world(world)
+        pen_len = len(world.penetration_series)
+        rec_len = len(world.monitor.records)
+        tail = list(world.penetration_series)
+        for _ in range(6):
+            world.step()
+        restore_world(world, checkpoint)
+        assert len(world.penetration_series) == pen_len
+        assert len(world.monitor.records) == rec_len
+        assert list(world.penetration_series) == tail
+
+    def test_peak_penetration_forgets_rolled_back_samples(self):
+        world = build("continuous", scale=0.3, seed=3)
+        for _ in range(5):
+            world.step()
+        checkpoint = capture_world(world)
+        max_before = world.penetration_series.maximum(default=0.0)
+        for _ in range(10):
+            world.step()
+        restore_world(world, checkpoint)
+        assert world.penetration_series.maximum(default=0.0) \
+            == max_before
+
+    def test_monitor_records_keep_consumer_access_patterns(self):
+        world = build("continuous", scale=0.3, seed=3)
+        for _ in range(4):
+            world.step()
+        records = world.monitor.records
+        assert records[-1].total == list(records)[-1].total
+        assert records[0].total == list(records)[0].total
+        assert len([r.total for r in records]) == len(records)

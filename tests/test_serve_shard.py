@@ -1,0 +1,345 @@
+"""Tests for the gateway + worker-shard topology (``repro.serve.shard``).
+
+Covers the consistent-hash ring (determinism, spread, minimal
+remapping), gateway routing and error forwarding over real shard
+subprocesses, live migration under concurrent load (the migrated
+session's next steps must stay bit-identical to an unmigrated
+control), ``drain_shard``/``rebalance``, and journal-based recovery of
+a SIGKILLed shard onto the survivors.
+
+The gateway fixture is module-scoped: spawning shard subprocesses
+re-imports numpy per shard, so one 2-shard topology serves the whole
+module (the crash test runs last and restores the topology it
+perturbs).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    Client,
+    GatewayConfig,
+    RetryPolicy,
+    ServeClientError,
+    ServiceConfig,
+    start_gateway_in_thread,
+    start_in_thread,
+)
+from repro.serve.shard.ring import HashRing, stable_hash
+
+SCENARIO = "continuous"
+OPTS = dict(scale=0.3, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Consistent hashing
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_stable_hash_is_process_independent(self):
+        # Pinned: placement must survive restarts and cross processes
+        # (builtin hash() is salted per process).
+        assert stable_hash("g1") == 4907432730037124645
+
+    def test_lookup_deterministic_across_instances(self):
+        a, b = HashRing(range(4)), HashRing([3, 1, 0, 2])
+        for i in range(100):
+            assert a.lookup(f"g{i}") == b.lookup(f"g{i}")
+
+    def test_every_shard_gets_keys(self):
+        ring = HashRing(range(4))
+        counts = ring.distribution([f"g{i}" for i in range(200)])
+        assert set(counts) == {0, 1, 2, 3}
+        assert all(count > 0 for count in counts.values())
+
+    def test_removal_only_remaps_the_removed_shards_keys(self):
+        ring = HashRing(range(4))
+        keys = [f"g{i}" for i in range(200)]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove(2)
+        for key in keys:
+            after = ring.lookup(key)
+            if before[key] != 2:
+                assert after == before[key]
+            else:
+                assert after != 2
+
+    def test_add_restores_original_placement(self):
+        ring = HashRing(range(4))
+        keys = [f"g{i}" for i in range(100)]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove(1)
+        ring.add(1)
+        assert {key: ring.lookup(key) for key in keys} == before
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().lookup("g1")
+
+
+# ----------------------------------------------------------------------
+# Gateway over real shard subprocesses
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def gateway():
+    handle = start_gateway_in_thread(GatewayConfig(
+        port=0, shards=2, max_sessions=16,
+        batch_window=0.001, journal_every=1, health_interval=0.2))
+    yield handle
+    handle.stop()
+
+
+def _create(client: Client, **overrides) -> str:
+    options = dict(OPTS)
+    options.update(overrides)
+    return client.create(SCENARIO, **options)
+
+
+class TestGatewayRouting:
+    def test_sessions_get_gateway_ids_and_ring_placement(self, gateway):
+        with gateway.connect() as client:
+            sids = [_create(client) for _ in range(4)]
+            assert all(sid.startswith("g") for sid in sids)
+            routes = client.request({"op": "topology"})["routes"]
+            ring = HashRing(range(2))
+            for sid in sids:
+                assert routes[sid] == ring.lookup(sid)
+            for sid in sids:
+                client.close_session(sid)
+
+    def test_same_config_sessions_step_identically_across_shards(
+            self, gateway):
+        with gateway.connect() as client:
+            a, b = _create(client), _create(client)
+            routes = client.request({"op": "topology"})["routes"]
+            if routes[a] == routes[b]:
+                # Force the pair onto different shards.
+                client.request({"op": "migrate", "session": b,
+                                "target": 1 - routes[a]})
+                routes = client.request({"op": "topology"})["routes"]
+            assert routes[a] != routes[b]
+            assert (client.step(a, 10)["digest"]
+                    == client.step(b, 10)["digest"])
+            client.close_session(a)
+            client.close_session(b)
+
+    def test_step_counts_per_session_are_independent(self, gateway):
+        with gateway.connect() as client:
+            a, b = _create(client), _create(client)
+            client.step(a, 3)
+            assert client.step(a, 0)["step"] == 3
+            assert client.step(b, 0)["step"] == 0
+            client.close_session(a)
+            client.close_session(b)
+
+    def test_ping_and_topology_shapes(self, gateway):
+        with gateway.connect() as client:
+            ping = client.ping()
+            assert ping["server"] == "repro-serve-gateway"
+            assert ping["shards"] == 2
+            topology = client.request({"op": "topology"})
+            assert [s["shard"] for s in topology["shards"]] == [0, 1]
+            assert all(s["alive"] for s in topology["shards"])
+
+    def test_stats_fans_out_over_shards(self, gateway):
+        with gateway.connect() as client:
+            sid = _create(client)
+            stats = client.stats()
+            assert set(stats["shards"]) == {"0", "1"}
+            assert any(s.get("active_sessions", 0) >= 1
+                       for s in stats["shards"].values())
+            assert stats["active_sessions"] >= 1
+            client.close_session(sid)
+
+
+class TestGatewayErrorForwarding:
+    def test_unknown_session_code_forwarded(self, gateway):
+        with gateway.connect() as client:
+            with pytest.raises(ServeClientError) as excinfo:
+                client.step("g999999", 1)
+            assert excinfo.value.code == "unknown_session"
+
+    def test_bad_scenario_detail_forwarded_from_shard(self, gateway):
+        with gateway.connect() as client:
+            with pytest.raises(ServeClientError) as excinfo:
+                client.create("no_such_scenario", scale=0.3)
+            assert excinfo.value.code == "bad_request"
+            # The shard's scenario list survives the forwarding hop.
+            assert "valid scenarios" in str(excinfo.value)
+
+    def test_migrate_unknown_session(self, gateway):
+        with gateway.connect() as client:
+            with pytest.raises(ServeClientError) as excinfo:
+                client.request({"op": "migrate", "session": "g424242"})
+            assert excinfo.value.code == "unknown_session"
+
+    def test_migrate_to_invalid_shard(self, gateway):
+        with gateway.connect() as client:
+            sid = _create(client)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.request({"op": "migrate", "session": sid,
+                                "target": 9})
+            assert excinfo.value.code == "bad_request"
+            client.close_session(sid)
+
+    def test_shard_down_is_a_client_retry_code(self):
+        assert "shard_down" in RetryPolicy().retry_codes
+
+    def test_plain_server_refuses_gateway_ops(self):
+        handle = start_in_thread(ServiceConfig(port=0, max_sessions=4))
+        try:
+            with handle.connect() as client:
+                for frame in ({"op": "topology"},
+                              {"op": "rebalance"},
+                              {"op": "drain_shard", "shard": 0},
+                              {"op": "migrate", "session": "s1"}):
+                    with pytest.raises(ServeClientError) as excinfo:
+                        client.request(frame)
+                    assert excinfo.value.code == "bad_request"
+                    assert "gateway" in str(excinfo.value)
+        finally:
+            handle.stop()
+
+
+class TestLiveMigration:
+    def test_migrate_under_load_stays_bit_identical(self, gateway):
+        """The ISSUE's gate: drain -> snapshot -> restore -> repoint,
+        then 20 further steps identical to an unmigrated control."""
+        with gateway.connect() as client:
+            mig = _create(client, seed=77)
+            ctrl = _create(client, seed=77)
+            noise_stop = threading.Event()
+
+            def _noise():
+                with gateway.connect() as other:
+                    sid = _create(other, seed=5)
+                    while not noise_stop.is_set():
+                        other.step(sid, 1)
+                    other.close_session(sid)
+
+            noise = threading.Thread(target=_noise, name="migrate-noise")
+            noise.start()
+            try:
+                client.step(mig, 5)
+                client.step(ctrl, 5)
+                source = client.request({"op": "topology"})["routes"][mig]
+                target = 1 - source
+                moved = client.request({"op": "migrate", "session": mig,
+                                        "target": target})
+                assert moved["moved"] is True
+                assert moved["source"] == source
+                assert moved["target"] == target
+                assert moved["step"] == 5
+                digest_mig = client.step(mig, 20)["digest"]
+                digest_ctrl = client.step(ctrl, 20)["digest"]
+                assert digest_mig == digest_ctrl
+                routes = client.request({"op": "topology"})["routes"]
+                assert routes[mig] == target
+            finally:
+                noise_stop.set()
+                noise.join(timeout=60.0)
+            client.close_session(mig)
+            client.close_session(ctrl)
+
+    def test_migrate_without_target_picks_another_shard(self, gateway):
+        with gateway.connect() as client:
+            sid = _create(client)
+            source = client.request({"op": "topology"})["routes"][sid]
+            moved = client.request({"op": "migrate", "session": sid})
+            assert moved["moved"] is True
+            assert moved["target"] != source
+            client.close_session(sid)
+
+    def test_migrated_session_survives_target_crash(self, gateway):
+        """Migration re-journals on the target: kill the target right
+        after the move and the session must recover at the same step."""
+        with gateway.connect() as client:
+            sid = _create(client, seed=99)
+            client.step(sid, 7)
+            digest_before = client.step(sid, 0)["digest"]
+            source = client.request({"op": "topology"})["routes"][sid]
+            target = 1 - source
+            client.request({"op": "migrate", "session": sid,
+                            "target": target})
+            gateway.kill_shard(target)
+            described = client.step(sid, 0)
+            assert described["step"] == 7
+            assert described["digest"] == digest_before
+            client.close_session(sid)
+            _wait_all_alive(gateway)
+
+
+class TestAdminOps:
+    def test_drain_shard_empties_it_and_blocks_new_placements(
+            self, gateway):
+        with gateway.connect() as client:
+            sids = [_create(client) for _ in range(4)]
+            drained = client.request({"op": "drain_shard", "shard": 0})
+            assert drained["remaining"] == 0
+            assert not drained["failed"]
+            routes = client.request({"op": "topology"})["routes"]
+            assert all(routes[sid] == 1 for sid in sids)
+            # New sessions can only land on the surviving active shard.
+            extra = _create(client)
+            routes = client.request({"op": "topology"})["routes"]
+            assert routes[extra] == 1
+            # Draining the last active shard must be refused.
+            with pytest.raises(ServeClientError) as excinfo:
+                client.request({"op": "drain_shard", "shard": 1})
+            assert excinfo.value.code == "bad_request"
+            # Rebalance walks sessions back to ring placement (shard 0
+            # rejoins the ring when it is re-added by rebalance's ring).
+            gateway.run(_reactivate(gateway.gateway, 0))
+            rebalanced = client.request({"op": "rebalance"})
+            assert not rebalanced["failed"]
+            ring = HashRing(range(2))
+            routes = client.request({"op": "topology"})["routes"]
+            for sid in sids + [extra]:
+                assert routes[sid] == ring.lookup(sid)
+            for sid in sids + [extra]:
+                client.close_session(sid)
+
+
+async def _reactivate(gw, index: int) -> None:
+    gw.ring.add(index)
+    gw.active.add(index)
+
+
+def _wait_all_alive(gateway, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not gateway.gateway.supervisor.dead_shards():
+            return
+        time.sleep(0.05)
+    raise TimeoutError("shards did not come back alive")
+
+
+class TestShardCrashRecovery:
+    def test_killed_shard_sessions_recover_on_survivor(self, gateway):
+        with gateway.connect() as client:
+            sids = [_create(client, seed=123) for _ in range(4)]
+            for sid in sids:
+                client.step(sid, 6)
+            digests = {sid: client.step(sid, 0)["digest"]
+                       for sid in sids}
+            routes = client.request({"op": "topology"})["routes"]
+            victims = [sid for sid in sids if routes[sid] == 0]
+            assert victims, "expected at least one session on shard 0"
+
+            gateway.kill_shard(0)
+            # journal_every=1 in the fixture: recovery is exact — same
+            # step, same digest, no session loss.
+            for sid in sids:
+                described = client.step(sid, 0)
+                assert described["step"] == 6
+                assert described["digest"] == digests[sid]
+            topology = client.request({"op": "topology"})
+            assert topology["sessions_lost"] == 0
+            for sid in victims:
+                assert topology["routes"][sid] == 1
+            _wait_all_alive(gateway)
+            assert all(s["alive"] for s in
+                       client.request({"op": "topology"})["shards"])
+            for sid in sids:
+                client.close_session(sid)
