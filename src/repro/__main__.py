@@ -217,6 +217,9 @@ def _add_serve_parser(sub) -> None:
     p.add_argument("--allow-chaos", action="store_true",
                    help="permit fault-drill session fields "
                         "(inject_rate, chaos_slow_*)")
+    p.add_argument("--no-fleet-step", action="store_true",
+                   help="disable coalescing compatible same-tick step "
+                        "requests into one vectorized WorldBatch pass")
     p.add_argument("--shards", type=int, default=0, metavar="N",
                    help="scale out: run a gateway over N worker-shard "
                         "subprocesses instead of a single-process "
@@ -246,6 +249,17 @@ def _add_serve_bench_parser(sub) -> None:
     p.add_argument("--fidelity-steps", type=int, default=10,
                    help="steps on each side of the snapshot-fidelity "
                         "check")
+    p.add_argument("--no-fleet-step", action="store_true",
+                   help="disable WorldBatch fleet coalescing for the "
+                        "load run")
+    p.add_argument("--fleet-compare", action="store_true",
+                   help="also run the load with fleet stepping "
+                        "disabled and report the batched/unbatched "
+                        "speedup ratio")
+    p.add_argument("--fleet-min-speedup", type=float, default=0.0,
+                   help="fail unless the batched run's steps/sec is "
+                        "at least this multiple of the unbatched run "
+                        "(implies --fleet-compare; 0 = report only)")
     p.add_argument("--output", default="results",
                    help="directory for BENCH_<stamp>_serve.json")
     p.add_argument("--chaos", action="store_true",
@@ -564,6 +578,7 @@ def _cmd_serve(args) -> int:
         journal_every=args.journal_every,
         drain_grace=args.drain_grace,
         allow_chaos=args.allow_chaos,
+        fleet_step=not args.no_fleet_step,
     )
     try:
         asyncio.run(serve_forever(config, observer=observer))
@@ -592,6 +607,9 @@ def _cmd_serve_bench(args) -> int:
         batch_window=args.batch_window,
         fidelity_steps=args.fidelity_steps,
         output_dir=args.output,
+        fleet_step=not args.no_fleet_step,
+        fleet_compare=args.fleet_compare or args.fleet_min_speedup > 0,
+        fleet_min_speedup=args.fleet_min_speedup,
         chaos=args.chaos,
         chaos_inject_rate=args.chaos_inject_rate,
         chaos_kill_every=args.chaos_kill_every,

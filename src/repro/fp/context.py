@@ -26,6 +26,7 @@ from .ops import reduced_add, reduced_div, reduced_mul, reduced_sub
 from .rounding import (
     DEFAULT_GUARD_BITS,
     FULL_PRECISION,
+    ReducedKernel,
     RoundingMode,
     fused_axpy,
     fused_binop,
@@ -211,6 +212,20 @@ class FPContext:
         if injector is not None:
             return injector.corrupt(self.phase, op, result, self.precision)
         return result
+
+    def fast_kernel(self) -> Optional[ReducedKernel]:
+        """Reduced-domain kernel for the current phase, or ``None``.
+
+        ``None`` means the caller must take its legacy op-for-op path:
+        the census counts per-element samples in call order, and a fault
+        injector consumes RNG per delivered op, so both are sensitive to
+        the *call structure*, not just the values.  Whole-array fast
+        paths are only value-preserving, hence only allowed when neither
+        is active.
+        """
+        if self.census or self.injector is not None:
+            return None
+        return ReducedKernel(self.precision, self.mode, self.jam_guard_bits)
 
     def _fast_binop(self, ufunc, a, b) -> np.ndarray:
         """Census-free path: pure round-op-round (Table 1 error model)."""

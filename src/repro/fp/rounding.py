@@ -41,6 +41,7 @@ __all__ = [
     "reduce_array_fast",
     "fused_binop",
     "fused_axpy",
+    "ReducedKernel",
 ]
 
 #: Mantissa width at which reduction is the identity.
@@ -281,6 +282,58 @@ def _reduced_copy(values, mode: RoundingMode, params) -> np.ndarray:
     # 0-d inputs working (ops on 0-d arrays return scalars, not arrays).
     _reduce_bits_inplace(arr.reshape(-1).view(np.uint32), mode, params)
     return arr
+
+
+class ReducedKernel:
+    """Reduced-domain op helper for census-free whole-array passes.
+
+    All three rounding modes are idempotent (``round(round(x)) ==
+    round(x)``), so a pipeline whose arrays are *already* mantissa-reduced
+    can skip the per-operand re-reduction that :func:`fused_binop` performs
+    and round only each new result — bit-identical output at a fraction of
+    the ufunc dispatch.  Callers are responsible for the invariant: every
+    operand passed to :meth:`binop` / :meth:`binop_at` must have come from
+    :meth:`enter` or from a previous kernel result.
+
+    At full precision every method degenerates to the plain ufunc, which
+    matches the census-free :class:`~repro.fp.FPContext` exactly.
+    """
+
+    __slots__ = ("precision", "mode", "guard_bits", "full", "_params")
+
+    def __init__(self, precision: int, mode: RoundingMode,
+                 guard_bits: int = DEFAULT_GUARD_BITS) -> None:
+        _check_precision(precision)
+        self.precision = precision
+        self.mode = RoundingMode.parse(mode)
+        self.guard_bits = guard_bits
+        self.full = precision == MANTISSA_BITS
+        self._params = None if self.full else _fast_params(
+            precision, self.mode, guard_bits)
+
+    def reduce_(self, arr: np.ndarray) -> np.ndarray:
+        """Mantissa-reduce a contiguous float32 array in place."""
+        if not self.full:
+            _reduce_bits_inplace(arr.reshape(-1).view(np.uint32),
+                                 self.mode, self._params)
+        return arr
+
+    def enter(self, values) -> np.ndarray:
+        """Reduced, contiguous float32 copy of ``values``."""
+        arr = np.array(values, dtype=np.float32, order="C")
+        if not self.full:
+            _reduce_bits_inplace(arr.reshape(-1).view(np.uint32),
+                                 self.mode, self._params)
+        return arr
+
+    def binop(self, ufunc, a, b) -> np.ndarray:
+        """``round(a ufunc b)`` for already-reduced operands."""
+        return self.reduce_(np.ascontiguousarray(ufunc(a, b)))
+
+    def binop_at(self, ufunc, a, b, out: np.ndarray) -> np.ndarray:
+        """Like :meth:`binop` but into a preallocated contiguous buffer."""
+        ufunc(a, b, out=out)
+        return self.reduce_(out)
 
 
 def fused_binop(

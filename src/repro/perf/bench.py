@@ -72,6 +72,9 @@ class BenchProtocol:
     census_free_steps: int = 20
     census_warmup: int = 2
     census_steps: int = 8
+    # Per-phase wall-time breakdown pass (census-free, observer-timed).
+    phase_warmup: int = 2
+    phase_steps: int = 10
     kernel_shape: tuple = (4096, 12)
     kernel_iters: int = 50
     kernel_precision: int = 9
@@ -104,6 +107,53 @@ def _time_step_loop(scenario: str, census: bool, warmup: int,
         },
         ops=steps,
     )
+
+
+class _PhaseAccumulator:
+    """Minimal observer: sums the ``phase_done`` wall times per phase.
+
+    No sink, no census deltas — just the hook the step loop already
+    calls, so the breakdown pass stays within the metrics budget.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.steps = 0
+
+    def begin_step(self, world) -> None:
+        pass
+
+    def phase_done(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def end_step(self, world, record) -> None:
+        self.steps += 1
+
+
+def _phase_breakdown(scenario: str, warmup: int, steps: int) -> dict:
+    """Where the census-free step budget goes, phase by phase."""
+    ctx = FPContext(dict(PRESET_PRECISIONS[scenario]), census=False)
+    world = build(scenario, ctx=ctx)
+    for _ in range(warmup):
+        world.step()
+    acc = _PhaseAccumulator()
+    world.observer = acc
+    for _ in range(steps):
+        world.step()
+    world.observer = None
+    total = sum(acc.seconds.values())
+    return {
+        "steps": steps,
+        "wall": round(total, 5),
+        "phases": {
+            name: {
+                "wall": round(wall, 5),
+                "pct": round(100.0 * wall / total, 1) if total else 0.0,
+            }
+            for name, wall in sorted(acc.seconds.items(),
+                                     key=lambda item: -item[1])
+        },
+    }
 
 
 def _legacy_binop(ufunc, a, b, precision, mode, guard_bits=3):
@@ -312,6 +362,8 @@ def run_bench(
                             "steps": protocol.census_free_steps},
             "census": {"warmup": protocol.census_warmup,
                        "steps": protocol.census_steps},
+            "phases": {"warmup": protocol.phase_warmup,
+                       "steps": protocol.phase_steps},
         },
         "host": {
             "cpu_count": os.cpu_count(),
@@ -319,6 +371,11 @@ def run_bench(
             "workers": runner.last_metrics.workers,
         },
         "scenarios": scenario_rows,
+        "phase_breakdown": {
+            scenario: _phase_breakdown(scenario, protocol.phase_warmup,
+                                       protocol.phase_steps)
+            for scenario in scenarios
+        },
         "sweep": {
             "elapsed": round(runner.last_metrics.elapsed, 3),
             "busy_time": round(runner.last_metrics.busy_time, 3),
@@ -386,6 +443,11 @@ def render_summary(payload: dict) -> str:
         rows.append(line)
     out = render_table(headers, rows, title="repro bench — step-loop "
                                             "throughput")
+    for scenario, breakdown in payload.get("phase_breakdown",
+                                           {}).items():
+        parts = ", ".join(f"{name} {entry['pct']:.0f}%"
+                          for name, entry in breakdown["phases"].items())
+        out += f"\nphases[{scenario}]: {parts}"
     kernel = payload.get("kernel")
     if kernel:
         out += (

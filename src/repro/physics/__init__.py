@@ -7,6 +7,7 @@ energy monitoring — all with every FP add/sub/mul routed through a
 precision-tunable :class:`~repro.fp.FPContext`.
 """
 
+from .batch import BatchIncompatible, WorldBatch, fleet_ineligibility
 from .body import BodyStore
 from .cloth import Cloth
 from .energy import EnergyMonitor, EnergyRecord
@@ -26,6 +27,9 @@ from .shapes import (
 from .world import DEFAULT_TIMESTEP, STEPS_PER_FRAME, SleepParams, World
 
 __all__ = [
+    "BatchIncompatible",
+    "WorldBatch",
+    "fleet_ineligibility",
     "BodyStore",
     "Cloth",
     "EnergyMonitor",

@@ -104,6 +104,12 @@ class Cloth:
     def solve_constraints(self, ctx: FPContext, dt: float,
                           iterations: int, beta: float = 0.2) -> None:
         """Velocity-level Jacobi relaxation of the distance constraints."""
+        if iterations <= 0:
+            return
+        kern = ctx.fast_kernel()
+        if kern is not None:
+            self._solve_constraints_fast(kern, dt, iterations, beta)
+            return
         wa = self.invmass[self.edge_a]
         wb = self.invmass[self.edge_b]
         w_sum = np.maximum(wa + wb, 1e-9).astype(np.float32)
@@ -128,6 +134,62 @@ class Cloth:
             np.add.at(degree, self.edge_b, 1.0)
             degree = np.maximum(degree, 1.0)
             self.vel = ctx.add(self.vel, acc / degree[:, None])
+
+    def _solve_constraints_fast(self, kern, dt: float, iterations: int,
+                                beta: float) -> None:
+        """Reduced-domain relaxation (census-free path).
+
+        Positions don't move during the velocity solve, so the edge
+        geometry (direction, rest-length error, bias) — which the
+        op-for-op loop recomputes to identical values every iteration —
+        is hoisted out; the remaining per-iteration ops run as reduced
+        whole-array passes and reproduce the legacy bits exactly.
+        """
+        ea, eb = self.edge_a, self.edge_b
+        wa = self.invmass[ea]
+        wb = self.invmass[eb]
+        w_sum = np.maximum(wa + wb, 1e-9).astype(np.float32)
+
+        pa = kern.enter(self.pos[ea])
+        pb = kern.enter(self.pos[eb])
+        delta = kern.binop(np.subtract, pb, pa)
+        prod = kern.binop(np.multiply, delta, delta)
+        d2 = kern.binop(np.add, kern.binop(np.add, prod[:, 0], prod[:, 1]),
+                        prod[:, 2])
+        with np.errstate(invalid="ignore"):
+            length = np.sqrt(d2)
+        safe = np.where(length > 1e-12, length, np.float32(1.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            direction = np.divide(delta, safe[:, None])
+        dir_r = kern.enter(direction)
+        error = kern.binop(np.subtract, kern.enter(length),
+                           kern.enter(self.rest_length))
+        biased = kern.binop(np.multiply,
+                            kern.enter(np.float32(beta / dt)), error)
+
+        degree = np.zeros(len(self.pos), dtype=np.float32)
+        np.add.at(degree, ea, 1.0)
+        np.add.at(degree, eb, 1.0)
+        degree = np.maximum(degree, 1.0)[:, None]
+        wa_col = wa[:, None]
+        wb_col = wb[:, None]
+
+        velr = kern.enter(self.vel)
+        for _ in range(iterations):
+            vd = kern.binop(np.subtract, velr[eb], velr[ea])
+            p = kern.binop(np.multiply, dir_r, vd)
+            rel = kern.binop(np.add, kern.binop(np.add, p[:, 0], p[:, 1]),
+                             p[:, 2])
+            target = kern.binop(np.add, rel, biased)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                lam = np.divide(target, w_sum)
+            impulse = kern.binop(np.multiply, dir_r,
+                                 kern.enter(lam)[:, None])
+            acc = np.zeros_like(self.vel)
+            np.add.at(acc, ea, impulse * wa_col)
+            np.add.at(acc, eb, -impulse * wb_col)
+            velr = kern.binop(np.add, velr, kern.enter(acc / degree))
+        self.vel = velr
 
     def collide(self, ctx: FPContext, world) -> None:
         """Resolve particle collisions with the ground plane and spheres.

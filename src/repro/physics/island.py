@@ -46,24 +46,52 @@ class UnionFind:
 def partition_islands(
     n_bodies: int,
     dynamic: np.ndarray,
-    edges: Iterable[Tuple[int, int]],
+    edges,
+    edges_b: np.ndarray = None,
 ) -> np.ndarray:
     """Label each body with an island id; static bodies get -1.
 
-    ``edges`` are (body_a, body_b) pairs from contacts and joints; indices
-    outside ``[0, n_bodies)`` (the virtual world body) are ignored, as are
-    edges touching non-dynamic bodies — a shared static support does not
-    couple two piles.
+    Edges come from contacts and joints, either as two flat index arrays
+    (``edges`` = body_a side, ``edges_b`` = body_b side — the SoA form
+    the engine hot path feeds straight from the contact set) or, for
+    backward compatibility, as an iterable of ``(body_a, body_b)`` pairs
+    with ``edges_b`` omitted.  Indices outside ``[0, n_bodies)`` (the
+    virtual world body) are ignored, as are edges touching non-dynamic
+    bodies — a shared static support does not couple two piles.
+
+    The prefilter and duplicate elimination are vectorized; island
+    labels depend only on the connectivity partition, so deduplicating
+    and reordering edges cannot change the result.
     """
+    if edges_b is None:
+        pair_list = list(edges)
+        if pair_list:
+            arr = np.asarray(pair_list, dtype=np.int64).reshape(-1, 2)
+            edges_a, edges_b = arr[:, 0], arr[:, 1]
+        else:
+            edges_a = edges_b = np.empty(0, dtype=np.int64)
+    else:
+        edges_a = np.asarray(edges, dtype=np.int64)
+        edges_b = np.asarray(edges_b, dtype=np.int64)
+
+    dmask = np.asarray(dynamic, dtype=bool)
+    in_range = ((edges_a >= 0) & (edges_a < n_bodies)
+                & (edges_b >= 0) & (edges_b < n_bodies))
+    edges_a, edges_b = edges_a[in_range], edges_b[in_range]
+    live = dmask[edges_a] & dmask[edges_b]
+    edges_a, edges_b = edges_a[live], edges_b[live]
+    if len(edges_a):
+        pairs = np.unique(np.stack([edges_a, edges_b], axis=1), axis=0)
+    else:
+        pairs = np.empty((0, 2), dtype=np.int64)
+
     uf = UnionFind(n_bodies)
-    for a, b in edges:
-        if 0 <= a < n_bodies and 0 <= b < n_bodies:
-            if dynamic[a] and dynamic[b]:
-                uf.union(a, b)
+    for a, b in pairs:
+        uf.union(int(a), int(b))
     labels = np.full(n_bodies, -1, dtype=np.int32)
     remap: Dict[int, int] = {}
     for body in range(n_bodies):
-        if not dynamic[body]:
+        if not dmask[body]:
             continue
         root = uf.find(body)
         labels[body] = remap.setdefault(root, len(remap))

@@ -8,10 +8,11 @@ contributes rows with unbounded Lagrange multipliers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from . import math3d
 from .body import BodyStore
 
 __all__ = ["WORLD", "BallJoint", "HingeJoint", "JointStore"]
@@ -56,6 +57,10 @@ class JointStore:
     def __init__(self) -> None:
         self.ball_joints: List[BallJoint] = []
         self.hinge_joints: List[HingeJoint] = []
+        #: SoA snapshot for the vectorized row builder, rebuilt lazily
+        #: after every attach (joint sets are static once a scenario is
+        #: built, so in steady state this is computed once).
+        self._packed: Optional[Dict[str, np.ndarray]] = None
 
     def add_ball(self, bodies: BodyStore, body_a: int, body_b: int,
                  anchor_world) -> BallJoint:
@@ -71,6 +76,7 @@ class JointStore:
             local_b=self._to_local(bodies, body_b, anchor),
         )
         self.ball_joints.append(joint)
+        self._packed = None
         return joint
 
     def add_hinge(self, bodies: BodyStore, body_a: int, body_b: int,
@@ -87,22 +93,47 @@ class JointStore:
             axis_b=self._to_local_dir(bodies, body_b, axis),
         )
         self.hinge_joints.append(joint)
+        self._packed = None
         return joint
+
+    def packed(self) -> Dict[str, np.ndarray]:
+        """Structure-of-arrays view of all joints (cached).
+
+        Balls first, hinges second — the row order the LCP builder
+        emits.  Body ids keep the raw :data:`WORLD` sentinel; the
+        consumer resolves it against the live world index.
+        """
+        if self._packed is None:
+            balls, hinges = self.ball_joints, self.hinge_joints
+
+            def _ids(joints, attr):
+                return np.array([getattr(j, attr) for j in joints],
+                                dtype=np.int64)
+
+            def _vecs(joints, attr):
+                if not joints:
+                    return np.zeros((0, 3), dtype=np.float32)
+                return np.stack([getattr(j, attr) for j in joints]).astype(
+                    np.float32)
+
+            self._packed = {
+                "ball_a": _ids(balls, "body_a"),
+                "ball_b": _ids(balls, "body_b"),
+                "ball_local_a": _vecs(balls, "local_a"),
+                "ball_local_b": _vecs(balls, "local_b"),
+                "hinge_a": _ids(hinges, "body_a"),
+                "hinge_b": _ids(hinges, "body_b"),
+                "hinge_local_a": _vecs(hinges, "local_a"),
+                "hinge_local_b": _vecs(hinges, "local_b"),
+                "hinge_axis_a": _vecs(hinges, "axis_a"),
+                "hinge_axis_b": _vecs(hinges, "axis_b"),
+            }
+        return self._packed
 
     @staticmethod
     def _rotation_of(bodies: BodyStore, body: int) -> np.ndarray:
         """Setup-time rotation matrix straight from the quaternion."""
-        w, x, y, z = (float(c) for c in bodies.quat[body])
-        return np.array(
-            [
-                [1 - 2 * (y * y + z * z), 2 * (x * y - w * z),
-                 2 * (x * z + w * y)],
-                [2 * (x * y + w * z), 1 - 2 * (x * x + z * z),
-                 2 * (y * z - w * x)],
-                [2 * (x * z - w * y), 2 * (y * z + w * x),
-                 1 - 2 * (x * x + y * y)],
-            ]
-        )
+        return math3d.quat_to_matrix_f64(bodies.quat[body])
 
     @classmethod
     def _to_local(cls, bodies: BodyStore, body: int, point: np.ndarray):

@@ -29,7 +29,7 @@ from .joints import JointStore
 from .narrowphase import ContactSet
 
 __all__ = ["ConstraintRows", "SolverParams", "ContactCache",
-           "build_rows", "solve", "solver_residual",
+           "build_rows", "solve", "solve_rows", "solver_residual",
            "apply_warm_start_impulses"]
 
 _BIG = np.float32(3.0e38)
@@ -221,6 +221,118 @@ def _contact_rows(ctx, bodies, contacts, dt, params):
 
 def _joint_rows(ctx, bodies, joints, dt, params):
     """Three equality rows per ball joint; five per hinge."""
+    if ctx.census or ctx.injector is not None:
+        return _joint_rows_ref(ctx, bodies, joints, dt, params)
+    return _joint_rows_fast(ctx, bodies, joints, dt, params)
+
+
+def _joint_rows_fast(ctx, bodies, joints, dt, params):
+    """All joints as one stacked pass (census-free path).
+
+    Emits bit-for-bit the rows :func:`_joint_rows_ref` builds, in the
+    same order — ball point rows first, then per hinge three point rows
+    followed by two axis rows.  Anchor geometry runs through the same
+    elementwise context ops, just batched over the joint axis; only the
+    hinge axis-misalignment rhs keeps a scalar loop, because the legacy
+    value is a float64 BLAS dot whose bits a float32 array pass would
+    not reproduce.
+    """
+    pos = bodies.view("pos")
+    rot = bodies.view("rot")
+    world_index = bodies.world_index
+    pk = joints.packed()
+
+    n_ball = len(pk["ball_a"])
+    n_hinge = len(pk["hinge_a"])
+    ja = np.concatenate([pk["ball_a"], pk["hinge_a"]])
+    jb = np.concatenate([pk["ball_b"], pk["hinge_b"]])
+    ja = np.where(ja < 0, world_index, ja)
+    jb = np.where(jb < 0, world_index, jb)
+    la = np.concatenate([pk["ball_local_a"], pk["hinge_local_a"]])
+    lb = np.concatenate([pk["ball_local_b"], pk["hinge_local_b"]])
+
+    ra = math3d.matvec(ctx, rot[ja], la)
+    rb = math3d.matvec(ctx, rot[jb], lb)
+    wa = ctx.add(pos[ja], ra)
+    wb = ctx.add(pos[jb], rb)
+    error = ctx.sub(wb, wa)  # (J, 3), want -> 0
+
+    eye = np.eye(3, dtype=np.float32)
+    scale = np.float32(params.beta / dt)
+    # Point-row Jacobian blocks per joint and axis, (J, 3, 3): plain
+    # numpy, like the scalar builder's np.cross against basis vectors.
+    jaa_pt = -np.cross(ra[:, None, :], eye[None, :, :]).astype(np.float32)
+    jab_pt = np.cross(rb[:, None, :], eye[None, :, :]).astype(np.float32)
+    rhs_pt = (scale * error).astype(np.float32)
+
+    ia_ball = np.repeat(ja[:n_ball], 3)
+    ib_ball = np.repeat(jb[:n_ball], 3)
+    jla_ball = np.tile(-eye, (n_ball, 1))
+    jaa_ball = jaa_pt[:n_ball].reshape(-1, 3)
+    jlb_ball = np.tile(eye, (n_ball, 1))
+    jab_ball = jab_pt[:n_ball].reshape(-1, 3)
+    rhs_ball = rhs_pt[:n_ball].reshape(-1)
+
+    if n_hinge:
+        ha, hb = ja[n_ball:], jb[n_ball:]
+        world_a = math3d.matvec(ctx, rot[ha], pk["hinge_axis_a"])
+        world_b = math3d.matvec(ctx, rot[hb], pk["hinge_axis_b"])
+        # Two directions perpendicular to each hinge axis of body A.
+        p, q = _orthonormal_tangents(world_a)
+        misalign = np.cross(world_a, world_b).astype(np.float32)
+        rhs_p = np.empty(n_hinge, dtype=np.float32)
+        rhs_q = np.empty(n_hinge, dtype=np.float32)
+        for k in range(n_hinge):
+            rhs_p[k] = scale * float(misalign[k] @ p[k])
+            rhs_q[k] = scale * float(misalign[k] @ q[k])
+
+        h_jla = np.zeros((n_hinge, 5, 3), dtype=np.float32)
+        h_jla[:, :3, :] = -eye[None]
+        h_jaa = np.zeros((n_hinge, 5, 3), dtype=np.float32)
+        h_jaa[:, :3, :] = jaa_pt[n_ball:]
+        h_jaa[:, 3, :] = -p
+        h_jaa[:, 4, :] = -q
+        h_jlb = np.zeros((n_hinge, 5, 3), dtype=np.float32)
+        h_jlb[:, :3, :] = eye[None]
+        h_jab = np.zeros((n_hinge, 5, 3), dtype=np.float32)
+        h_jab[:, :3, :] = jab_pt[n_ball:]
+        h_jab[:, 3, :] = p
+        h_jab[:, 4, :] = q
+        h_rhs = np.empty((n_hinge, 5), dtype=np.float32)
+        h_rhs[:, :3] = rhs_pt[n_ball:]
+        h_rhs[:, 3] = rhs_p
+        h_rhs[:, 4] = rhs_q
+        ia_h = np.repeat(ha, 5)
+        ib_h = np.repeat(hb, 5)
+        h_jla = h_jla.reshape(-1, 3)
+        h_jaa = h_jaa.reshape(-1, 3)
+        h_jlb = h_jlb.reshape(-1, 3)
+        h_jab = h_jab.reshape(-1, 3)
+        h_rhs = h_rhs.reshape(-1)
+    else:
+        empty3 = np.zeros((0, 3), dtype=np.float32)
+        ia_h = ib_h = np.zeros(0, dtype=np.int64)
+        h_jla = h_jaa = h_jlb = h_jab = empty3
+        h_rhs = np.zeros(0, dtype=np.float32)
+
+    count = 3 * n_ball + 5 * n_hinge
+    return {
+        "ia": np.concatenate([ia_ball, ia_h]).astype(np.int32),
+        "ib": np.concatenate([ib_ball, ib_h]).astype(np.int32),
+        "jla": np.concatenate([jla_ball, h_jla]).astype(np.float32),
+        "jaa": np.concatenate([jaa_ball, h_jaa]).astype(np.float32),
+        "jlb": np.concatenate([jlb_ball, h_jlb]).astype(np.float32),
+        "jab": np.concatenate([jab_ball, h_jab]).astype(np.float32),
+        "rhs": np.concatenate([rhs_ball, h_rhs]).astype(np.float32),
+        "lo": np.full(count, -_BIG, dtype=np.float32),
+        "hi": np.full(count, _BIG, dtype=np.float32),
+        "mu": np.zeros(count, dtype=np.float32),
+        "normal_index": np.full(count, -1, dtype=np.int32),
+    }
+
+
+def _joint_rows_ref(ctx, bodies, joints, dt, params):
+    """Per-joint row builder (census / fault-injection path)."""
     pos = bodies.view("pos")
     rot = bodies.view("rot")
     rows = {k: [] for k in ("ia", "ib", "jla", "jaa", "jlb", "jab", "rhs")}
@@ -403,11 +515,41 @@ def solve(
         return
     if params.scheme != "jacobi":
         raise ValueError(f"unknown solver scheme: {params.scheme!r}")
-    n_slots = bodies.world_index + 1
     linvel = bodies.view("linvel")
     angvel = bodies.view("angvel")
     vel = np.concatenate([linvel, angvel], axis=1).astype(np.float32)
+    pinned = np.array([bodies.world_index], dtype=np.int64)
+    solve_rows(ctx, vel, rows, params, pinned)
+    linvel[:] = vel[:, :3]
+    angvel[:] = vel[:, 3:]
 
+
+def solve_rows(
+    ctx: FPContext,
+    vel: np.ndarray,
+    rows: ConstraintRows,
+    params: SolverParams,
+    pinned: np.ndarray,
+) -> None:
+    """Jacobi-relax ``rows`` against a ``(n_slots, 6)`` velocity array.
+
+    ``vel`` is ``[linvel | angvel]`` per slot, updated in place;
+    ``pinned`` lists slot indices held at zero velocity — one virtual
+    world body per world, so a :class:`~repro.physics.batch.WorldBatch`
+    can solve the concatenated rows of K stacked worlds in one call.
+    """
+    if len(rows) == 0 or params.iterations <= 0:
+        return
+    kern = ctx.fast_kernel()
+    if kern is not None:
+        _solve_jacobi_fast(kern, vel, rows, params, pinned)
+    else:
+        _solve_jacobi_ref(ctx, vel, rows, params, pinned)
+
+
+def _solve_jacobi_ref(ctx, vel, rows, params, pinned):
+    """Op-for-op Jacobi sweep (census / fault-injection path)."""
+    n_slots = vel.shape[0]
     scatter = _Scatter(rows, n_slots)
     jac = rows.jacobian
     inv_mass_jt = rows.inv_mass_jt
@@ -448,11 +590,107 @@ def solve(
         inc = np.concatenate([dvw[:, :6], dvw[:, 6:]], axis=0)[scatter.order]
         for body_idx, inc_pos in scatter.waves:
             vel[body_idx] = ctx.add(vel[body_idx], inc[inc_pos])
-        vel[bodies.world_index] = 0.0  # keep the virtual world body pinned
+        vel[pinned] = 0.0  # keep the virtual world bodies pinned
 
     rows.lam = lam
-    linvel[:] = vel[:, :3]
-    angvel[:] = vel[:, 3:]
+
+
+def _solve_jacobi_fast(kern, vel, rows, params, pinned):
+    """Census-free Jacobi sweep executed in the reduced domain.
+
+    Every solver input is pre-reduced once and only op *results* are
+    rounded afterwards: rounding is idempotent in all three modes, so
+    ``round(op(round(a), round(b)))`` equals the fused round-a/round-b/
+    op/round-result kernel bit for bit while running ~6 ufuncs per op
+    instead of ~16 (and no per-op context dispatch).  Two arrays keep a
+    raw master beside the reduced shadow because their legacy values can
+    leave the reduced domain: ``lam`` (``np.clip`` against unreduced
+    bounds like ``_BIG``) and ``vel`` (slots no row touches keep their
+    incoming raw velocities).
+    """
+    n_slots = vel.shape[0]
+    scatter = _Scatter(rows, n_slots)
+    jac = kern.enter(rows.jacobian)
+    imjt = kern.enter(rows.inv_mass_jt)
+    rhs = kern.enter(rows.rhs)
+    # ctx.div does not round its result, so inv_d arrives raw; enter it
+    # once (the operand reduction every downstream op applied to it).
+    neg_inv_d = kern.enter(-rows.inv_d)
+    ia, ib = rows.ia, rows.ib
+
+    friction_idx = np.nonzero(rows.normal_index >= 0)[0]
+    friction_normals = rows.normal_index[friction_idx]
+    mu_f = kern.enter(rows.mu[friction_idx])
+    has_friction = len(friction_idx) > 0
+    lo = rows.lo.copy()
+    hi = rows.hi.copy()
+    lam = rows.lam            # raw master (post-clip values)
+    lamr = kern.enter(lam)    # reduced shadow (what ops actually read)
+    velr = kern.enter(vel)    # reduced shadow of the velocities
+
+    r_count = len(rows)
+    order = scatter.order
+    gath = np.empty((r_count, 12), dtype=np.float32)
+    prod = np.empty((r_count, 12), dtype=np.float32)
+    t6 = np.empty((r_count, 6), dtype=np.float32)
+    t3 = np.empty((r_count, 3), dtype=np.float32)
+    t2 = np.empty(r_count, dtype=np.float32)
+    acc = np.empty(r_count, dtype=np.float32)
+    dvw = np.empty((r_count, 12), dtype=np.float32)
+    inc = np.empty((2 * r_count, 6), dtype=np.float32)
+    inc_sorted = np.empty_like(inc)
+
+    for _ in range(params.iterations):
+        gath[:, :6] = velr[ia]
+        gath[:, 6:] = velr[ib]
+        # J . v: elementwise multiply + the same pairwise reduction tree
+        # _tree_sum walks for width 12 (6, 3, then cols 0+1, then +2).
+        np.multiply(jac, gath, out=prod)
+        kern.reduce_(prod)
+        np.add(prod[:, :6], prod[:, 6:], out=t6)
+        kern.reduce_(t6)
+        np.add(t6[:, :3], t6[:, 3:], out=t3)
+        kern.reduce_(t3)
+        np.add(t3[:, 0], t3[:, 1], out=t2)
+        kern.reduce_(t2)
+        np.add(t2, t3[:, 2], out=acc)
+        kern.reduce_(acc)
+
+        if has_friction:
+            bound = kern.binop(np.multiply, mu_f, lamr[friction_normals])
+            lo[friction_idx] = -bound
+            hi[friction_idx] = bound
+
+        # lam + (rel + rhs) * -inv_d, then clip against the raw bounds.
+        np.add(acc, rhs, out=acc)
+        kern.reduce_(acc)
+        np.multiply(acc, neg_inv_d, out=acc)
+        kern.reduce_(acc)
+        np.add(acc, lamr, out=acc)
+        kern.reduce_(acc)
+        new_lam = np.clip(acc, lo, hi)
+        new_lamr = kern.enter(new_lam)
+        delta = kern.binop(np.subtract, new_lamr, lamr)
+        lam = new_lam
+        lamr = new_lamr
+
+        np.multiply(imjt, delta[:, None], out=dvw)
+        kern.reduce_(dvw)
+        inc[:r_count] = dvw[:, :6]
+        inc[r_count:] = dvw[:, 6:]
+        np.take(inc, order, axis=0, out=inc_sorted)
+        for body_idx, inc_pos in scatter.waves:
+            chunk = velr[body_idx]
+            np.add(chunk, inc_sorted[inc_pos], out=chunk)
+            kern.reduce_(chunk)
+            velr[body_idx] = chunk
+        velr[pinned] = 0.0
+
+    rows.lam = lam
+    if scatter.waves:
+        touched = scatter.waves[0][0]
+        vel[touched] = velr[touched]
+    vel[pinned] = 0.0
 
 
 def solver_residual(bodies: BodyStore, rows: ConstraintRows) -> float:
@@ -497,7 +735,20 @@ def _solve_gauss_seidel(
     angvel = bodies.view("angvel")
     vel = np.concatenate([linvel, angvel], axis=1).astype(np.float32)
 
-    batches = _color_rows(rows, world_index)
+    if params.iterations > 0 and len(rows):
+        batches = _color_rows(rows, world_index)
+        kern = ctx.fast_kernel()
+        if kern is not None:
+            _gs_sweep_fast(kern, vel, rows, params, batches, world_index)
+        else:
+            _gs_sweep_ref(ctx, vel, rows, params, batches, world_index)
+
+    linvel[:] = vel[:, :3]
+    angvel[:] = vel[:, 3:]
+
+
+def _gs_sweep_ref(ctx, vel, rows, params, batches, world_index):
+    """Op-for-op colored sweep (census / fault-injection path)."""
     jac = rows.jacobian
     inv_mass_jt = rows.inv_mass_jt
     lam = rows.lam
@@ -535,8 +786,66 @@ def _solve_gauss_seidel(
             vel[world_index] = 0.0
 
     rows.lam = lam
-    linvel[:] = vel[:, :3]
-    angvel[:] = vel[:, 3:]
+
+
+def _gs_sweep_fast(kern, vel, rows, params, batches, world_index):
+    """Census-free colored sweep in the reduced domain.
+
+    Same raw-master/reduced-shadow structure as
+    :func:`_solve_jacobi_fast`; the ``lamr`` shadow is updated batch by
+    batch so later color batches read earlier batches' impulses exactly
+    as the sequential relaxation does.
+    """
+    jac = kern.enter(rows.jacobian)
+    imjt = kern.enter(rows.inv_mass_jt)
+    rhs = kern.enter(rows.rhs)
+    neg_inv_d = kern.enter(-rows.inv_d)
+    mu = kern.enter(rows.mu)
+    lam = rows.lam
+    lamr = kern.enter(lam)
+    lo = rows.lo.copy()
+    hi = rows.hi.copy()
+    velr = kern.enter(vel)
+
+    batch_meta = []
+    for batch in batches:
+        friction = rows.normal_index[batch] >= 0
+        f_rows = batch[friction]
+        batch_meta.append((batch, rows.ia[batch], rows.ib[batch],
+                           f_rows, rows.normal_index[f_rows]))
+
+    for _ in range(params.iterations):
+        for batch, ia, ib, f_rows, f_norm in batch_meta:
+            gathered = np.concatenate([velr[ia], velr[ib]], axis=1)
+            prod = kern.binop(np.multiply, jac[batch], gathered)
+            t6 = kern.binop(np.add, prod[:, :6], prod[:, 6:])
+            t3 = kern.binop(np.add, t6[:, :3], t6[:, 3:])
+            t2 = kern.binop(np.add, t3[:, 0], t3[:, 1])
+            rel = kern.binop(np.add, t2, t3[:, 2])
+
+            if len(f_rows):
+                bound = kern.binop(np.multiply, mu[f_rows], lamr[f_norm])
+                lo[f_rows] = -bound
+                hi[f_rows] = bound
+
+            acc = kern.binop(np.add, rel, rhs[batch])
+            acc = kern.binop(np.multiply, acc, neg_inv_d[batch])
+            acc = kern.binop(np.add, acc, lamr[batch])
+            new_lam = np.clip(acc, lo[batch], hi[batch])
+            new_lamr = kern.enter(new_lam)
+            delta = kern.binop(np.subtract, new_lamr, lamr[batch])
+            lam[batch] = new_lam
+            lamr[batch] = new_lamr
+
+            dvw = kern.binop(np.multiply, imjt[batch], delta[:, None])
+            velr[ia] = kern.binop(np.add, velr[ia], dvw[:, :6])
+            velr[ib] = kern.binop(np.add, velr[ib], dvw[:, 6:])
+            velr[world_index] = 0.0
+
+    rows.lam = lam
+    touched = np.unique(np.concatenate([rows.ia, rows.ib]))
+    vel[touched] = velr[touched]
+    vel[world_index] = 0.0
 
 
 class ContactCache:
@@ -614,12 +923,45 @@ def apply_warm_start_impulses(
     vel = np.concatenate(
         [bodies.view("linvel"), bodies.view("angvel")], axis=1
     ).astype(np.float32)
-    dvw = ctx.mul(rows.inv_mass_jt[seeded], rows.lam[seeded][:, None])
-    # Sequential per-row application keeps conflicting rows correct.
-    for i, r in enumerate(seeded):
-        ia, ib = int(rows.ia[r]), int(rows.ib[r])
-        vel[ia] = ctx.add(vel[ia], dvw[i, :6])
-        vel[ib] = ctx.add(vel[ib], dvw[i, 6:])
-    vel[bodies.world_index] = 0.0
+    kern = ctx.fast_kernel()
+    if kern is None:
+        dvw = ctx.mul(rows.inv_mass_jt[seeded], rows.lam[seeded][:, None])
+        # Sequential per-row application keeps conflicting rows correct.
+        for i, r in enumerate(seeded):
+            ia, ib = int(rows.ia[r]), int(rows.ib[r])
+            vel[ia] = ctx.add(vel[ia], dvw[i, :6])
+            vel[ib] = ctx.add(vel[ib], dvw[i, 6:])
+        vel[bodies.world_index] = 0.0
+    else:
+        imjt = kern.enter(rows.inv_mass_jt[seeded])
+        lamr = kern.enter(rows.lam[seeded][:, None])
+        dvw = kern.binop(np.multiply, imjt, lamr)
+        # Wave-structured scatter, bit-identical to the sequential loop:
+        # incidences are interleaved (row's ia side, then its ib side) so
+        # the stable sort keeps each body's adds in the exact order the
+        # loop applied them; adds on different bodies are independent.
+        s = len(seeded)
+        inc_body = np.empty(2 * s, dtype=np.int64)
+        inc_body[0::2] = rows.ia[seeded]
+        inc_body[1::2] = rows.ib[seeded]
+        inc = np.empty((2 * s, 6), dtype=np.float32)
+        inc[0::2] = dvw[:, :6]
+        inc[1::2] = dvw[:, 6:]
+        order = np.argsort(inc_body, kind="stable")
+        inc = np.ascontiguousarray(inc[order])
+        sorted_body = inc_body[order]
+        counts = np.bincount(sorted_body, minlength=vel.shape[0])
+        starts = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        velr = kern.enter(vel)
+        for k in range(int(counts.max())):
+            body_idx = np.nonzero(counts > k)[0]
+            chunk = velr[body_idx]
+            np.add(chunk, inc[starts[body_idx] + k], out=chunk)
+            kern.reduce_(chunk)
+            velr[body_idx] = chunk
+        touched = np.unique(inc_body)
+        vel[touched] = velr[touched]
+        vel[bodies.world_index] = 0.0
     bodies.view("linvel")[:] = vel[:, :3]
     bodies.view("angvel")[:] = vel[:, 3:]

@@ -24,6 +24,7 @@ __all__ = [
     "quat_rotate_matrix",
     "quat_normalize",
     "quat_integrate",
+    "quat_to_matrix_f64",
     "skew_apply",
 ]
 
@@ -153,6 +154,30 @@ def quat_rotate_matrix(ctx: FPContext, q: np.ndarray) -> np.ndarray:
         axis=-2,
     )
     return rows
+
+
+def quat_to_matrix_f64(quats: np.ndarray) -> np.ndarray:
+    """``(..., 4)`` wxyz quaternions → ``(..., 3, 3)`` float64 matrices.
+
+    Plain float64 outside the context: this is setup-time geometry
+    (joint anchor resolution), not simulated-hardware math.  The
+    expressions match the old per-component scalar unpacking operation
+    for operation, so batching a whole quaternion array through it
+    yields the exact bits the scalar loop produced.
+    """
+    q = np.asarray(quats, dtype=np.float64)
+    w, x, y, z = q[..., 0], q[..., 1], q[..., 2], q[..., 3]
+    out = np.empty(q.shape[:-1] + (3, 3), dtype=np.float64)
+    out[..., 0, 0] = 1.0 - 2.0 * (y * y + z * z)
+    out[..., 0, 1] = 2.0 * (x * y - w * z)
+    out[..., 0, 2] = 2.0 * (x * z + w * y)
+    out[..., 1, 0] = 2.0 * (x * y + w * z)
+    out[..., 1, 1] = 1.0 - 2.0 * (x * x + z * z)
+    out[..., 1, 2] = 2.0 * (y * z - w * x)
+    out[..., 2, 0] = 2.0 * (x * z - w * y)
+    out[..., 2, 1] = 2.0 * (y * z + w * x)
+    out[..., 2, 2] = 1.0 - 2.0 * (x * x + y * y)
+    return out
 
 
 def quat_integrate(

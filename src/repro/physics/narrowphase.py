@@ -137,8 +137,11 @@ def generate_contacts(
             for i, j in bucket:
                 _sphere_box(ctx, acc, geoms[j], geoms[i], pos, rot)
         elif key == ("box", "box"):
-            for i, j in bucket:
-                _box_box(ctx, acc, geoms[i], geoms[j], pos, rot)
+            if ctx.census or ctx.injector is not None:
+                for i, j in bucket:
+                    _box_box(ctx, acc, geoms[i], geoms[j], pos, rot)
+            else:
+                _box_box_bucket(ctx, acc, geoms, bucket, pos, rot)
         elif key == ("capsule", "plane"):
             for i, j in bucket:
                 _capsule_plane(ctx, acc, geoms[i], geoms[j], pos, rot,
@@ -223,20 +226,46 @@ def _box_corners(ctx, geom, pos, rot) -> np.ndarray:
 
 
 def _box_plane(ctx, acc, geoms, bucket, pos, rot, world) -> None:
-    for i, j in bucket:  # canonical order gives (box, plane)
-        box, plane = geoms[i], geoms[j]
-        corners = _box_corners(ctx, box, pos, rot)
-        n = plane.params.astype(np.float32)
-        height = ctx.sub(math3d.dot(ctx, n[None, :], corners),
-                         np.float32(plane.offset))
-        depth = -height
-        hit = depth > 0
-        if not hit.any():
-            continue
-        order = np.argsort(-depth)
-        picked = [k for k in order if hit[k]][:_MAX_CONTACTS_PER_PAIR]
+    if ctx.census or ctx.injector is not None:
+        for i, j in bucket:  # canonical order gives (box, plane)
+            box, plane = geoms[i], geoms[j]
+            corners = _box_corners(ctx, box, pos, rot)
+            n = plane.params.astype(np.float32)
+            height = ctx.sub(math3d.dot(ctx, n[None, :], corners),
+                             np.float32(plane.offset))
+            depth = -height
+            hit = depth > 0
+            if not hit.any():
+                continue
+            order = np.argsort(-depth)
+            picked = [k for k in order if hit[k]][:_MAX_CONTACTS_PER_PAIR]
+            for k in picked:
+                acc.emit(world, box.body, corners[k], n, depth[k], plane,
+                         box)
+        return
+
+    # Census-free: all boxes' corners and heights in one stacked pass
+    # (identical elementwise ops, so identical contact bits).
+    body = np.array([geoms[i].body for i, _ in bucket], dtype=np.int64)
+    half = np.stack([geoms[i].params for i, _ in bucket]).astype(np.float32)
+    normals = np.stack([geoms[j].params for _, j in bucket]).astype(
+        np.float32)
+    offsets = np.array([geoms[j].offset for _, j in bucket],
+                       dtype=np.float32)
+    local = ctx.mul(_CORNER_SIGNS[None, :, :], half[:, None, :])  # (P,8,3)
+    rotated = math3d.matvec(ctx, rot[body][:, None, :, :], local)
+    corners = ctx.add(pos[body][:, None, :], rotated)
+    height = ctx.sub(math3d.dot(ctx, normals[:, None, :], corners),
+                     offsets[:, None])
+    depth = -height
+    hit = depth > 0
+    for p in np.nonzero(hit.any(axis=1))[0]:
+        i, j = bucket[p]
+        order = np.argsort(-depth[p])
+        picked = [k for k in order if hit[p, k]][:_MAX_CONTACTS_PER_PAIR]
         for k in picked:
-            acc.emit(world, box.body, corners[k], n, depth[k], plane, box)
+            acc.emit(world, body[p], corners[p, k], normals[p],
+                     depth[p, k], geoms[j], geoms[i])
 
 
 # ----------------------------------------------------------------------
@@ -347,6 +376,89 @@ def _box_box(ctx, acc, box_a: Geom, box_b: Geom, pos, rot) -> None:
     for k in order:
         acc.emit(box_a.body, box_b.body, points[k], normal, depths[k],
                  box_a, box_b)
+
+
+def _box_box_bucket(ctx, acc, geoms, bucket, pos, rot) -> None:
+    """All box-box pairs of a step in one batched SAT pass.
+
+    The 15 candidate axes (6 faces + 9 edge crosses) of every pair are
+    tested together; degenerate edge crosses keep their lane (masked out
+    of the decisions) so the stacked arrays stay rectangular.  Each lane
+    runs the exact elementwise ops the per-pair path ran, so surviving
+    pairs see identical axes/overlaps; face clipping and edge contacts
+    then run per surviving pair as before (census-free only — the
+    per-pair path remains for census and fault-injection runs).
+    """
+    n_pairs = len(bucket)
+    body_a = np.array([geoms[i].body for i, _ in bucket], dtype=np.int64)
+    body_b = np.array([geoms[j].body for _, j in bucket], dtype=np.int64)
+    ha = np.stack([geoms[i].params for i, _ in bucket]).astype(np.float32)
+    hb = np.stack([geoms[j].params for _, j in bucket]).astype(np.float32)
+    pa, pb = pos[body_a], pos[body_b]
+    ra, rb = rot[body_a], rot[body_b]
+    ra_t = np.ascontiguousarray(ra.transpose(0, 2, 1))
+    rb_t = np.ascontiguousarray(rb.transpose(0, 2, 1))
+
+    delta = ctx.sub(pb, pa)  # (P, 3)
+    crosses = math3d.cross(ctx, np.repeat(ra_t, 3, axis=1),
+                           np.tile(rb_t, (1, 3, 1)))  # (P, 9, 3)
+    lengths = np.linalg.norm(crosses.astype(np.float64), axis=2)
+    good = lengths > 1e-6
+    safe = np.where(good, lengths, 1.0)
+    # float64 divide then downcast, matching the per-pair normalization.
+    edge_axes = (crosses.astype(np.float64) / safe[:, :, None]).astype(
+        np.float32)
+    axes = np.concatenate([ra_t, rb_t, edge_axes], axis=1)  # (P, 15, 3)
+
+    on_a = np.abs(math3d.dot(ctx, axes[:, :, None, :], ra_t[:, None, :, :]))
+    on_b = np.abs(math3d.dot(ctx, axes[:, :, None, :], rb_t[:, None, :, :]))
+    proj_a = math3d.dot(ctx, on_a, ha[:, None, :])
+    proj_b = math3d.dot(ctx, on_b, hb[:, None, :])
+    separation = math3d.dot(ctx, axes, delta[:, None, :])
+    overlap = ctx.sub(ctx.add(proj_a, proj_b), np.abs(separation))
+
+    valid = np.concatenate(
+        [np.ones((n_pairs, 6), dtype=bool), good], axis=1)
+    masked = np.where(valid, overlap.astype(np.float64), np.inf)
+    separated = np.any(np.where(valid, overlap <= 0, False), axis=1)
+    best_face = np.argmin(masked[:, :6], axis=1)
+    has_edge = good.any(axis=1)
+    best_edge = 6 + np.argmin(masked[:, 6:], axis=1)
+
+    for k in range(n_pairs):
+        if separated[k]:
+            continue
+        i, j = bucket[k]
+        box_a, box_b = geoms[i], geoms[j]
+        best_index = int(best_face[k])
+        if has_edge[k]:
+            be = int(best_edge[k])
+            if overlap[k, be] < 0.95 * overlap[k, best_index]:
+                best_index = be
+        best_depth = float(overlap[k, best_index])
+        best_axis = axes[k, best_index]
+        if separation[k, best_index] < 0:
+            best_axis = -best_axis
+        normal = best_axis  # points from A towards B
+
+        if best_index >= 6:
+            _box_box_edge_contact(ctx, acc, box_a, box_b, pos, rot,
+                                  normal, best_depth)
+            continue
+        if best_index < 3:
+            ref_geom, inc_geom = box_a, box_b
+            ref_normal = normal
+        else:
+            ref_geom, inc_geom = box_b, box_a
+            ref_normal = -normal
+        points, depths = _clip_incident_face(ctx, ref_geom, inc_geom,
+                                             pos, rot, ref_normal)
+        if not points:
+            continue
+        order = np.argsort(-np.asarray(depths))[:_MAX_CONTACTS_PER_PAIR]
+        for m in order:
+            acc.emit(box_a.body, box_b.body, points[m], normal,
+                     depths[m], box_a, box_b)
 
 
 def _face_basis(rot: np.ndarray, half, normal: np.ndarray):

@@ -215,14 +215,18 @@ class World:
         # --- islands ---------------------------------------------------
         if obs is not None:
             t0 = time.perf_counter()
-        edges: List[Tuple[int, int]] = list(
-            zip(contacts.body_a.tolist(), contacts.body_b.tolist()))
-        for joint in self.joints.ball_joints:
-            edges.append((joint.body_a, joint.body_b))
-        for joint in self.joints.hinge_joints:
-            edges.append((joint.body_a, joint.body_b))
+        jp = self.joints.packed()
+        edges_a = np.concatenate([
+            np.asarray(contacts.body_a, dtype=np.int64),
+            jp["ball_a"], jp["hinge_a"],
+        ])
+        edges_b = np.concatenate([
+            np.asarray(contacts.body_b, dtype=np.int64),
+            jp["ball_b"], jp["hinge_b"],
+        ])
         self.island_labels = partition_islands(
-            self.bodies.count, self.bodies.dynamic_mask(), edges)
+            self.bodies.count, self.bodies.dynamic_mask(),
+            edges_a, edges_b)
         if obs is not None:
             obs.phase_done("islands", time.perf_counter() - t0)
             t0 = time.perf_counter()

@@ -146,8 +146,53 @@ class CheckpointRing:
 # ----------------------------------------------------------------------
 #: Frame layout: magic, little-endian uint32 header length, JSON header,
 #: then the referenced arrays' raw bytes concatenated in header order.
+#: Codec v2 flattens the warm-start contact cache into four stacked
+#: arrays (keys, entry counts per key, positions, impulses) so encode
+#: cost — and the journal's sha256 over the payload — stays
+#: array-at-a-time instead of growing a tiny array + JSON floats per
+#: contact.  v1 frames (one ref'd array per cache entry) still decode.
 _CODEC_MAGIC = b"RPROCKPT"
-_CODEC_VERSION = 1
+_CODEC_VERSION = 2
+
+
+def _flatten_contact_cache(cache: Dict, ref) -> dict:
+    """Stack the cache's per-entry data into whole arrays (dict order)."""
+    keys: List[Tuple] = []
+    counts: List[int] = []
+    positions: List[np.ndarray] = []
+    impulses: List[Tuple] = []
+    for key, entries in cache.items():
+        keys.append(key)
+        counts.append(len(entries))
+        for pos, imp in entries:
+            positions.append(pos)
+            impulses.append(imp)
+    pos_arr = (np.stack(positions) if positions
+               else np.empty((0, 3), dtype=np.float32))
+    return {
+        "keys": ref(np.asarray(keys, dtype=np.int64).reshape(-1, 2)),
+        "counts": ref(np.asarray(counts, dtype=np.int64)),
+        "pos": ref(pos_arr),
+        "impulses": ref(np.asarray(impulses,
+                                   dtype=np.float64).reshape(-1, 3)),
+    }
+
+
+def _rebuild_contact_cache(spec: dict, take) -> Dict:
+    """Inverse of :func:`_flatten_contact_cache` (same dict order)."""
+    keys = take(spec["keys"])
+    counts = take(spec["counts"])
+    pos = take(spec["pos"])
+    impulses = take(spec["impulses"])
+    cache: Dict = {}
+    base = 0
+    for k in range(len(keys)):
+        entries = [(pos[base + i].copy(),
+                    tuple(impulses[base + i].tolist()))
+                   for i in range(int(counts[k]))]
+        cache[tuple(int(v) for v in keys[k])] = entries
+        base += int(counts[k])
+    return cache
 
 
 def serialize_checkpoint(checkpoint: WorldCheckpoint) -> bytes:
@@ -176,10 +221,8 @@ def serialize_checkpoint(checkpoint: WorldCheckpoint) -> bytes:
         "injected_total": checkpoint.injected_total,
         "penetration_len": checkpoint.penetration_len,
         "last_contact_count": checkpoint.last_contact_count,
-        "contact_cache": [
-            [list(key), [[ref(pos), list(map(float, impulses))]
-                         for pos, impulses in entries]]
-            for key, entries in checkpoint.contact_cache.items()],
+        "contact_cache": _flatten_contact_cache(
+            checkpoint.contact_cache, ref),
         "quarantined": sorted(int(b) for b in checkpoint.quarantined),
     }
     head = json.dumps(header, separators=(",", ":")).encode("utf-8")
@@ -200,9 +243,9 @@ def deserialize_checkpoint(data: bytes) -> WorldCheckpoint:
     except json.JSONDecodeError as exc:
         raise ValueError(f"corrupt checkpoint header: {exc}") from None
     offset += head_len
-    if header.get("codec") != _CODEC_VERSION:
-        raise ValueError(
-            f"unsupported checkpoint codec: {header.get('codec')!r}")
+    codec = header.get("codec")
+    if codec not in (1, _CODEC_VERSION):
+        raise ValueError(f"unsupported checkpoint codec: {codec!r}")
 
     cursor = offset
 
@@ -223,10 +266,14 @@ def deserialize_checkpoint(data: bytes) -> WorldCheckpoint:
                   for name, spec in header["body_state"].items()}
     cloth_state = [(take(pos), take(vel))
                    for pos, vel in header["cloth_state"]]
-    contact_cache = {
-        tuple(key): [(take(pos), tuple(impulses))
-                     for pos, impulses in entries]
-        for key, entries in header["contact_cache"]}
+    if codec == 1:
+        contact_cache = {
+            tuple(key): [(take(pos), tuple(impulses))
+                         for pos, impulses in entries]
+            for key, entries in header["contact_cache"]}
+    else:
+        contact_cache = _rebuild_contact_cache(
+            header["contact_cache"], take)
     return WorldCheckpoint(
         step_count=int(header["step_count"]),
         body_state=body_state,

@@ -74,6 +74,17 @@ class ServeBenchConfig:
     #: steps on each side of the fidelity snapshot
     fidelity_steps: int = 10
     output_dir: str = "results"
+    # --- fleet-batched stepping (WorldBatch coalescing) ---
+    #: coalesce compatible same-tick step requests into one vectorized
+    #: WorldBatch pass
+    fleet_step: bool = True
+    #: also run the load with fleet stepping disabled and report the
+    #: batched/unbatched speedup ratio
+    fleet_compare: bool = False
+    #: minimum batched/unbatched steps/sec ratio when comparing
+    #: (0 = report, don't gate — shared CI runners make scaling gates
+    #: flaky)
+    fleet_min_speedup: float = 0.0
     # --- sharded mode (``--shards N``) ---
     #: 0 = single-process service; N >= 1 = gateway over N shards
     shards: int = 0
@@ -480,29 +491,16 @@ def _run_shard_bench(config: ServeBenchConfig) -> dict:
     return section
 
 
-def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
-    """Run the serving benchmark; returns the written payload."""
-    config = config or ServeBenchConfig()
-    if config.shards:
-        section = _run_shard_bench(config)
-        stamp = bench_stamp()
-        payload = {
-            "kind": "repro-serve-bench",
-            "stamp": stamp,
-            "ok": section["ok"],
-            "shards": section,
-        }
-        out_dir = Path(config.output_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        path = out_dir / f"BENCH_{stamp}_serve.json"
-        write_json_atomic(path, payload)
-        payload["path"] = str(path)
-        return payload
+def _run_service_load(config: ServeBenchConfig,
+                      fleet_step: bool) -> dict:
+    """One full client-load pass against a fresh single-process
+    service; returns the ``serve_bench`` payload section."""
     service_config = ServiceConfig(
         port=0,
         max_sessions=max(32, config.clients + 4),
         workers=config.workers,
         batch_window=config.batch_window,
+        fleet_step=fleet_step,
     )
     handle = start_in_thread(service_config)
     try:
@@ -533,13 +531,14 @@ def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
     total_steps = len(latencies)
     latencies.sort()
     dropped = stats["evicted_total"] + len(errors)
-    serve_bench = {
+    return {
         "clients": config.clients,
         "steps_per_client": config.steps_per_client,
         "scenario": config.scenario,
         "scale": config.scale,
         "workers": workers,
         "batch_window": config.batch_window,
+        "fleet_step": fleet_step,
         "requests_ok": total_steps,
         "steps_per_sec": (round(total_steps / load_wall, 3)
                           if load_wall > 0 else 0.0),
@@ -551,16 +550,61 @@ def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
         "avg_batch_size": (round(stats["steps_dispatched"]
                                  / stats["batches"], 3)
                            if stats["batches"] else 0.0),
+        "fleet_batches": stats["fleet_batches"],
+        "fleet_sessions": stats["fleet_sessions"],
         "sessions_created": stats["created_total"],
         "sessions_dropped": dropped,
         "rejected_total": stats["rejected_total"],
         "client_errors": errors,
         "fidelity": fidelity,
     }
+
+
+def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
+    """Run the serving benchmark; returns the written payload."""
+    config = config or ServeBenchConfig()
+    if config.shards:
+        section = _run_shard_bench(config)
+        stamp = bench_stamp()
+        payload = {
+            "kind": "repro-serve-bench",
+            "stamp": stamp,
+            "ok": section["ok"],
+            "shards": section,
+        }
+        out_dir = Path(config.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{stamp}_serve.json"
+        write_json_atomic(path, payload)
+        payload["path"] = str(path)
+        return payload
+    serve_bench = _run_service_load(config, config.fleet_step)
+    dropped = serve_bench["sessions_dropped"]
+    errors = serve_bench["client_errors"]
+    fidelity = serve_bench["fidelity"]
+    total_steps = serve_bench["requests_ok"]
+    fleet = None
+    if config.fleet_compare and config.fleet_step:
+        unbatched = _run_service_load(config, False)
+        speedup = (round(serve_bench["steps_per_sec"]
+                         / unbatched["steps_per_sec"], 3)
+                   if unbatched["steps_per_sec"] else None)
+        fleet = {
+            "unbatched": unbatched,
+            "speedup_x": speedup,
+            "min_speedup_gate": config.fleet_min_speedup,
+            "ok": (unbatched["sessions_dropped"] == 0
+                   and not unbatched["client_errors"]
+                   and unbatched["fidelity"]["bit_identical"]
+                   and (config.fleet_min_speedup <= 0
+                        or (speedup is not None
+                            and speedup >= config.fleet_min_speedup))),
+        }
     chaos = _run_chaos_bench(config) if config.chaos else None
     ok = (dropped == 0 and not errors
           and total_steps == config.clients * config.steps_per_client
           and fidelity["bit_identical"]
+          and (fleet is None or fleet["ok"])
           and (chaos is None or chaos["ok"]))
     stamp = bench_stamp()
     payload = {
@@ -569,6 +613,8 @@ def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> dict:
         "ok": ok,
         "serve_bench": serve_bench,
     }
+    if fleet is not None:
+        payload["fleet"] = fleet
     if chaos is not None:
         payload["chaos"] = chaos
     out_dir = Path(config.output_dir)
@@ -641,7 +687,9 @@ def render_serve_summary(payload: dict) -> str:
         f"  step latency: p50 {bench['p50_ms']:.2f} ms, "
         f"p95 {bench['p95_ms']:.2f} ms, max {bench['max_ms']:.2f} ms",
         f"  batching: {bench['batches']} batches, "
-        f"{bench['avg_batch_size']:.2f} steps/batch",
+        f"{bench['avg_batch_size']:.2f} steps/batch, "
+        f"{bench['fleet_batches']} fleet batches covering "
+        f"{bench['fleet_sessions']} sessions",
         f"  sessions: {bench['sessions_created']} created, "
         f"{bench['sessions_dropped']} dropped, "
         f"{bench['rejected_total']} rejected",
@@ -651,6 +699,14 @@ def render_serve_summary(payload: dict) -> str:
     ]
     for error in bench["client_errors"]:
         lines.append(f"  client error: {error}")
+    fleet = payload.get("fleet")
+    if fleet is not None:
+        gate = fleet["min_speedup_gate"]
+        lines.append(
+            f"  fleet stepping: {fleet['speedup_x']}x over the "
+            f"unbatched run "
+            f"({fleet['unbatched']['steps_per_sec']:.1f} steps/s)"
+            + (f", gate >= {gate}x" if gate > 0 else ""))
     chaos = payload.get("chaos")
     if chaos is not None:
         outcomes = chaos["recoveries_by_outcome"]

@@ -50,6 +50,31 @@ from .protocol import ServiceError
 __all__ = ["BatchScheduler", "WorkItem"]
 
 
+def _fleet_step_fn(sessions, steps: int):
+    """Advance a compatible session group on one worker thread.
+
+    Builds a :class:`~repro.physics.WorldBatch` over the member worlds
+    and steps the fleet in lockstep — bit-identical to per-session
+    stepping, but each phase runs as one stacked-array pass.  Should
+    the worlds turn out incompatible after all (a config drifted
+    between planning and execution), falls back to sequential
+    per-session stepping on the same thread.
+    """
+    from ..physics.batch import BatchIncompatible, WorldBatch
+
+    try:
+        fleet = WorldBatch([session.world for session in sessions])
+    except BatchIncompatible:
+        return [session.step(steps) for session in sessions]
+    for _ in range(steps):
+        fleet.step()
+    results = []
+    for session in sessions:
+        session.fleet_step(steps)
+        results.append(session.describe())
+    return results
+
+
 @dataclass
 class WorkItem:
     """One queued unit of session work."""
@@ -69,9 +94,13 @@ class BatchScheduler:
     def __init__(self, manager, admission, workers: Optional[int] = None,
                  batch_window: float = 0.002, observer=None,
                  registry=None, journal=None,
-                 journal_every: int = 32, incidents=None) -> None:
+                 journal_every: int = 32, incidents=None,
+                 fleet_step: bool = True) -> None:
         self.manager = manager
         self.admission = admission
+        #: coalesce compatible same-tick step requests into one
+        #: vectorized :class:`~repro.physics.WorldBatch` pass
+        self.fleet_step = fleet_step
         #: optional :class:`~repro.robustness.IncidentLog`
         self.incidents = incidents
         self.workers = resolve_workers(workers)
@@ -94,6 +123,8 @@ class BatchScheduler:
         self.steps_dispatched = 0
         self.journal_writes = 0
         self.recoveries_total = 0
+        self.fleet_batches = 0
+        self.fleet_sessions = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -191,13 +222,42 @@ class BatchScheduler:
         self._queue = remaining
         return batch
 
+    def _plan_fleets(self, batch: List[WorkItem]):
+        """Split a tick's batch into fleet groups and singleton items.
+
+        Step requests whose sessions share a :meth:`fleet_key` and step
+        count coalesce into one :class:`~repro.physics.WorldBatch`
+        executor task; everything else (snapshots, restores, guarded or
+        otherwise ineligible sessions, groups of one) dispatches on the
+        per-item path unchanged.
+        """
+        if not self.fleet_step:
+            return [], batch
+        groups: Dict[tuple, List[WorkItem]] = {}
+        singles: List[WorkItem] = []
+        for item in batch:
+            key = item.session.fleet_key() if item.steps > 0 else None
+            if key is None:
+                singles.append(item)
+            else:
+                groups.setdefault((key, item.steps), []).append(item)
+        fleets = []
+        for members in groups.values():
+            if len(members) >= 2:
+                fleets.append(members)
+            else:
+                singles.extend(members)
+        return fleets, singles
+
     async def _dispatch(self, batch: List[WorkItem]) -> None:
         start = time.perf_counter()
         self._in_flight = len(batch)
         self._idle.clear()
         try:
-            await asyncio.gather(*(self._run_item(item)
-                                   for item in batch))
+            fleets, singles = self._plan_fleets(batch)
+            await asyncio.gather(
+                *(self._run_item(item) for item in singles),
+                *(self._run_fleet(group) for group in fleets))
         finally:
             self._in_flight = 0
             self._idle.set()
@@ -298,6 +358,67 @@ class BatchScheduler:
                                     f"{item.session.id} evicted"))
         finally:
             self.admission.release(item.session.id)
+
+    async def _run_fleet(self, group: List[WorkItem]) -> None:
+        """Step a compatible session group as one vectorized batch.
+
+        Failure semantics match the per-item path, applied to every
+        member: a fleet task that times out or raises leaves its worlds
+        mid-step, so each member session is respawned from its journal
+        (or evicted) exactly as a failed solo step would be.
+        """
+        if any(item.session.state != "active" for item in group):
+            await asyncio.gather(*(self._run_item(item)
+                                   for item in group))
+            return
+        loop = asyncio.get_running_loop()
+        sessions = [item.session for item in group]
+        steps = group[0].steps
+        budget = max(item.budget for item in group)
+        try:
+            results = await asyncio.wait_for(
+                loop.run_in_executor(self._executor, _fleet_step_fn,
+                                     sessions, steps),
+                timeout=budget)
+            self.fleet_batches += 1
+            self.fleet_sessions += len(group)
+            if self.registry is not None:
+                self.registry.counter("serve.fleet.batches").inc()
+                self.registry.counter(
+                    "serve.fleet.sessions").inc(len(group))
+            for item, result in zip(group, results):
+                if not item.future.done():
+                    item.future.set_result(result)
+        except asyncio.TimeoutError:
+            for item in group:
+                outcome = self._respawn_or_evict(
+                    item, f"fleet step budget of {budget:.3f}s exceeded")
+                if not item.future.done():
+                    item.future.set_exception(ServiceError(
+                        "budget_exceeded",
+                        f"fleet step budget of {budget:.3f}s exceeded; "
+                        f"session {item.session.id} {outcome}"))
+        except Exception as exc:  # noqa: BLE001 - marshal to the clients
+            detail = f"{type(exc).__name__}: {exc}"
+            for item in group:
+                outcome = self._respawn_or_evict(item, detail)
+                if not item.future.done():
+                    if outcome.startswith("respawned"):
+                        session = self.manager._sessions[item.session.id]
+                        item.future.set_exception(ServiceError(
+                            "session_degraded",
+                            f"fleet step failed ({detail}); session "
+                            f"respawned at journaled step "
+                            f"{session.world.step_count}",
+                            extra={"session": item.session.id,
+                                   "step": session.world.step_count}))
+                    else:
+                        item.future.set_exception(ServiceError(
+                            "internal", f"{detail}; session "
+                                        f"{item.session.id} evicted"))
+        finally:
+            for item in group:
+                self.admission.release(item.session.id)
 
     def _respawn_or_evict(self, item: WorkItem, reason: str) -> str:
         """Recover a failed/stuck session from its journal, or evict.

@@ -94,6 +94,9 @@ class ServiceConfig:
     drain_grace: float = 10.0
     #: permit fault-drill session fields (inject_rate, chaos_slow_*)
     allow_chaos: bool = False
+    #: coalesce compatible same-tick step requests into one vectorized
+    #: :class:`~repro.physics.WorldBatch` pass (bit-identical)
+    fleet_step: bool = True
 
 
 class SimulationService:
@@ -127,7 +130,8 @@ class SimulationService:
             batch_window=self.config.batch_window, observer=observer,
             registry=self.registry, journal=self.journal,
             journal_every=self.config.journal_every,
-            incidents=self.incidents)
+            incidents=self.incidents,
+            fleet_step=self.config.fleet_step)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.StreamWriter] = set()
         self._replay: "OrderedDict" = OrderedDict()
@@ -429,6 +433,8 @@ class SimulationService:
             "rejected_total": self.admission.rejected_total,
             "batches": self.scheduler.batches_dispatched,
             "steps_dispatched": self.scheduler.steps_dispatched,
+            "fleet_batches": self.scheduler.fleet_batches,
+            "fleet_sessions": self.scheduler.fleet_sessions,
             "workers": self.scheduler.workers,
             "metrics": self.registry.snapshot(),
         }

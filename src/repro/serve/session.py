@@ -264,6 +264,32 @@ class Session:
             self.steps_since_journal += steps
         return self.describe()
 
+    def fleet_key(self) -> Optional[Tuple]:
+        """Coalescing key for fleet-batched stepping (None = ineligible).
+
+        Sessions sharing a key run their queued steps as one
+        :class:`~repro.physics.WorldBatch` — a single vectorized pass
+        over every member world.  Anything stateful beyond the plain
+        step loop (guards, adaptive control, fault drills) opts out, as
+        does any world the batch layer itself cannot take
+        (:func:`~repro.physics.fleet_ineligibility`).
+        """
+        config = self.config
+        if (self.state != "active" or config.adaptive or config.guarded
+                or config.inject_rate > 0 or config.chaos_slow_every > 0):
+            return None
+        from ..physics.batch import fleet_ineligibility
+
+        if fleet_ineligibility(self.world) is not None:
+            return None
+        return (config.scenario, config.scale, config.mode,
+                tuple(sorted(config.precision.items())))
+
+    def fleet_step(self, steps: int) -> None:
+        """Bookkeeping for steps advanced by a fleet batch."""
+        self.steps_run += steps
+        self.steps_since_journal += steps
+
     def describe(self) -> dict:
         records = self.world.monitor.records
         return {

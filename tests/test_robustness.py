@@ -166,6 +166,61 @@ class TestCheckpointSerialization:
                 assert np.array_equal(pos, bpos)
                 assert tuple(imp) == tuple(bimp)
 
+    def test_v1_frames_still_decode(self):
+        """Codec v2 stacks the contact cache into whole arrays; journals
+        written by the v1 per-entry codec must keep decoding."""
+        import json
+        import struct
+        from dataclasses import replace
+
+        from repro.robustness import deserialize_checkpoint
+        from repro.robustness.checkpoint import _CODEC_MAGIC
+
+        world = _world()
+        world.solver = replace(world.solver, warm_start=True)
+        for _ in range(30):
+            world.step()  # populate the warm-start cache
+        checkpoint = capture_world(world)
+        assert checkpoint.contact_cache  # the compat test needs entries
+
+        arrays = []
+
+        def ref(arr):
+            arr = np.ascontiguousarray(arr)
+            arrays.append(arr)
+            return {"dtype": arr.dtype.str, "shape": list(arr.shape)}
+
+        header = {
+            "codec": 1,
+            "step_count": checkpoint.step_count,
+            "body_state": {name: ref(data)
+                           for name, data
+                           in checkpoint.body_state.items()},
+            "cloth_state": [[ref(pos), ref(vel)]
+                            for pos, vel in checkpoint.cloth_state],
+            "monitor_records": checkpoint.monitor_records,
+            "injected_total": checkpoint.injected_total,
+            "penetration_len": checkpoint.penetration_len,
+            "last_contact_count": checkpoint.last_contact_count,
+            "contact_cache": [
+                [list(key), [[ref(pos), list(map(float, imp))]
+                             for pos, imp in entries]]
+                for key, entries in checkpoint.contact_cache.items()],
+            "quarantined": sorted(int(b)
+                                  for b in checkpoint.quarantined),
+        }
+        head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        blob = b"".join([_CODEC_MAGIC, struct.pack("<I", len(head)),
+                         head] + [a.tobytes() for a in arrays])
+
+        back = deserialize_checkpoint(blob)
+        assert list(back.contact_cache) == list(checkpoint.contact_cache)
+        for key, entries in checkpoint.contact_cache.items():
+            for (pos, imp), (bpos, bimp) in zip(entries,
+                                                back.contact_cache[key]):
+                assert np.array_equal(pos, bpos)
+                assert tuple(imp) == tuple(bimp)
+
     def test_deserialize_rejects_corrupt_payloads(self):
         from repro.robustness import (
             deserialize_checkpoint,

@@ -580,3 +580,87 @@ class TestConnectionFaults:
 
         recovered = {r.session_id for r in recover_sessions(journal_dir)}
         assert s_drop in recovered
+
+
+class TestFleetStepping:
+    """Coalescing compatible sessions into one WorldBatch pass must be
+    invisible except in the stats counters."""
+
+    def _drive(self, handle, clients, steps):
+        digests = {}
+        errors = []
+        barrier = threading.Barrier(clients)
+
+        def _run(tag):
+            try:
+                with handle.connect() as client:
+                    session = client.create("continuous", scale=0.4,
+                                            seed=5)
+                    barrier.wait(timeout=30.0)
+                    for _ in range(steps - 1):
+                        client.step(session, 1)
+                    digests[tag] = client.step(session, 1)["digest"]
+                    client.close_session(session)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(f"{tag}: {exc}")
+
+        threads = [threading.Thread(target=_run, args=(i,))
+                   for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        return digests
+
+    def test_fleet_digests_match_unbatched_server(self):
+        # A wide batch window makes each tick collect every pending
+        # request, so the fleet path actually engages.
+        fleet = _server(batch_window=0.05)
+        try:
+            fleet_digests = self._drive(fleet, clients=6, steps=10)
+            with fleet.connect() as client:
+                fleet_stats = client.stats()
+        finally:
+            fleet.stop()
+        plain = _server(batch_window=0.05, fleet_step=False)
+        try:
+            plain_digests = self._drive(plain, clients=6, steps=10)
+            with plain.connect() as client:
+                plain_stats = client.stats()
+        finally:
+            plain.stop()
+
+        # Identical configs on identical trajectories: every session
+        # lands on one digest, the same one with and without fleets.
+        assert len(set(fleet_digests.values())) == 1
+        assert set(fleet_digests.values()) == set(plain_digests.values())
+        assert fleet_stats["fleet_batches"] > 0
+        assert fleet_stats["fleet_sessions"] >= \
+            2 * fleet_stats["fleet_batches"]
+        assert plain_stats["fleet_batches"] == 0
+        assert plain_stats["fleet_sessions"] == 0
+
+    def test_guarded_session_never_joins_a_fleet(self):
+        handle = _server(batch_window=0.05, allow_chaos=True)
+        try:
+            with handle.connect() as client:
+                guarded = client.create("continuous", scale=0.4, seed=5,
+                                        guarded=True)
+                client.step(guarded, 5)
+            session = handle.service.manager.get(guarded)
+            assert session.fleet_key() is None
+        finally:
+            handle.stop()
+
+    def test_serve_bench_fleet_compare_payload(self, tmp_path):
+        payload = run_serve_bench(ServeBenchConfig(
+            clients=2, steps_per_client=3, scale=0.4,
+            fidelity_steps=2, fleet_compare=True,
+            output_dir=str(tmp_path)))
+        fleet = payload["fleet"]
+        assert fleet["unbatched"]["fleet_batches"] == 0
+        assert fleet["unbatched"]["fleet_step"] is False
+        assert payload["serve_bench"]["fleet_step"] is True
+        assert fleet["ok"] is True
+        assert "fleet stepping" in render_serve_summary(payload)

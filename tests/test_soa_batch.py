@@ -1,0 +1,142 @@
+"""Bit-identity suite for the SoA hot path and fleet-batched stepping.
+
+The structure-of-arrays fast paths (fused whole-array kernels in the
+integrator, narrow phase, LCP sweep, joints, cloth and sleep/wake
+bookkeeping) promise the exact bits the legacy op-for-op loops produce.
+These tests pin that promise on 20-step trajectory digests across every
+scenario, and pin :class:`~repro.physics.WorldBatch` — K worlds stepped
+as stacked-array passes — to per-world ``World.step()`` equivalence.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments.table1 import PRESET_PRECISIONS
+from repro.fp.context import FPContext
+from repro.physics import BatchIncompatible, WorldBatch, fleet_ineligibility
+from repro.workloads import SCENARIO_NAMES, build
+
+#: Enough steps for every scenario to reach contact-rich states (the
+#: explosions scenario detonates at step 10, ragdolls hit the ground).
+TRAJECTORY_STEPS = 20
+
+
+def _build_world(name, census=False):
+    ctx = FPContext(dict(PRESET_PRECISIONS[name]), census=census)
+    return build(name, ctx=ctx)
+
+
+def _digest(world) -> str:
+    """Hash every mutable simulation array (world row included)."""
+    bodies = world.bodies
+    bodies.ensure_world_row()
+    h = hashlib.sha256()
+    h.update(str(world.step_count).encode())
+    for name in ("pos", "quat", "linvel", "angvel", "asleep"):
+        h.update(bodies.view(name).tobytes())
+    for cloth in world.cloths:
+        h.update(cloth.pos.tobytes())
+        h.update(cloth.vel.tobytes())
+    return h.hexdigest()
+
+
+def _trajectory(world, steps=TRAJECTORY_STEPS):
+    digests = []
+    for _ in range(steps):
+        world.step()
+        digests.append(_digest(world))
+    return digests
+
+
+class TestSoaBitIdentity:
+    """Fast vectorized step == legacy op-for-op step, bit for bit."""
+
+    @pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+    def test_fast_matches_reference_trajectory(self, scenario,
+                                               monkeypatch):
+        fast = _trajectory(_build_world(scenario))
+        # Forcing fast_kernel() to None sends every phase down the
+        # preserved legacy loops — the pre-SoA reference semantics.
+        monkeypatch.setattr(FPContext, "fast_kernel", lambda self: None)
+        reference = _trajectory(_build_world(scenario))
+        assert fast == reference
+
+    def test_reference_arm_actually_disables_fast_paths(self,
+                                                        monkeypatch):
+        monkeypatch.setattr(FPContext, "fast_kernel", lambda self: None)
+        world = _build_world("continuous")
+        assert world.ctx.fast_kernel() is None
+
+
+class TestWorldBatch:
+    def test_k1_equals_world_step(self):
+        solo = _build_world("everything")
+        member = _build_world("everything")
+        fleet = WorldBatch([member])
+        for _ in range(10):
+            solo.step()
+            fleet.step()
+            assert _digest(member) == _digest(solo)
+
+    @pytest.mark.parametrize("scenario", ["continuous", "everything",
+                                          "ragdoll"])
+    def test_same_family_batch_equals_sequential(self, scenario):
+        # Desynchronized starts: member i is i steps ahead, so the
+        # merged solve sees four genuinely different row sets.
+        sequential = [_build_world(scenario) for _ in range(4)]
+        batched = [_build_world(scenario) for _ in range(4)]
+        for i in range(4):
+            for _ in range(i):
+                sequential[i].step()
+                batched[i].step()
+        fleet = WorldBatch(batched)
+        for _ in range(8):
+            for world in sequential:
+                world.step()
+            fleet.step()
+        for ours, theirs in zip(batched, sequential):
+            assert _digest(ours) == _digest(theirs)
+
+    def test_mixed_family_batch_equals_sequential(self):
+        # Different scenarios can share a fleet as long as they agree
+        # on precision configuration (and dt/solver parameters).
+        names = ["continuous", "ragdoll", "highspeed", "deformable"]
+        precision = {"narrow": 13, "lcp": 10, "integrate": 16}
+
+        def mk(name):
+            return build(name,
+                         ctx=FPContext(dict(precision), census=False))
+
+        sequential = [mk(name) for name in names]
+        batched = [mk(name) for name in names]
+        fleet = WorldBatch(batched)
+        for _ in range(8):
+            for world in sequential:
+                world.step()
+            fleet.step()
+        for ours, theirs in zip(batched, sequential):
+            assert _digest(ours) == _digest(theirs)
+
+    def test_census_world_is_ineligible(self):
+        world = _build_world("continuous", census=True)
+        assert fleet_ineligibility(world) is not None
+        with pytest.raises(BatchIncompatible):
+            WorldBatch([world])
+
+    def test_observer_makes_world_ineligible(self):
+        world = _build_world("continuous")
+        assert fleet_ineligibility(world) is None
+        world.observer = object()
+        assert fleet_ineligibility(world) == "tracer attached"
+
+    def test_precision_mismatch_is_incompatible(self):
+        a = _build_world("continuous")
+        b = build("continuous",
+                  ctx=FPContext({"lcp": 7}, census=False))
+        with pytest.raises(BatchIncompatible):
+            WorldBatch([a, b])
+
+    def test_empty_fleet_is_incompatible(self):
+        with pytest.raises(BatchIncompatible):
+            WorldBatch([])
