@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..fp.rounding import RoundingMode
-from ..perf.sweep import SweepJob, SweepRunner
+from ..perf.sweep import SweepJob, SweepOutcome, SweepRunner
 from ..tuning.believability import minimum_precision
 from ..workloads import SCENARIO_NAMES, default_steps
 from .report import render_table
@@ -82,6 +82,17 @@ class Table1Result:
     narrow_combined: Dict[str, int]
     steps: int
     scale: float
+    #: total candidate widths simulated across every search cell
+    #: (``None`` when the grid came from the cache); with a surrogate
+    #: this drops while the bits stay identical
+    probes: Optional[int] = None
+
+
+def _search_cell(*args, **kwargs) -> SweepOutcome:
+    """One grid cell, reporting its probe count through ``ops``."""
+    stats: Dict = {}
+    bits = minimum_precision(*args, stats=stats, **kwargs)
+    return SweepOutcome(bits, ops=stats["probes"])
 
 
 def compute_table1(
@@ -90,6 +101,7 @@ def compute_table1(
     scenarios=None,
     use_cache: bool = True,
     workers: Optional[int] = None,
+    surrogate=None,
 ) -> Table1Result:
     """Run (or load) the full minimum-precision grid.
 
@@ -97,6 +109,11 @@ def compute_table1(
     :class:`~repro.perf.sweep.SweepRunner`; the combined-tuning searches
     follow as a second stage because each depends on its scenario's
     jamming LCP minimum.  Results are identical to the serial order.
+
+    ``surrogate`` (a trained
+    :class:`~repro.tuning.surrogate.SurrogateModel` or a path to its
+    JSON artifact) warm-starts every search cell; the measured bits are
+    identical by construction, only :attr:`Table1Result.probes` drops.
     """
     steps = default_steps() if steps is None else steps
     scenarios = list(scenarios or SCENARIO_NAMES)
@@ -110,17 +127,25 @@ def compute_table1(
             steps=steps,
             scale=scale,
         )
+    if isinstance(surrogate, (str, bytes)) or hasattr(surrogate,
+                                                      "__fspath__"):
+        from ..tuning.surrogate import SurrogateModel
+        surrogate = SurrogateModel.load(surrogate)
+    extra = {"surrogate": surrogate} if surrogate is not None else {}
 
     runner = SweepRunner(workers)
     grid = [SweepJob(
         key=(scenario, phase, mode.value),
-        fn=minimum_precision,
+        fn=_search_cell,
         args=(scenario,),
-        kwargs=dict(phases=(phase,), mode=mode, steps=steps, scale=scale),
+        kwargs=dict(phases=(phase,), mode=mode, steps=steps, scale=scale,
+                    **extra),
     ) for scenario in scenarios
         for phase in ("lcp", "narrow")
         for mode in _MODES]
-    bits_by_key = {r.key: r.value for r in runner.run(grid)}
+    results = runner.run(grid)
+    probes = sum(r.ops for r in results)
+    bits_by_key = {r.key: r.value for r in results}
 
     independent: Dict[str, Dict[str, Dict[str, int]]] = {}
     for scenario in scenarios:
@@ -132,22 +157,26 @@ def compute_table1(
     # Combined tuning: pin LCP at its jamming minimum, re-search narrow.
     combined = [SweepJob(
         key=(scenario, "narrow_combined"),
-        fn=minimum_precision,
+        fn=_search_cell,
         args=(scenario,),
         kwargs=dict(
             phases=("narrow",), mode=RoundingMode.JAMMING, steps=steps,
             scale=scale,
             fixed_precision={
                 "lcp": independent[scenario]["lcp"][
-                    RoundingMode.JAMMING.value]}),
+                    RoundingMode.JAMMING.value]},
+            **extra),
     ) for scenario in scenarios]
+    combined_results = runner.run(combined)
+    probes += sum(r.ops for r in combined_results)
     narrow_combined: Dict[str, int] = {
-        r.key[0]: r.value for r in runner.run(combined)}
+        r.key[0]: r.value for r in combined_results}
 
     if set(scenarios) == set(SCENARIO_NAMES):
         write_json_atomic(path, {"independent": independent,
                                  "narrow_combined": narrow_combined})
-    return Table1Result(independent, narrow_combined, steps, scale)
+    return Table1Result(independent, narrow_combined, steps, scale,
+                        probes=probes)
 
 
 def tuned_precisions(

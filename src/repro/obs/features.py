@@ -1,0 +1,155 @@
+"""Feature extraction from JSONL step traces (surrogate training).
+
+The learned precision surrogate (:mod:`repro.tuning.surrogate`) predicts
+per-phase minimum believable precision from cheap runtime signals.  The
+signals come from exactly the telemetry the :class:`~repro.obs.Tracer`
+already streams: per-step energy deltas against the believability
+threshold, census composition, contact/island counts.  This module is
+the pure half of that pipeline — event streams in, a flat feature dict
+out — so it can run on any recorded trace without touching a simulator.
+
+Two streams feed one feature row:
+
+* a **reference** run at full precision (the scenario's baseline
+  energy/contact behaviour), and
+* a **probe** run at a deliberately narrow width on the tuned phases —
+  how badly the energy trajectory degrades at, say, 6 bits is a strong
+  predictor of where the believability cliff sits ("On Dynamic
+  Precision Scaling": per-phase sensitivity is learnable from runtime
+  signals).
+
+Every feature is deterministic (no wall-clock values): the same
+scenario and seed always produce the same row, so predictions are
+reproducible across dataset builds and CI runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["EVENT_FEATURES", "features_from_events"]
+
+#: Features computed from the two event streams, in a stable order the
+#: surrogate model's vectorizer can rely on.
+EVENT_FEATURES = (
+    "contacts_mean",
+    "contacts_max",
+    "islands_mean",
+    "trivial_frac",
+    "memo_frac",
+    "log_ops",
+    "energy_range",
+    "energy_mag",
+    "ref_delta_max",
+    "ref_delta_mean",
+    "probe_delta_max",
+    "probe_delta_mean",
+    "probe_violation_frac",
+    "probe_blowup",
+    "probe_energy_dev",
+    "probe_truncated",
+)
+
+#: Relative energy deltas and deviations are clipped here: a blown-up
+#: probe run produces astronomically large (or non-finite) deltas that
+#: would otherwise dominate the regression's feature scaling.
+_DELTA_CAP = 100.0
+
+
+def _clip(value: float, cap: float = _DELTA_CAP) -> float:
+    if not math.isfinite(value):
+        return cap
+    return max(-cap, min(cap, float(value)))
+
+
+def _step_events(events: Sequence[dict]) -> List[dict]:
+    return [e for e in events if e.get("kind") == "step"]
+
+
+def _deltas(steps: Sequence[dict]) -> List[float]:
+    out = []
+    for event in steps:
+        delta = event.get("energy", {}).get("delta_rel")
+        if delta is not None:
+            out.append(abs(float(delta)))
+    return out
+
+
+def _totals(steps: Sequence[dict]) -> List[float]:
+    return [float(e.get("energy", {}).get("total", 0.0)) for e in steps]
+
+
+def features_from_events(ref_events: Sequence[dict],
+                         probe_events: Sequence[dict]) -> Dict[str, float]:
+    """One feature row from a reference + probe pair of trace streams.
+
+    ``ref_events`` is a full-precision run of the scenario;
+    ``probe_events`` the same scenario with the tuned phases forced to a
+    narrow probe width.  Returns a dict keyed by :data:`EVENT_FEATURES`;
+    both streams may be truncated (a blown-up probe stops early) — the
+    comparison covers the shared prefix and flags the truncation.
+    """
+    ref = _step_events(ref_events)
+    probe = _step_events(probe_events)
+    features = {name: 0.0 for name in EVENT_FEATURES}
+    if not ref:
+        return features
+
+    contacts = [int(e.get("contacts", 0)) for e in ref]
+    islands = [int(e.get("islands", 0)) for e in ref]
+    features["contacts_mean"] = sum(contacts) / len(ref)
+    features["contacts_max"] = float(max(contacts))
+    features["islands_mean"] = sum(islands) / len(ref)
+
+    total_ops = sum(int(e.get("census", {}).get("total", 0)) for e in ref)
+    trivial = sum(int(e.get("census", {}).get("trivial", 0)) for e in ref)
+    memo = sum(int(e.get("census", {}).get("memo_hits", 0)) for e in ref)
+    if total_ops:
+        features["trivial_frac"] = trivial / total_ops
+        features["memo_frac"] = memo / total_ops
+    features["log_ops"] = math.log10(1.0 + total_ops / len(ref))
+
+    ref_totals = _totals(ref)
+    finite = [t for t in ref_totals if math.isfinite(t)]
+    if finite:
+        features["energy_range"] = _clip(
+            math.log10(1.0 + max(finite) - min(finite)), 60.0)
+        features["energy_mag"] = _clip(
+            math.log10(1.0 + max(abs(t) for t in finite)), 60.0)
+    ref_deltas = _deltas(ref)
+    if ref_deltas:
+        features["ref_delta_max"] = _clip(max(ref_deltas))
+        features["ref_delta_mean"] = _clip(
+            sum(ref_deltas) / len(ref_deltas))
+
+    if not probe:
+        features["probe_truncated"] = 1.0
+        features["probe_blowup"] = 1.0
+        return features
+
+    probe_deltas = _deltas(probe)
+    if probe_deltas:
+        features["probe_delta_max"] = _clip(max(probe_deltas))
+        features["probe_delta_mean"] = _clip(
+            sum(probe_deltas) / len(probe_deltas))
+    violations = sum(
+        bool(e.get("energy", {}).get("violation")) for e in probe)
+    features["probe_violation_frac"] = violations / len(probe)
+
+    probe_totals = _totals(probe)
+    if any(not math.isfinite(t) for t in probe_totals):
+        features["probe_blowup"] = 1.0
+    if len(probe) < len(ref):
+        features["probe_truncated"] = 1.0
+
+    # Max energy deviation from the reference over the shared prefix,
+    # normalized the way believability.deviation() normalizes: by the
+    # reference dynamic range with a floor.
+    n = min(len(ref_totals), len(probe_totals))
+    if n and finite:
+        scale = max(max(finite) - min(finite),
+                    0.02 * max(abs(t) for t in finite), 1.0)
+        dev = max(abs(probe_totals[i] - ref_totals[i]) for i in range(n))
+        features["probe_energy_dev"] = _clip(dev / scale)
+    return features

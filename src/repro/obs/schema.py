@@ -1,4 +1,4 @@
-"""Trace event schema (version 4) and its validator.
+"""Trace event schema (version 5) and its validator.
 
 Every JSONL line is one event; ``kind`` discriminates.  The step record
 carries the four signal families the paper's argument is built on:
@@ -24,9 +24,13 @@ sharded-topology kinds emitted by the gateway (``repro.serve.shard``):
 ``serve.route`` (a session pinned to a shard — at create, crash
 recovery, or after a migration repoints it) and ``serve.migrate`` (one
 event per live migration attempt with source/target shard, the step the
-snapshot moved at, digest verdict and wall cost).  Older streams stay
-valid: ``meta.schema`` may carry any version in
-:data:`SUPPORTED_SCHEMA_VERSIONS`, and earlier kinds are unchanged.
+snapshot moved at, digest verdict and wall cost).  Version 5 adds the
+``recover`` controller action (the stable-path upward clamp back to the
+register floor — feed-forward surrogate control made states below the
+floor reachable, and the controller now repairs them instead of holding
+there).  Older streams stay valid: ``meta.schema`` may carry any
+version in :data:`SUPPORTED_SCHEMA_VERSIONS`, and earlier kinds are
+unchanged.
 
 The validator is deliberately structural (required keys + coarse
 types), not exhaustive: the trace must stay writable from hot paths and
@@ -41,12 +45,13 @@ __all__ = ["SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS", "EVENT_KINDS",
            "SERVE_OPS", "V2_KINDS", "V3_KINDS", "V4_KINDS",
            "validate_event", "validate_events"]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Versions the validator accepts in ``meta.schema`` — a v1 trace (no
-#: ``serve.*`` events), v2 trace (no resilience events) or v3 trace (no
-#: shard events) must keep validating after the v4 bump.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
+#: ``serve.*`` events), v2 trace (no resilience events), v3 trace (no
+#: shard events) or v4 trace (no ``recover`` controller actions) must
+#: keep validating after the v5 bump.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 _NUM = (int, float)
 
@@ -72,7 +77,7 @@ EVENT_KINDS: Dict[str, Dict[str, tuple]] = {
     },
     "controller": {
         "step": (int,),
-        "action": (str,),      # "throttle" | "decay" | "hold"
+        "action": (str,),      # "throttle" | "decay" | "hold" | "recover"
         "violation": (bool,),
         "reexecuted": (bool,),
         "precisions": (dict,),
@@ -170,7 +175,9 @@ _ROUTE_REASONS = ("create", "recover", "migrate")
 _CENSUS_FIELDS = ("total", "trivial", "memo_hits", "lut_hits",
                   "nontrivial")
 _ENERGY_FIELDS = ("total", "delta_rel", "violation")
-_CONTROLLER_ACTIONS = ("throttle", "decay", "hold")
+# "recover" is new in schema v5: the controller's stable-path clamp
+# back up to the register floor.
+_CONTROLLER_ACTIONS = ("throttle", "decay", "hold", "recover")
 
 #: Wire-protocol operations (``repro.serve.protocol`` builds on this —
 #: defined here so the validator needs no import from the serve layer).

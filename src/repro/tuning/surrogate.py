@@ -1,0 +1,560 @@
+"""Learned precision surrogate: predictive tuning from step traces.
+
+The paper's Section 4.2 controller is purely reactive (throttle to full
+precision *after* an energy violation) and the Table 1 search
+brute-forces every probed width by re-simulation.  This module closes
+ROADMAP item 3: a dependency-free ridge regression over polynomial
+features, trained on the JSONL step traces the observability layer
+already records, predicts the per-phase minimum believable precision
+from scenario state.  The prediction is used two ways:
+
+* **Sweep warm-start** — :func:`~repro.tuning.believability.minimum_precision`
+  accepts ``surrogate=model`` and verifies the predicted ``±2`` bracket
+  first, falling back to the full bracket on a misprediction, so the
+  returned bits are identical to the cold search while evaluating fewer
+  candidate widths;
+* **Feed-forward control** — :meth:`SurrogateModel.feed_forward_register`
+  produces per-phase predictions for
+  :class:`~repro.tuning.controller.PrecisionController`'s ``surrogate=``
+  parameter, setting precision ahead of the energy signal (the guard
+  and the re-execution fail-safe stay as the safety net).
+
+Physics-informed constraint: predictions are clamped to the minimum
+label observed per phase during training (never below the measured
+floors) and to ``[1, FULL_PRECISION]``.
+
+The whole pipeline is numpy-only; the model artifact is a JSON file of
+weights that any session can reload.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fp.context import FPContext
+from ..fp.rounding import FULL_PRECISION, RoundingMode
+from ..obs import JsonlWriter, Tracer, read_events
+from ..obs.features import EVENT_FEATURES, features_from_events
+from ..perf.sweep import SweepJob, SweepOutcome, SweepRunner
+from ..workloads import SCENARIO_NAMES, build, default_steps
+from .believability import PrecisionQuery, minimum_precision
+
+__all__ = [
+    "BASE_FEATURES",
+    "SurrogateModel",
+    "extract_features",
+    "build_dataset",
+    "load_dataset",
+    "train",
+    "train_from_file",
+    "evaluate_warm_start",
+]
+
+#: Probe width forced on the tuned phases for the reduced feature run.
+DEFAULT_PROBE_BITS = 6
+#: Steps per feature-probe run (two short runs per feature row).
+DEFAULT_PROBE_STEPS = 12
+
+PHASE_NAMES = ("lcp", "narrow")
+MODE_NAMES = ("rn", "jam", "trunc")
+
+#: Scenario-level features prepended to the event-stream features.
+STATIC_FEATURES = (
+    "bodies",
+    "joints",
+    "cloth_particles",
+    "explosions",
+    "penetration",
+    "probe_penetration_ratio",
+    "scale",
+    "steps",
+    "pinned_lcp",
+    "pinned_narrow",
+)
+
+BASE_FEATURES = STATIC_FEATURES + EVENT_FEATURES
+
+#: One-hot columns appended by the vectorizer.
+_ONE_HOTS = tuple(f"phase={p}" for p in PHASE_NAMES) + \
+    tuple(f"mode={m}" for m in MODE_NAMES)
+
+
+# ----------------------------------------------------------------------
+# Feature extraction (traced probe runs -> flat feature dict)
+# ----------------------------------------------------------------------
+def _probe_run(scenario: str, precision: Mapping[str, int], mode,
+               steps: int, scale: float, seed: Optional[int],
+               out_path) -> Dict[str, float]:
+    """One short traced run; returns scenario statics, streams JSONL."""
+    mode = RoundingMode.parse(mode)
+    ctx = FPContext(dict(precision), mode=mode, census=True)
+    world = build(scenario, ctx=ctx, scale=scale, seed=seed)
+    tracer = Tracer(JsonlWriter(out_path))
+    tracer.meta(scenario=scenario, steps=steps,
+                precision=dict(precision), mode=mode.value, census=True)
+    tracer.attach(world=world)
+    blew_up = False
+    try:
+        for _ in range(steps):
+            world.step()
+            n = world.bodies.count
+            if n and not (np.isfinite(world.bodies.pos[:n]).all()
+                          and np.isfinite(world.bodies.linvel[:n]).all()):
+                blew_up = True
+                break
+    except (FloatingPointError, ValueError):
+        blew_up = True
+    finally:
+        tracer.close()
+    return {
+        "bodies": float(world.bodies.count),
+        "joints": float(len(world.joints)),
+        "cloth_particles": float(
+            sum(c.particle_count for c in world.cloths)),
+        "explosions": float(len(world.explosions)),
+        "penetration": float(
+            world.penetration_series.maximum(default=0.0)),
+        "blew_up": float(blew_up),
+    }
+
+
+def extract_features(
+    scenario: str,
+    steps: Optional[int] = None,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    mode="jam",
+    fixed_precision: Optional[Mapping[str, int]] = None,
+    probe_steps: int = DEFAULT_PROBE_STEPS,
+    probe_bits: int = DEFAULT_PROBE_BITS,
+) -> Dict[str, float]:
+    """One deterministic feature row for a search configuration.
+
+    Runs two short traced simulations (full precision, then the tuned
+    phases forced to ``probe_bits``), reads the JSONL streams back, and
+    merges the event features with scenario statics.  Costs
+    ``2 * probe_steps`` census steps — small next to one believability
+    probe at the full search step count.
+    """
+    steps = default_steps() if steps is None else steps
+    fixed = dict(fixed_precision or {})
+    probe_precision = dict(fixed)
+    for phase in PHASE_NAMES:
+        probe_precision.setdefault(phase, probe_bits)
+    with tempfile.TemporaryDirectory(prefix="repro-surrogate-") as tmp:
+        ref_path = Path(tmp) / "ref.jsonl"
+        probe_path = Path(tmp) / "probe.jsonl"
+        ref_statics = _probe_run(scenario, {}, mode, probe_steps, scale,
+                                 seed, ref_path)
+        probe_statics = _probe_run(scenario, probe_precision, mode,
+                                   probe_steps, scale, seed, probe_path)
+        ref_events, _ = read_events(ref_path)
+        probe_events, _ = read_events(probe_path)
+
+    features = features_from_events(ref_events, probe_events)
+    features["probe_blowup"] = max(features["probe_blowup"],
+                                   probe_statics["blew_up"])
+    for name in ("bodies", "joints", "cloth_particles", "explosions",
+                 "penetration"):
+        features[name] = ref_statics[name]
+    allowed = (3.0 * ref_statics["penetration"] + 0.05)
+    features["probe_penetration_ratio"] = min(
+        probe_statics["penetration"] / allowed, 100.0)
+    features["scale"] = float(scale)
+    features["steps"] = float(steps)
+    features["pinned_lcp"] = float(fixed.get("lcp", FULL_PRECISION))
+    features["pinned_narrow"] = float(fixed.get("narrow", FULL_PRECISION))
+    return features
+
+
+# ----------------------------------------------------------------------
+# Dataset builder (scenario x phase x mode sweep -> JSONL rows)
+# ----------------------------------------------------------------------
+def _dataset_row(scenario, phase, mode, steps, scale, seed, probe_steps,
+                 probe_bits, fixed_precision) -> SweepOutcome:
+    """Module-level sweep job: one (features, label) training row."""
+    mode = RoundingMode.parse(mode)
+    features = extract_features(
+        scenario, steps=steps, scale=scale, seed=seed, mode=mode,
+        fixed_precision=fixed_precision, probe_steps=probe_steps,
+        probe_bits=probe_bits)
+    stats: Dict = {}
+    label = minimum_precision(
+        scenario, phases=(phase,), mode=mode, steps=steps, scale=scale,
+        fixed_precision=fixed_precision, seed=seed, stats=stats)
+    row = {
+        "scenario": scenario,
+        "phase": phase,
+        "mode": mode.value,
+        "steps": steps,
+        "scale": scale,
+        "seed": seed,
+        "fixed_precision": dict(fixed_precision or {}),
+        "features": features,
+        "label": int(label),
+        "search_probes": stats["probes"],
+    }
+    return SweepOutcome(row, ops=stats["probes"])
+
+
+def build_dataset(
+    scenarios: Optional[Sequence[str]] = None,
+    phases: Iterable[str] = PHASE_NAMES,
+    modes: Iterable = (RoundingMode.JAMMING,),
+    steps: Optional[int] = None,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    probe_steps: int = DEFAULT_PROBE_STEPS,
+    probe_bits: int = DEFAULT_PROBE_BITS,
+    include_combined: bool = False,
+    runner: Optional[SweepRunner] = None,
+    out_path=None,
+) -> List[dict]:
+    """Sweep scenarios x phases x modes into labelled feature rows.
+
+    Each row pairs the cheap runtime features of a configuration with
+    the expensive ground truth (the cold ``minimum_precision`` search).
+    Jobs fan out over a :class:`~repro.perf.sweep.SweepRunner`;
+    ``include_combined`` adds the combined-tuning rows (narrow-phase
+    re-searched with LCP pinned at its jamming minimum, as in Table 1).
+    ``out_path`` appends the rows as JSONL (one self-contained object
+    per line, header first).
+    """
+    scenarios = list(scenarios or SCENARIO_NAMES)
+    phases = tuple(phases)
+    modes = tuple(RoundingMode.parse(m) for m in modes)
+    steps = default_steps() if steps is None else steps
+    runner = runner or SweepRunner(1)
+
+    grid = [SweepJob(
+        key=(scenario, phase, mode.value),
+        fn=_dataset_row,
+        args=(scenario, phase, mode, steps, scale, seed, probe_steps,
+              probe_bits, None),
+    ) for scenario in scenarios for phase in phases for mode in modes]
+    rows = [r.value for r in runner.run(grid)]
+
+    if include_combined and "lcp" in phases and "narrow" in phases:
+        # Pin LCP at its independent jamming minimum, re-search narrow
+        # (the parenthesised Table 1 numbers) — a second stage because
+        # each pin depends on a first-stage label.
+        lcp_bits = {
+            row["scenario"]: row["label"] for row in rows
+            if row["phase"] == "lcp" and row["mode"] == "jam"}
+        combined = [SweepJob(
+            key=(scenario, "narrow", "jam", "combined"),
+            fn=_dataset_row,
+            args=(scenario, "narrow", RoundingMode.JAMMING, steps, scale,
+                  seed, probe_steps, probe_bits,
+                  {"lcp": lcp_bits[scenario]}),
+        ) for scenario in scenarios if scenario in lcp_bits]
+        rows.extend(r.value for r in runner.run(combined))
+
+    if out_path is not None:
+        with JsonlWriter(out_path) as writer:
+            writer.write({
+                "dataset": "repro.surrogate.v1",
+                "rows": len(rows),
+                "scenarios": scenarios,
+                "phases": list(phases),
+                "modes": [m.value for m in modes],
+                "steps": steps,
+                "scale": scale,
+                "seed": seed,
+                "probe_steps": probe_steps,
+                "probe_bits": probe_bits,
+            })
+            for row in rows:
+                writer.write(row)
+    return rows
+
+
+def load_dataset(path) -> List[dict]:
+    """Read the labelled rows back from a dataset JSONL file."""
+    events, _skipped = read_events(path)
+    return [e for e in events if "label" in e and "features" in e]
+
+
+# ----------------------------------------------------------------------
+# Model: ridge regression over polynomial features
+# ----------------------------------------------------------------------
+def _raw_vector(feature_names: Sequence[str], features: Mapping[str, float],
+                phase: str, mode: str) -> np.ndarray:
+    values = dict(features)
+    for name in PHASE_NAMES:
+        values[f"phase={name}"] = 1.0 if phase == name else 0.0
+    for name in MODE_NAMES:
+        values[f"mode={name}"] = 1.0 if mode == name else 0.0
+    vec = np.array([float(values.get(name, 0.0))
+                    for name in feature_names], dtype=np.float64)
+    return np.nan_to_num(vec, nan=0.0, posinf=100.0, neginf=-100.0)
+
+
+def _expand(z: np.ndarray, degree: int) -> np.ndarray:
+    """Polynomial feature map: bias + linear (+ quadratic cross terms)."""
+    terms = [np.ones(1), z]
+    if degree >= 2:
+        outer = np.outer(z, z)
+        terms.append(outer[np.triu_indices(len(z))])
+    return np.concatenate(terms)
+
+
+@dataclass
+class SurrogateModel:
+    """Serializable precision predictor (JSON weights artifact).
+
+    Prediction pipeline: raw feature vector (ordered by
+    :attr:`feature_names`, one-hots included) -> z-score with the
+    training ``mean``/``std`` -> polynomial expansion of ``degree`` ->
+    dot with ``weights`` -> round -> clamp to the per-phase training
+    floor and ``[1, FULL_PRECISION]``.
+    """
+
+    feature_names: List[str]
+    mean: np.ndarray
+    std: np.ndarray
+    weights: np.ndarray
+    degree: int = 2
+    lam: float = 1e-3
+    #: per-phase minimum label seen in training — the physics-informed
+    #: floor predictions never go below
+    floors: Dict[str, int] = field(default_factory=dict)
+    probe_steps: int = DEFAULT_PROBE_STEPS
+    probe_bits: int = DEFAULT_PROBE_BITS
+    meta: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def predict_value(self, features: Mapping[str, float], phase: str,
+                      mode: str = "jam") -> float:
+        """Raw (unclamped, unrounded) regression output."""
+        x = _raw_vector(self.feature_names, features, phase, mode)
+        z = (x - self.mean) / self.std
+        return float(_expand(z, self.degree) @ self.weights)
+
+    def predict_bits(self, features: Mapping[str, float], phase: str,
+                     mode: str = "jam") -> int:
+        """Predicted minimum believable mantissa bits, floor-clamped."""
+        bits = int(round(self.predict_value(features, phase, mode)))
+        floor = max(1, int(self.floors.get(phase, 1)))
+        return max(floor, min(bits, FULL_PRECISION))
+
+    def features_for(self, query: PrecisionQuery) -> Dict[str, float]:
+        return extract_features(
+            query.scenario, steps=query.steps, scale=query.scale,
+            seed=query.seed, mode=query.mode,
+            fixed_precision=dict(query.fixed),
+            probe_steps=self.probe_steps, probe_bits=self.probe_bits)
+
+    def predict_query(self, query: PrecisionQuery) -> int:
+        """The :func:`minimum_precision` warm-start entry point."""
+        features = self.features_for(query)
+        return self.predict_bits(features, query.phases[0], query.mode)
+
+    def feed_forward_register(
+        self,
+        scenario: str,
+        register: Mapping[str, int],
+        mode="jam",
+        steps: Optional[int] = None,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Per-phase predictions for ``PrecisionController(surrogate=)``.
+
+        One feature extraction serves every phase in the register; each
+        prediction is clamped to never go below that phase's register
+        floor.
+        """
+        mode = RoundingMode.parse(mode).value
+        features = extract_features(
+            scenario, steps=steps, scale=scale, seed=seed, mode=mode,
+            probe_steps=self.probe_steps, probe_bits=self.probe_bits)
+        return {
+            phase: max(int(minimum),
+                       self.predict_bits(features, phase, mode))
+            for phase, minimum in register.items()
+        }
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> Path:
+        path = Path(path)
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": "repro.surrogate.v1",
+            "feature_names": list(self.feature_names),
+            "mean": self.mean.tolist(),
+            "std": self.std.tolist(),
+            "weights": self.weights.tolist(),
+            "degree": self.degree,
+            "lam": self.lam,
+            "floors": {k: int(v) for k, v in self.floors.items()},
+            "probe_steps": self.probe_steps,
+            "probe_bits": self.probe_bits,
+            "meta": self.meta,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path) -> "SurrogateModel":
+        data = json.loads(Path(path).read_text())
+        if data.get("format") != "repro.surrogate.v1":
+            raise ValueError(
+                f"not a surrogate model artifact: {path}")
+        return cls(
+            feature_names=list(data["feature_names"]),
+            mean=np.asarray(data["mean"], dtype=np.float64),
+            std=np.asarray(data["std"], dtype=np.float64),
+            weights=np.asarray(data["weights"], dtype=np.float64),
+            degree=int(data["degree"]),
+            lam=float(data["lam"]),
+            floors={k: int(v) for k, v in data["floors"].items()},
+            probe_steps=int(data["probe_steps"]),
+            probe_bits=int(data["probe_bits"]),
+            meta=dict(data.get("meta", {})),
+        )
+
+
+def train(
+    rows: Sequence[dict],
+    degree: int = 2,
+    lam: float = 1e-3,
+    probe_steps: Optional[int] = None,
+    probe_bits: Optional[int] = None,
+) -> SurrogateModel:
+    """Fit the ridge/polynomial surrogate on labelled dataset rows.
+
+    ``lam`` is the ridge penalty (small values memorize the training
+    grid, which is the intended regime: the model's job is to point the
+    verified search at the right bracket, and the fallback makes a bad
+    extrapolation cost probes, not correctness).
+    """
+    if not rows:
+        raise ValueError("cannot train on an empty dataset")
+    feature_names = list(BASE_FEATURES) + list(_ONE_HOTS)
+    X = np.stack([
+        _raw_vector(feature_names, row["features"], row["phase"],
+                    row["mode"]) for row in rows])
+    y = np.array([float(row["label"]) for row in rows])
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std[std < 1e-9] = 1.0
+    Z = (X - mean) / std
+    Phi = np.stack([_expand(z, degree) for z in Z])
+    n_terms = Phi.shape[1]
+    reg = lam * np.eye(n_terms)
+    reg[0, 0] = 0.0  # never shrink the bias
+    weights = np.linalg.solve(Phi.T @ Phi + reg, Phi.T @ y)
+
+    floors: Dict[str, int] = {}
+    for row in rows:
+        phase = row["phase"]
+        floors[phase] = min(floors.get(phase, FULL_PRECISION),
+                            int(row["label"]))
+    if probe_steps is None:
+        probe_steps = DEFAULT_PROBE_STEPS
+    if probe_bits is None:
+        probe_bits = DEFAULT_PROBE_BITS
+    residual = float(np.sqrt(np.mean((Phi @ weights - y) ** 2)))
+    return SurrogateModel(
+        feature_names=feature_names,
+        mean=mean,
+        std=std,
+        weights=weights,
+        degree=degree,
+        lam=lam,
+        floors=floors,
+        probe_steps=probe_steps,
+        probe_bits=probe_bits,
+        meta={
+            "rows": len(rows),
+            "scenarios": sorted({row["scenario"] for row in rows}),
+            "train_rmse": round(residual, 4),
+            "trained_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+    )
+
+
+def train_from_file(path, degree: int = 2, lam: float = 1e-3,
+                    probe_steps: Optional[int] = None,
+                    probe_bits: Optional[int] = None) -> SurrogateModel:
+    """Load a dataset JSONL and train, inheriting its probe settings."""
+    events, _ = read_events(path)
+    header = next((e for e in events
+                   if e.get("dataset") == "repro.surrogate.v1"), None)
+    rows = [e for e in events if "label" in e and "features" in e]
+    if header is not None:
+        if probe_steps is None:
+            probe_steps = int(header.get("probe_steps",
+                                         DEFAULT_PROBE_STEPS))
+        if probe_bits is None:
+            probe_bits = int(header.get("probe_bits", DEFAULT_PROBE_BITS))
+    return train(rows, degree=degree, lam=lam, probe_steps=probe_steps,
+                 probe_bits=probe_bits)
+
+
+# ----------------------------------------------------------------------
+# Warm-start evaluation harness (cold vs warm, probe accounting)
+# ----------------------------------------------------------------------
+def evaluate_warm_start(
+    model: SurrogateModel,
+    scenarios: Optional[Sequence[str]] = None,
+    phases: Iterable[str] = ("lcp",),
+    mode="jam",
+    steps: Optional[int] = None,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
+) -> Dict:
+    """Run every search cold then warm; report identity + probe counts.
+
+    The contract being checked is the PR's acceptance gate: identical
+    returned bits on every configuration, and strictly fewer candidate
+    widths evaluated in aggregate.
+    """
+    scenarios = list(scenarios or SCENARIO_NAMES)
+    mode = RoundingMode.parse(mode)
+    rows = []
+    for scenario in scenarios:
+        for phase in phases:
+            cold_stats: Dict = {}
+            warm_stats: Dict = {}
+            cold = minimum_precision(
+                scenario, phases=(phase,), mode=mode, steps=steps,
+                scale=scale, seed=seed, runner=runner, stats=cold_stats)
+            warm = minimum_precision(
+                scenario, phases=(phase,), mode=mode, steps=steps,
+                scale=scale, seed=seed, runner=runner, surrogate=model,
+                stats=warm_stats)
+            rows.append({
+                "scenario": scenario,
+                "phase": phase,
+                "mode": mode.value,
+                "cold_bits": cold,
+                "warm_bits": warm,
+                "identical": cold == warm,
+                "cold_probes": cold_stats["probes"],
+                "warm_probes": warm_stats["probes"],
+                "predicted": warm_stats["predicted"],
+                "warm_path": warm_stats["warm"],
+            })
+    cold_total = sum(r["cold_probes"] for r in rows)
+    warm_total = sum(r["warm_probes"] for r in rows)
+    return {
+        "rows": rows,
+        "identical": all(r["identical"] for r in rows),
+        "cold_probes": cold_total,
+        "warm_probes": warm_total,
+        "fewer_probes": warm_total < cold_total,
+        "probe_savings_pct": (
+            round(100.0 * (1.0 - warm_total / cold_total), 1)
+            if cold_total else 0.0),
+    }

@@ -165,13 +165,13 @@ class TestSchema:
 
 
 class TestSchemaV2BackCompat:
-    """Schema bumps (v1 -> ... -> v4) must not invalidate old streams."""
+    """Schema bumps (v1 -> ... -> v5) must not invalidate old streams."""
 
-    def test_current_version_is_4_and_older_still_supported(self):
+    def test_current_version_is_5_and_older_still_supported(self):
         from repro.obs import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
 
-        assert SCHEMA_VERSION == 4
-        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2, 3, 4}
+        assert SCHEMA_VERSION == 5
+        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2, 3, 4, 5}
 
     @staticmethod
     def _meta(schema):
@@ -184,7 +184,14 @@ class TestSchemaV2BackCompat:
         assert validate_event(self._meta(2)) == []
         assert validate_event(self._meta(3)) == []
         assert validate_event(self._meta(4)) == []
+        assert validate_event(self._meta(5)) == []
         assert validate_event(self._meta(99))
+
+    def test_recover_action_is_valid_in_v5(self):
+        assert validate_event({
+            "kind": "controller", "step": 1, "action": "recover",
+            "violation": False, "reexecuted": False,
+            "precisions": {"lcp": 8}}) == []
 
     def test_v1_trace_stream_still_validates(self, tmp_path):
         """A stream written under schema 1 (no serve.* kinds) passes the

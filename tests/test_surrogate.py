@@ -1,0 +1,280 @@
+"""Tests for the learned precision surrogate.
+
+The load-bearing contract: a warm-started ``minimum_precision`` returns
+*bit-identical* results to the cold search on every scenario — with a
+good model it just gets there in fewer probes, and with a wrong model it
+falls back to the full bracket.  The feed-forward controller never sets
+any phase below its register floor, no matter what the model predicts.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp import FPContext
+from repro.fp.rounding import FULL_PRECISION
+from repro.obs.features import EVENT_FEATURES, features_from_events
+from repro.tuning import (
+    PrecisionController,
+    PrecisionQuery,
+    SurrogateModel,
+    minimum_precision,
+)
+from repro.tuning import surrogate as S
+from repro.workloads import SCENARIO_NAMES
+
+STEPS = 12
+SCALE = 0.3
+
+
+class StubSurrogate:
+    """Predicts a fixed width (or per-scenario widths) without a model."""
+
+    def __init__(self, bits):
+        self.bits = bits
+
+    def predict_query(self, query: PrecisionQuery) -> int:
+        if isinstance(self.bits, dict):
+            return self.bits[query.scenario]
+        return self.bits
+
+
+@pytest.fixture(scope="module")
+def cold_results():
+    """Cold-search ground truth for every scenario (shared by tests)."""
+    results = {}
+    for scenario in SCENARIO_NAMES:
+        stats = {}
+        bits = minimum_precision(scenario, steps=STEPS, scale=SCALE,
+                                 stats=stats)
+        results[scenario] = (bits, stats["probes"])
+    return results
+
+
+class TestWarmStartIdentity:
+    def test_exact_prediction_identical_and_fewer_probes(
+            self, cold_results):
+        """A perfect model: identical bits, strictly fewer probes in
+        aggregate (the PR's acceptance gate)."""
+        predictions = {s: bits for s, (bits, _) in cold_results.items()}
+        stub = StubSurrogate(predictions)
+        cold_total = warm_total = 0
+        for scenario, (cold_bits, cold_probes) in cold_results.items():
+            stats = {}
+            warm_bits = minimum_precision(
+                scenario, steps=STEPS, scale=SCALE, surrogate=stub,
+                stats=stats)
+            assert warm_bits == cold_bits, scenario
+            assert stats["probes"] <= cold_probes, scenario
+            assert stats["warm"] == "hit", scenario
+            cold_total += cold_probes
+            warm_total += stats["probes"]
+        assert warm_total < cold_total
+
+    def test_wrong_high_prediction_falls_back_identically(
+            self, cold_results):
+        for scenario, (cold_bits, _) in cold_results.items():
+            stub = StubSurrogate(min(FULL_PRECISION, cold_bits + 8))
+            stats = {}
+            warm_bits = minimum_precision(
+                scenario, steps=STEPS, scale=SCALE, surrogate=stub,
+                stats=stats)
+            assert warm_bits == cold_bits, scenario
+
+    def test_wrong_low_prediction_falls_back_identically(
+            self, cold_results):
+        for scenario, (cold_bits, _) in cold_results.items():
+            stub = StubSurrogate(max(1, cold_bits - 8))
+            stats = {}
+            warm_bits = minimum_precision(
+                scenario, steps=STEPS, scale=SCALE, surrogate=stub,
+                stats=stats)
+            assert warm_bits == cold_bits, scenario
+
+    @pytest.mark.parametrize("predicted", [1, 5, 12, 23, -3, 40])
+    def test_any_prediction_is_safe_on_one_scenario(self, predicted,
+                                                    cold_results):
+        cold_bits, _ = cold_results["ragdoll"]
+        stats = {}
+        warm_bits = minimum_precision(
+            "ragdoll", steps=STEPS, scale=SCALE,
+            surrogate=StubSurrogate(predicted), stats=stats)
+        assert warm_bits == cold_bits
+        assert stats["warm"] in ("hit", "fallback")
+
+    def test_stats_fields(self, cold_results):
+        stats = {}
+        bits = minimum_precision("continuous", steps=STEPS, scale=SCALE,
+                                 stats=stats)
+        assert stats["bits"] == bits
+        assert stats["probes"] >= 1
+        assert stats["warm"] is None
+        assert stats["predicted"] is None
+
+
+class TestTrainedModel:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return S.build_dataset(["continuous", "ragdoll"],
+                               phases=("lcp",), steps=10, scale=SCALE,
+                               probe_steps=4)
+
+    @pytest.fixture(scope="class")
+    def model(self, dataset):
+        return S.train(dataset, probe_steps=4)
+
+    def test_dataset_rows_are_complete(self, dataset):
+        assert len(dataset) == 2
+        for row in dataset:
+            assert set(EVENT_FEATURES) <= set(row["features"])
+            assert 1 <= row["label"] <= FULL_PRECISION
+            assert row["search_probes"] >= 1
+
+    def test_model_memorizes_training_grid(self, dataset, model):
+        for row in dataset:
+            bits = model.predict_bits(row["features"], row["phase"],
+                                      row["mode"])
+            assert bits == row["label"]
+
+    def test_floors_never_undershot(self, dataset, model):
+        floor = min(row["label"] for row in dataset)
+        bad_features = {name: -1e6 for name in S.BASE_FEATURES}
+        assert model.predict_bits(bad_features, "lcp") >= max(1, floor)
+
+    def test_save_load_roundtrip(self, model, tmp_path):
+        path = model.save(tmp_path / "model.json")
+        clone = SurrogateModel.load(path)
+        features = {name: 1.0 for name in S.BASE_FEATURES}
+        assert clone.predict_bits(features, "lcp") == \
+            model.predict_bits(features, "lcp")
+        assert clone.floors == model.floors
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro.surrogate.v1"
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something.else"}))
+        with pytest.raises(ValueError):
+            SurrogateModel.load(path)
+
+    def test_trained_warm_start_identity(self, model):
+        report = S.evaluate_warm_start(
+            model, scenarios=["continuous", "ragdoll"], phases=("lcp",),
+            steps=10, scale=SCALE)
+        assert report["identical"]
+        assert report["warm_probes"] <= report["cold_probes"]
+
+    def test_feed_forward_register_respects_floors(self, model):
+        register = {"lcp": 9, "narrow": 9}
+        targets = model.feed_forward_register(
+            "continuous", register, steps=10, scale=SCALE)
+        assert set(targets) == set(register)
+        for phase, bits in targets.items():
+            assert register[phase] <= bits <= FULL_PRECISION
+
+
+class TestTable1Plumbing:
+    def test_surrogate_grid_identical_to_cold(self):
+        from repro.experiments.table1 import compute_table1
+
+        cold = compute_table1(steps=10, scale=SCALE,
+                              scenarios=["continuous"], use_cache=False,
+                              workers=1)
+        warm = compute_table1(steps=10, scale=SCALE,
+                              scenarios=["continuous"], use_cache=False,
+                              workers=1,
+                              surrogate=StubSurrogate({"continuous": 1}))
+        assert warm.independent == cold.independent
+        assert warm.narrow_combined == cold.narrow_combined
+        assert isinstance(cold.probes, int) and cold.probes >= 1
+        assert isinstance(warm.probes, int) and warm.probes >= 1
+
+
+class TestFeedForwardProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        floor=st.integers(min_value=1, max_value=FULL_PRECISION),
+        predicted=st.integers(min_value=-50, max_value=80),
+        signals=st.lists(
+            st.one_of(st.none(),
+                      st.floats(min_value=0.0, max_value=2.0,
+                                allow_nan=False)),
+            max_size=12),
+    )
+    def test_never_below_register_floor(self, floor, predicted, signals):
+        """Whatever the model predicts and whatever the energy signal
+        does, no controlled phase ever runs below its register floor."""
+        ctx = FPContext({"lcp": FULL_PRECISION})
+        controller = PrecisionController(
+            ctx, {"lcp": floor}, surrogate={"lcp": predicted})
+        assert ctx.precision_for("lcp") >= floor
+        for step, signal in enumerate(signals):
+            controller.observe(signal, step=step)
+            assert ctx.precision_for("lcp") >= floor
+
+    @settings(max_examples=20, deadline=None)
+    @given(predicted=st.integers(min_value=-50, max_value=80))
+    def test_guard_still_throttles_on_violation(self, predicted):
+        ctx = FPContext({"lcp": FULL_PRECISION})
+        controller = PrecisionController(
+            ctx, {"lcp": 6}, surrogate={"lcp": predicted})
+        controller.observe(0.9, step=0)
+        assert ctx.precision_for("lcp") == FULL_PRECISION
+
+
+class TestFeatures:
+    def _step(self, total, delta=0.01, violation=False, census=None,
+              contacts=3, islands=1):
+        return {
+            "kind": "step",
+            "energy": {"total": total, "delta_rel": delta,
+                       "violation": violation},
+            "census": census or {"total": 100, "trivial": 40,
+                                 "memo_hits": 10},
+            "contacts": contacts,
+            "islands": islands,
+        }
+
+    def test_empty_reference_returns_zero_row(self):
+        features = features_from_events([], [])
+        assert set(features) == set(EVENT_FEATURES)
+        assert all(v == 0.0 for v in features.values())
+
+    def test_missing_probe_flags_truncation_and_blowup(self):
+        ref = [self._step(10.0), self._step(11.0)]
+        features = features_from_events(ref, [])
+        assert features["probe_truncated"] == 1.0
+        assert features["probe_blowup"] == 1.0
+
+    def test_nonfinite_probe_energy_flags_blowup(self):
+        ref = [self._step(10.0), self._step(11.0)]
+        probe = [self._step(10.0), self._step(float("nan"))]
+        features = features_from_events(ref, probe)
+        assert features["probe_blowup"] == 1.0
+
+    def test_truncated_probe_flagged(self):
+        ref = [self._step(10.0), self._step(11.0), self._step(12.0)]
+        probe = [self._step(10.0)]
+        features = features_from_events(ref, probe)
+        assert features["probe_truncated"] == 1.0
+
+    def test_census_fractions(self):
+        ref = [self._step(10.0)]
+        features = features_from_events(ref, ref)
+        assert features["trivial_frac"] == pytest.approx(0.4)
+        assert features["memo_frac"] == pytest.approx(0.1)
+
+    def test_deltas_are_clipped(self):
+        ref = [self._step(10.0, delta=1e12), self._step(11.0)]
+        features = features_from_events(ref, ref)
+        assert features["ref_delta_max"] == 100.0
+
+    def test_extract_features_is_deterministic(self):
+        a = S.extract_features("continuous", steps=10, scale=SCALE,
+                               probe_steps=4)
+        b = S.extract_features("continuous", steps=10, scale=SCALE,
+                               probe_steps=4)
+        assert a == b
+        assert set(S.BASE_FEATURES) <= set(a)

@@ -227,3 +227,156 @@ class TestObserveSequences:
         controller.observe(0.01, step=0)
         assert ctx.precision_for("lcp") == 6
         assert not controller.history[0].violation
+
+
+class TestReferenceCacheCriteria:
+    """Regression: the reference cache must key on the criteria.
+
+    ``max_speed`` changes blow-up detection *inside* ``energy_trace``,
+    so two criteria can classify the same configuration's reference run
+    differently; a criteria-blind cache key hands the second caller the
+    first caller's verdict.
+    """
+
+    def test_criteria_change_reference_classification(self):
+        from repro.tuning.believability import _reference
+
+        lenient = BelievabilityCriteria()
+        # Any motion at all exceeds this speed limit -> "blow-up".
+        strict = BelievabilityCriteria(max_speed=1e-9)
+        ref_lenient = _reference("continuous", 10, 0.4, lenient)
+        ref_strict = _reference("continuous", 10, 0.4, strict)
+        assert not ref_lenient.blew_up
+        assert ref_strict.blew_up
+
+    def test_criteria_cached_separately(self):
+        from repro.tuning.believability import _REFERENCE_CACHE, _reference
+
+        lenient = BelievabilityCriteria()
+        strict = BelievabilityCriteria(max_speed=1e-9)
+        a = _reference("continuous", 10, 0.4, lenient)
+        b = _reference("continuous", 10, 0.4, lenient)
+        c = _reference("continuous", 10, 0.4, strict)
+        assert a is b          # same criteria still hits the cache
+        assert c is not a      # different criteria gets its own entry
+        keys = [k for k in _REFERENCE_CACHE
+                if k[0] == "continuous" and k[1] == 10 and k[2] == 0.4]
+        assert len(keys) >= 2
+
+
+class TestControllerFloorRecovery:
+    """Regression: a phase below the register floor must recover."""
+
+    def test_below_floor_recovers_to_minimum(self):
+        ctx = FPContext({"lcp": 23})
+        controller = PrecisionController(ctx, {"lcp": 8})
+        # External write (or partial register update) under the floor.
+        ctx.set_precision("lcp", 3)
+        controller.observe(0.01, step=0)
+        assert ctx.precision_for("lcp") == 8
+
+    def test_recovery_is_logged_as_recover_action(self):
+        events = []
+
+        class Spy:
+            def controller_event(self, **kw):
+                events.append(kw)
+
+        ctx = FPContext({"lcp": 23})
+        controller = PrecisionController(ctx, {"lcp": 8})
+        controller.observer = Spy()
+        ctx.set_precision("lcp", 3)
+        controller.observe(None, step=0)
+        assert events[0]["action"] == "recover"
+        assert events[0]["precisions"]["lcp"] == 8
+
+    def test_below_floor_never_persists(self):
+        ctx = FPContext({"lcp": 23})
+        controller = PrecisionController(ctx, {"lcp": 8})
+        ctx.set_precision("lcp", 1)
+        for step in range(3):
+            controller.observe(0.0, step=step)
+            assert ctx.precision_for("lcp") >= 8
+
+
+class TestRestoreThroughSetPrecision:
+    """Regression: the fail-safe restore must use set_precision."""
+
+    def test_reexecution_restores_via_set_precision(self):
+        ctx = FPContext()
+        world = World(ctx=ctx)
+        world.add_ground_plane(0.0)
+        world.add_sphere([0, 1.0, 0], 0.3, 1.0)
+        controller = PrecisionController(ctx, {"lcp": 4, "narrow": 4})
+        controller.blowup_threshold = 1e-12  # any motion "blows up"
+        sim = ControlledSimulation(world, controller)
+
+        calls = []
+        original = ctx.set_precision
+
+        def spy(phase, bits):
+            calls.append((phase, bits))
+            return original(phase, bits)
+
+        ctx.set_precision = spy
+        try:
+            sim.step()  # first step has no energy delta yet
+            sim.step()
+        finally:
+            ctx.set_precision = original
+        assert controller.reexecutions >= 1
+        # Throttle to full, then the restore of the saved bits — all
+        # through the validated setter.
+        assert ("lcp", FULL_PRECISION) in calls
+        assert ("lcp", 4) in calls
+        assert calls.index(("lcp", 4)) > calls.index(
+            ("lcp", FULL_PRECISION))
+
+
+class TestFeedForwardController:
+    """The surrogate= parameter on PrecisionController."""
+
+    def test_mapping_surrogate_sets_start_precision(self):
+        ctx = FPContext({"lcp": 23, "narrow": 23})
+        PrecisionController(ctx, {"lcp": 6, "narrow": 8},
+                            surrogate={"lcp": 12, "narrow": 10})
+        assert ctx.precision_for("lcp") == 12
+        assert ctx.precision_for("narrow") == 10
+
+    def test_callable_surrogate(self):
+        ctx = FPContext({"lcp": 23})
+        PrecisionController(ctx, {"lcp": 6}, surrogate=lambda phase: 14)
+        assert ctx.precision_for("lcp") == 14
+
+    def test_prediction_below_floor_is_clamped(self):
+        ctx = FPContext({"lcp": 23})
+        controller = PrecisionController(ctx, {"lcp": 8},
+                                         surrogate={"lcp": 2})
+        assert ctx.precision_for("lcp") == 8
+        assert controller.targets["lcp"] == 8
+
+    def test_decay_stops_at_surrogate_target(self):
+        ctx = FPContext({"lcp": 23})
+        controller = PrecisionController(ctx, {"lcp": 6},
+                                         surrogate={"lcp": 10})
+        controller.observe(0.5, step=0)  # throttle to 23
+        for step in range(1, 20):
+            controller.observe(0.01, step=step)
+        # Decays to the predicted target, not all the way to the floor.
+        assert ctx.precision_for("lcp") == 10
+
+    def test_energy_guard_catches_misprediction(self):
+        ctx = FPContext({"lcp": 23})
+        controller = PrecisionController(ctx, {"lcp": 6},
+                                         surrogate={"lcp": 7})
+        # The optimistic prediction produced a violation: the reactive
+        # throttle must still snap to full precision.
+        controller.observe(0.5, step=0)
+        assert ctx.precision_for("lcp") == FULL_PRECISION
+        assert controller.violations == 1
+
+    def test_surrogate_none_prediction_falls_back_to_register(self):
+        ctx = FPContext({"lcp": 23, "narrow": 23})
+        PrecisionController(ctx, {"lcp": 6, "narrow": 9},
+                            surrogate={"lcp": 12})  # no narrow entry
+        assert ctx.precision_for("narrow") == 9
