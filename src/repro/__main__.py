@@ -42,6 +42,12 @@ Commands
     fits the ridge/polynomial model into a JSON artifact, ``predict``
     prints one prediction, and ``eval`` verifies warm-started searches
     against the cold baseline (identical bits, fewer probes).
+``design``
+    Closed-loop HFPU design-space search (``repro.design``): sharing
+    degree × L1 design × per-phase precision policy under area/energy
+    budgets, emitting a verified Pareto front as
+    ``DESIGN_<stamp>.json`` (the same query is servable through
+    ``repro serve`` as the ``design`` op, cached server-side).
 ``table1`` / ``table3`` / ``table4`` / ``table5`` / ``table8`` /
 ``figure5`` / ``figure6`` / ``figure7`` / ``figure8``
     Regenerate one paper artifact and print it (``table1`` accepts
@@ -53,6 +59,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 
 def _make_runner(workers):
@@ -99,6 +106,52 @@ def _add_tune_parser(sub) -> None:
     p.add_argument("--surrogate", default=None, metavar="MODEL",
                    help="warm-start the search from this trained "
                         "surrogate artifact (see `repro surrogate`)")
+
+
+def _add_design_parser(sub) -> None:
+    p = sub.add_parser(
+        "design",
+        help="closed-loop HFPU design-space search -> verified Pareto "
+             "front (repro.design)")
+    p.add_argument("scenario", nargs="?", default="continuous")
+    p.add_argument("--budget-area", type=float, default=None,
+                   metavar="MM2",
+                   help="per-core area cap in mm^2 (core + router + L2 "
+                        "share + L1 overhead); omit for unconstrained")
+    p.add_argument("--budget-energy", type=float, default=None,
+                   metavar="NJ",
+                   help="average per-FP-op energy cap in nJ; omit for "
+                        "unconstrained")
+    p.add_argument("--generations", type=int, default=3,
+                   help="evolutionary refinement generations")
+    p.add_argument("--population", type=int, default=12,
+                   help="candidates bred per generation")
+    p.add_argument("--seed", type=int, default=0,
+                   help="search RNG seed (fronts are bit-reproducible "
+                        "for a fixed seed, any worker count)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="evaluate candidates in parallel "
+                        "(default: REPRO_WORKERS, else cpu count)")
+    p.add_argument("--surrogate", default=None, metavar="MODEL",
+                   help="predict candidate believability from this "
+                        "trained surrogate artifact (front members are "
+                        "still cold-search verified)")
+    p.add_argument("--steps", type=int, default=30,
+                   help="simulation steps per believability run")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scenario size multiplier")
+    p.add_argument("--mode", default="jam", choices=["rn", "jam", "trunc"])
+    p.add_argument("--trace-length", type=int, default=4000,
+                   help="synthetic trace length for the cycle simulator")
+    p.add_argument("--designs", nargs="+", default=None, metavar="NAME",
+                   help="restrict the L1 design axis (default: all)")
+    p.add_argument("--sharing", nargs="+", type=int, default=None,
+                   metavar="N", help="restrict the cores-per-FPU axis")
+    p.add_argument("--no-cache", action="store_true",
+                   help="re-simulate even when the run cache has the "
+                        "evaluation")
+    p.add_argument("--out", default="design-out", metavar="DIR",
+                   help="directory for the DESIGN_<stamp>.json artifact")
 
 
 def _add_surrogate_parser(sub) -> None:
@@ -308,6 +361,10 @@ def _add_serve_parser(sub) -> None:
                    help="shard sockets + per-shard journals live here "
                         "(default: a fresh temp dir; pass a fixed path "
                         "to survive gateway restarts)")
+    p.add_argument("--design-surrogate", default=None, metavar="MODEL",
+                   help="warm-start served `design` queries from this "
+                        "trained surrogate artifact (front members are "
+                        "still cold-search verified)")
 
 
 def _add_serve_bench_parser(sub) -> None:
@@ -692,6 +749,77 @@ def _cmd_trace(args) -> int:
     return exit_code
 
 
+def _cmd_design(args) -> int:
+    from .design import DesignQuery, run_search
+
+    mapping = {
+        "scenario": args.scenario,
+        "budget_area": args.budget_area,
+        "budget_energy": args.budget_energy,
+        "generations": args.generations,
+        "population": args.population,
+        "seed": args.seed,
+        "steps": args.steps,
+        "scale": args.scale,
+        "mode": args.mode,
+        "trace_length": args.trace_length,
+    }
+    if args.designs:
+        mapping["designs"] = args.designs
+    if args.sharing:
+        mapping["sharing"] = args.sharing
+    sid = None
+    if args.surrogate:
+        from .design import surrogate_identity
+
+        sid = surrogate_identity(args.surrogate)
+    query = DesignQuery.from_mapping(
+        {k: v for k, v in mapping.items() if v is not None},
+        surrogate_id=sid)
+
+    start = time.perf_counter()
+    result = run_search(query, surrogate_path=args.surrogate,
+                        workers=args.workers,
+                        use_cache=not args.no_cache)
+    wall = time.perf_counter() - start
+    payload = result.payload()
+    section = payload["result"]
+
+    budgets = query.space.budgets
+    caps = ", ".join(filter(None, [
+        f"area <= {budgets.area_mm2} mm^2" if budgets.area_mm2 else "",
+        f"energy <= {budgets.energy_nj} nJ" if budgets.energy_nj else "",
+    ])) or "unconstrained"
+    print(f"design search: {query.space.scenario}, {caps}, "
+          f"seed {query.seed}, {query.generations} generation(s) x "
+          f"{query.population}")
+    print(f"  {section['evaluations']} evaluation(s), "
+          f"{section['verifications']} cold-search verification(s) in "
+          f"{wall:.1f}s (query {payload['query_key']})")
+    headers = ["design", "share", "lcp", "narrow", "area mm^2",
+               "energy nJ", "thr x", "margin"]
+    rows = [[
+        m["point"]["design"], m["point"]["cores_per_fpu"],
+        m["point"]["lcp_bits"], m["point"]["narrow_bits"],
+        f"{m['area_mm2']:.3f}", f"{m['energy_nj']:.4f}",
+        f"{1 + m['throughput']:.3f}", m["margin"],
+    ] for m in section["front"]]
+    from .experiments.report import render_table
+
+    print(render_table(
+        headers, rows,
+        title=f"Pareto front ({section['front_size']} verified "
+              f"member(s))"))
+    for pp in section["paper_points"]:
+        point = pp["point"]
+        print(f"  paper {point['design']} x{point['cores_per_fpu']} "
+              f"@({point['lcp_bits']},{point['narrow_bits']}): "
+              f"{pp['status']}")
+    path = result.write_artifact(args.out)
+    print(f"front artifact: {path}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -721,6 +849,7 @@ def _cmd_serve(args) -> int:
             drain_grace=args.drain_grace,
             allow_chaos=args.allow_chaos,
             trace_path=args.trace,
+            design_surrogate=args.design_surrogate,
         )
         try:
             asyncio.run(gateway_forever(gateway_config,
@@ -748,6 +877,7 @@ def _cmd_serve(args) -> int:
         drain_grace=args.drain_grace,
         allow_chaos=args.allow_chaos,
         fleet_step=not args.no_fleet_step,
+        design_surrogate=args.design_surrogate,
     )
     try:
         asyncio.run(serve_forever(config, observer=observer))
@@ -870,6 +1000,7 @@ def main(argv=None) -> int:
     _add_serve_parser(sub)
     _add_serve_bench_parser(sub)
     _add_surrogate_parser(sub)
+    _add_design_parser(sub)
     for artifact in ARTIFACTS:
         p = sub.add_parser(artifact, help=f"regenerate paper {artifact}")
         if artifact == "table1":
@@ -881,6 +1012,7 @@ def main(argv=None) -> int:
                            help="recompute even if the grid is cached")
 
     args = parser.parse_args(argv)
+    from .design.space import DesignSpaceError
     from .workloads import UnknownScenarioError
 
     try:
@@ -902,11 +1034,19 @@ def main(argv=None) -> int:
             return _cmd_serve_bench(args)
         if args.command == "surrogate":
             return _cmd_surrogate(args)
+        if args.command == "design":
+            return _cmd_design(args)
         return _cmd_artifact(args.command, args)
     except UnknownScenarioError as exc:
         # A typo'd scenario is usage error 2 (and one clean line), not a
         # traceback — remote serve clients get the same message inline.
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except DesignSpaceError as exc:
+        # Nonsense design inputs (negative budget, unknown L1 design,
+        # zero generations) are usage error 2 with the same typed
+        # message the serve layer returns as bad_request.
+        print(f"error: {exc.detail}", file=sys.stderr)
         return 2
 
 

@@ -1,0 +1,123 @@
+"""Pareto-front container: dominance pruning + artifact serialization.
+
+The optimizer reports *fronts*, not single winners — the paper's
+area/energy trade has no scalar objective.  Every evaluated design
+carries an objective tuple (all minimized: per-core area mm², energy
+nJ/op, negated throughput, negated believability margin);
+:func:`dominates` implements the usual weak/strict rule and
+:class:`ParetoFront` keeps the non-dominated set.
+
+Membership depends only on the *set* of evaluations, never on insertion
+order, and members are stored sorted by canonical point key — that is
+what makes fronts bit-reproducible across worker counts and evaluation
+shuffles (a tested invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..experiments.runcache import write_json_atomic
+
+__all__ = ["dominates", "ParetoFront", "ARTIFACT_VERSION"]
+
+ARTIFACT_VERSION = "repro.design.v1"
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b``.
+
+    All objectives are minimized; ``a`` dominates when it is no worse
+    everywhere and strictly better somewhere.  Equal vectors do not
+    dominate each other (both stay on the front).
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return no_worse and strictly_better
+
+
+class ParetoFront:
+    """The non-dominated subset of evaluated designs.
+
+    Entries are anything exposing ``.objectives()`` (a minimized tuple)
+    and ``.point.key()`` (canonical identity) —
+    :class:`repro.design.evaluate.DesignEval` in practice.  Duplicate
+    points replace their previous entry, so re-evaluating a design
+    (e.g. after cold-search verification) updates the front in place.
+    """
+
+    def __init__(self, entries: Iterable = ()) -> None:
+        self._by_key: Dict[Tuple, object] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry) -> bool:
+        """Insert ``entry``; returns True if it joins the front."""
+        self._by_key[entry.point.key()] = entry
+        self._prune()
+        return entry.point.key() in self._by_key
+
+    def _prune(self) -> None:
+        entries = list(self._by_key.values())
+        survivors: Dict[Tuple, object] = {}
+        for entry in entries:
+            obj = entry.objectives()
+            if any(dominates(other.objectives(), obj)
+                   for other in entries if other is not entry):
+                continue
+            survivors[entry.point.key()] = entry
+        self._by_key = dict(sorted(survivors.items()))
+
+    def members(self) -> List:
+        """Front members sorted by canonical point key."""
+        return [self._by_key[k] for k in sorted(self._by_key)]
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return tuple(key) in self._by_key
+
+    def covers(self, objectives: Sequence[float]) -> bool:
+        """True when ``objectives`` is on or dominated by the front —
+        i.e. no member is dominated by it and it adds nothing strictly
+        better than every member."""
+        objectives = tuple(objectives)
+        if any(dominates(objectives, m.objectives())
+               for m in self.members()):
+            return False
+        return any(m.objectives() == objectives
+                   or dominates(m.objectives(), objectives)
+                   for m in self.members())
+
+    def validate(self) -> List[str]:
+        """Internal-consistency problems (empty when the front is
+        valid): mutually dominating members or unsorted storage."""
+        problems = []
+        members = self.members()
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if dominates(a.objectives(), b.objectives()):
+                    problems.append(
+                        f"{a.point.key()} dominates front member "
+                        f"{b.point.key()}")
+                if dominates(b.objectives(), a.objectives()):
+                    problems.append(
+                        f"{b.point.key()} dominates front member "
+                        f"{a.point.key()}")
+        keys = [m.point.key() for m in members]
+        if keys != sorted(keys):
+            problems.append("front members are not in canonical order")
+        return problems
+
+    def to_payload(self) -> List[dict]:
+        return [m.to_dict() for m in self.members()]
+
+    @staticmethod
+    def write_artifact(path, payload: dict) -> None:
+        """Persist a full design artifact (front + query + metadata)
+        atomically under the versioned envelope."""
+        write_json_atomic(path, {"version": ARTIFACT_VERSION, **payload})

@@ -28,7 +28,8 @@ from ..fp.rounding import RoundingMode
 from ..memo.memo_table import MemoBank
 from ..workloads import build, default_steps
 
-__all__ = ["cache_dir", "census_stats", "write_json_atomic", "StatsDict"]
+__all__ = ["cache_dir", "census_stats", "cached_json",
+           "write_json_atomic", "StatsDict"]
 
 StatsDict = Dict[Tuple[str, str], OpCounter]
 
@@ -36,6 +37,9 @@ _MEMORY_CACHE: Dict[str, StatsDict] = {}
 #: guards the in-memory layer (sweep results can land from pool-callback
 #: threads while the main thread reads)
 _MEMORY_LOCK = threading.Lock()
+
+_JSON_CACHE: Dict[str, dict] = {}
+_JSON_LOCK = threading.Lock()
 
 
 def write_json_atomic(path, payload: dict) -> None:
@@ -87,6 +91,44 @@ def _deserialize(payload: dict) -> StatsDict:
         phase, op = key.split("|", 1)
         stats[(phase, op)] = OpCounter(*values)
     return stats
+
+
+def cached_json(kind: str, params: dict, compute,
+                use_cache: bool = True) -> dict:
+    """Memoize an arbitrary JSON-valued computation by parameter tuple.
+
+    ``params`` must be JSON-serializable and fully determine the result;
+    ``compute()`` runs on a miss and must return a JSON-serializable
+    dict.  Entries share the census cache's layout: an in-memory layer
+    plus a ``{kind}_{key}.json`` file written atomically, so concurrent
+    sweep workers (processes *and* threads) can race on the same entry
+    safely.  ``use_cache=False`` bypasses both layers without poisoning
+    them (the fresh result is still stored for later hits).
+    """
+    key = _key({"kind": kind, **params})
+    if use_cache:
+        with _JSON_LOCK:
+            cached = _JSON_CACHE.get(key)
+        if cached is not None:
+            return cached
+        path = cache_dir() / f"{kind}_{key}.json"
+        if path.exists():
+            try:
+                with path.open() as handle:
+                    result = json.load(handle)["result"]
+            except (OSError, ValueError, KeyError):
+                result = None  # unreadable/corrupt entry: recompute
+            if result is not None:
+                with _JSON_LOCK:
+                    _JSON_CACHE[key] = result
+                return result
+    result = compute()
+    write_json_atomic(cache_dir() / f"{kind}_{key}.json",
+                      {"params": {"kind": kind, **params},
+                       "result": result})
+    with _JSON_LOCK:
+        _JSON_CACHE[key] = result
+    return result
 
 
 def census_stats(

@@ -1,4 +1,4 @@
-"""Trace event schema (version 5) and its validator.
+"""Trace event schema (version 6) and its validator.
 
 Every JSONL line is one event; ``kind`` discriminates.  The step record
 carries the four signal families the paper's argument is built on:
@@ -28,9 +28,12 @@ snapshot moved at, digest verdict and wall cost).  Version 5 adds the
 ``recover`` controller action (the stable-path upward clamp back to the
 register floor — feed-forward surrogate control made states below the
 floor reachable, and the controller now repairs them instead of holding
-there).  Older streams stay valid: ``meta.schema`` may carry any
-version in :data:`SUPPORTED_SCHEMA_VERSIONS`, and earlier kinds are
-unchanged.
+there).  Version 6 adds the design-space-optimizer kind:
+``serve.design`` (one event per served design query — canonical query
+key, whether the server-side cache answered it, front size, outcome and
+wall cost) plus the ``design`` serve op.  Older streams stay valid:
+``meta.schema`` may carry any version in
+:data:`SUPPORTED_SCHEMA_VERSIONS`, and earlier kinds are unchanged.
 
 The validator is deliberately structural (required keys + coarse
 types), not exhaustive: the trace must stay writable from hot paths and
@@ -42,16 +45,17 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS", "EVENT_KINDS",
-           "SERVE_OPS", "V2_KINDS", "V3_KINDS", "V4_KINDS",
+           "SERVE_OPS", "V2_KINDS", "V3_KINDS", "V4_KINDS", "V6_KINDS",
            "validate_event", "validate_events"]
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Versions the validator accepts in ``meta.schema`` — a v1 trace (no
 #: ``serve.*`` events), v2 trace (no resilience events), v3 trace (no
-#: shard events) or v4 trace (no ``recover`` controller actions) must
-#: keep validating after the v5 bump.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+#: shard events), v4 trace (no ``recover`` controller actions) or v5
+#: trace (no ``serve.design`` events) must keep validating after the
+#: v6 bump.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 _NUM = (int, float)
 
@@ -157,6 +161,14 @@ EVENT_KINDS: Dict[str, Dict[str, tuple]] = {
         "ok": (bool,),         # digest-verified and repointed
         "wall": _NUM,
     },
+    # --- schema v6: design-space-optimizer events (repro.design) ---
+    "serve.design": {
+        "query": (str,),       # canonical query cache key
+        "cached": (bool,),     # answered from the server-side cache
+        "ok": (bool,),
+        "front": (int,),       # front size (0 on failure)
+        "wall": _NUM,
+    },
 }
 
 #: Kinds introduced by schema version 2.
@@ -167,6 +179,9 @@ V3_KINDS = ("serve.recover", "serve.drain")
 
 #: Kinds introduced by schema version 4.
 V4_KINDS = ("serve.route", "serve.migrate")
+
+#: Kinds introduced by schema version 6.
+V6_KINDS = ("serve.design",)
 
 _RECOVER_OUTCOMES = ("recovered", "degraded", "respawned", "lost")
 
@@ -184,7 +199,9 @@ _CONTROLLER_ACTIONS = ("throttle", "decay", "hold", "recover")
 SERVE_OPS = ("ping", "create", "step", "snapshot", "restore", "close",
              "stats",
              # schema v4: gateway admin ops (repro.serve.shard)
-             "migrate", "drain_shard", "rebalance", "topology")
+             "migrate", "drain_shard", "rebalance", "topology",
+             # schema v6: design-space-optimizer queries (repro.design)
+             "design")
 
 
 def validate_event(event: dict) -> List[str]:

@@ -343,6 +343,25 @@ class Tracer:
             "serve.migrations", outcome="ok" if ok else "failed").inc()
         self.registry.histogram("serve.migration.seconds").observe(wall)
 
+    def serve_design(self, query: str, cached: bool, ok: bool,
+                     front: int, wall: float) -> None:
+        """One served design-space query (schema v6): the canonical
+        query key, whether the server-side cache answered it, the front
+        size and the wall cost (near zero on a cache hit)."""
+        self.emit({
+            "kind": "serve.design",
+            "query": query,
+            "cached": cached,
+            "ok": ok,
+            "front": front,
+            "wall": round(wall, 6),
+        })
+        self.registry.counter(
+            "serve.designs",
+            source="cache" if cached else "search").inc()
+        if not cached:
+            self.registry.histogram("serve.design.seconds").observe(wall)
+
     # ------------------------------------------------------------------
     # Sweep hooks
     # ------------------------------------------------------------------

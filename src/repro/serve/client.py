@@ -187,6 +187,21 @@ class Client:
     def stats(self) -> dict:
         return self.request({"op": "stats"})
 
+    def design(self, query: dict, timeout: Optional[float] = None) -> dict:
+        """One design-space query; returns the full response (the
+        ``design`` field holds the versioned front payload, ``cached``
+        says whether the server-side cache answered it).  Searches can
+        far outlast the default socket timeout, so this op takes its
+        own."""
+        if timeout is not None:
+            previous = self._sock.gettimeout()
+            self._sock.settimeout(timeout)
+            try:
+                return self.request({"op": "design", "query": query})
+            finally:
+                self._sock.settimeout(previous)
+        return self.request({"op": "design", "query": query})
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         try:

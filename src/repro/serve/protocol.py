@@ -26,6 +26,11 @@ pipelining client can correlate responses.
                       into a freshly created session)
 ``close``             end a session cleanly
 ``stats``             service totals + per-session summaries
+``design``            design-space query: ``query`` (an object of
+                      ``repro.design`` search parameters — budgets,
+                      generations, seed, ...) → the verified Pareto
+                      front; results are cached server-side keyed on
+                      the canonicalized query
 ``topology``          gateway only: shard processes + routing table
 ``migrate``           gateway only: move ``session`` to ``target`` shard
 ``drain_shard``       gateway only: move every session off ``shard``
@@ -179,6 +184,13 @@ def parse_request(frame: dict) -> str:
     if op == "drain_shard" and frame.get("shard") is None:
         raise ServiceError(
             "bad_request", "op 'drain_shard' needs a 'shard' index")
+    if op == "design":
+        query = frame.get("query")
+        if not isinstance(query, dict):
+            raise ServiceError(
+                "bad_request",
+                "op 'design' needs a 'query' object of search "
+                "parameters")
     return op
 
 

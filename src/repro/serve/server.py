@@ -68,6 +68,9 @@ __all__ = ["ServiceConfig", "SimulationService", "serve_forever"]
 #: Replayable responses retained for idempotent retry, service-wide.
 REPLAY_CACHE_SIZE = 1024
 
+#: Served design-query payloads retained, keyed on the canonical query.
+DESIGN_CACHE_SIZE = 128
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -97,6 +100,11 @@ class ServiceConfig:
     #: coalesce compatible same-tick step requests into one vectorized
     #: :class:`~repro.physics.WorldBatch` pass (bit-identical)
     fleet_step: bool = True
+    #: optional PR 9 surrogate artifact path warm-starting served
+    #: ``design`` queries (cold search when None)
+    design_surrogate: Optional[str] = None
+    #: served design payloads cached, keyed on the canonical query
+    design_cache_size: int = DESIGN_CACHE_SIZE
 
 
 class SimulationService:
@@ -135,6 +143,11 @@ class SimulationService:
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.StreamWriter] = set()
         self._replay: "OrderedDict" = OrderedDict()
+        #: canonical query key -> design payload (LRU, single-flight)
+        self._design_cache: "OrderedDict" = OrderedDict()
+        self._design_inflight: dict = {}
+        self.designs_total = 0
+        self.design_cache_hits = 0
         self._draining = False
         self.started_at = 0.0
         self.requests_total = 0
@@ -340,7 +353,7 @@ class SimulationService:
                 response["replayed"] = True
                 return response
         if self._draining and op in ("create", "step", "snapshot",
-                                     "restore"):
+                                     "restore", "design"):
             raise ServiceError(
                 "draining", "service is draining; retry after restart",
                 extra={"retry_after_ms": 1000})
@@ -365,6 +378,8 @@ class SimulationService:
             return ok_response(frame, **session.describe())
         if op == "stats":
             return ok_response(frame, **self._stats())
+        if op == "design":
+            return await self._design(frame)
         if op in GATEWAY_OPS:
             raise ServiceError(
                 "bad_request",
@@ -415,6 +430,95 @@ class SimulationService:
             return ok_response(frame, **result)
         raise ServiceError("unknown_op", f"unhandled op {op!r}")
 
+    # ------------------------------------------------------------------
+    # Design-space queries (schema v6)
+    # ------------------------------------------------------------------
+    async def _design(self, frame: dict) -> dict:
+        """One design-space query: canonicalize, admit, search, cache.
+
+        The search itself is CPU-bound and runs in a worker thread (its
+        sweep fans out over processes), so the event loop keeps
+        answering cheap ops.  Results are cached by canonical query key
+        — a repeated query is answered without re-searching, and
+        concurrent duplicates coalesce onto one in-flight search.
+        Invalid queries surface as ``bad_request`` with the same typed
+        detail the CLI prints.
+        """
+        from ..design import DesignQuery, DesignSpaceError, run_search
+        from ..design.evaluate import surrogate_identity
+
+        start = time.perf_counter()
+        surrogate_path = self.config.design_surrogate
+        try:
+            sid = (surrogate_identity(surrogate_path)
+                   if surrogate_path else None)
+            query = DesignQuery.from_mapping(frame["query"],
+                                             surrogate_id=sid)
+        except DesignSpaceError as exc:
+            raise ServiceError(
+                "bad_request", f"design query: {exc.detail}") from None
+        key = query.cache_key()
+        self.designs_total += 1
+
+        def _respond(payload: dict, cached: bool) -> dict:
+            wall = time.perf_counter() - start
+            if cached:
+                self.design_cache_hits += 1
+            if self.observer is not None:
+                self.observer.serve_design(
+                    key, cached, True,
+                    payload["result"]["front_size"], wall)
+            else:
+                self.registry.counter(
+                    "serve.designs",
+                    source="cache" if cached else "search").inc()
+            return ok_response(frame, cached=cached, design=payload)
+
+        cached = self._design_cache.get(key)
+        if cached is not None:
+            self._design_cache.move_to_end(key)
+            return _respond(cached, True)
+        inflight = self._design_inflight.get(key)
+        if inflight is not None:
+            # Coalesce onto the running search; this request triggered
+            # no new work, so it counts as cache-served.
+            payload = await asyncio.shield(inflight)
+            return _respond(payload, True)
+
+        # Admission: design searches share the bounded-queue budget so
+        # a burst of distinct queries backpressures with ``busy``
+        # instead of buffering unbounded CPU work.
+        admit_key = f"design:{key}"
+        self.admission.admit(admit_key)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._design_inflight[key] = future
+        try:
+            result = await loop.run_in_executor(
+                None,
+                lambda: run_search(query, surrogate_path=surrogate_path,
+                                   workers=self.config.workers))
+            payload = result.payload()
+            self._design_cache[key] = payload
+            while len(self._design_cache) > self.config.design_cache_size:
+                self._design_cache.popitem(last=False)
+            future.set_result(payload)
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Coalesced waiters got the exception; nobody else will.
+            if not future.cancelled():
+                with contextlib.suppress(BaseException):
+                    future.exception()
+            if self.observer is not None:
+                self.observer.serve_design(
+                    key, False, False, 0,
+                    time.perf_counter() - start)
+            raise
+        finally:
+            self._design_inflight.pop(key, None)
+            self.admission.release(admit_key)
+        return _respond(payload, False)
+
     def _stats(self) -> dict:
         return {
             "uptime": round(time.time() - self.started_at, 3),
@@ -429,6 +533,9 @@ class SimulationService:
             "incidents": len(self.incidents.records),
             "draining": self._draining,
             "requests_total": self.requests_total,
+            "designs_total": self.designs_total,
+            "design_cache_hits": self.design_cache_hits,
+            "design_cache_size": len(self._design_cache),
             "queue_depth": self.admission.queue_depth,
             "rejected_total": self.admission.rejected_total,
             "batches": self.scheduler.batches_dispatched,

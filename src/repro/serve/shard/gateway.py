@@ -95,6 +95,9 @@ class GatewayConfig:
     #: seconds a migration may wait for in-flight requests to finish
     migrate_grace: float = 10.0
     vnodes: int = 64
+    #: optional surrogate artifact path shards warm-start ``design``
+    #: queries with
+    design_surrogate: Optional[str] = None
 
     def shard_service_config(self) -> ServiceConfig:
         """The per-shard ServiceConfig (socket/journal paths added by
@@ -107,6 +110,7 @@ class GatewayConfig:
             journal_every=self.journal_every,
             drain_grace=self.drain_grace,
             allow_chaos=self.allow_chaos,
+            design_surrogate=self.design_surrogate,
         )
 
 
@@ -480,12 +484,38 @@ class ShardGateway:
             return ok_response(frame, **result)
         if op == "create":
             return await self._create(frame, upstreams)
+        if op == "design":
+            return await self._design(frame, upstreams)
         # step / snapshot / restore / close — forward to the owner.
         return await self._forward_session_op(op, frame, upstreams)
 
     # ------------------------------------------------------------------
     # Create + forwarding
     # ------------------------------------------------------------------
+    async def _design(self, frame: dict,
+                      upstreams: Dict[int, tuple]) -> dict:
+        """Route a design query to the shard that owns its canonical
+        key, so repeats of the same query always hit the same shard's
+        server-side cache.  Invalid queries are refused here — the
+        gateway gives the same ``bad_request`` a shard would, without
+        burning a forward."""
+        from ...design import DesignQuery, DesignSpaceError
+
+        try:
+            key = DesignQuery.from_mapping(frame["query"]).cache_key()
+        except DesignSpaceError as exc:
+            raise ServiceError(
+                "bad_request", f"design query: {exc.detail}") from None
+        if not self.active:
+            raise ServiceError(
+                "shard_down", "no shard accepts design queries",
+                extra={"retry_after_ms": 1000})
+        shard = self.ring.lookup(f"design:{key}")
+        # Stateless + cached server-side, so the crash-retry loop in
+        # _forward is safe: a re-sent query just re-hits the cache.
+        return await self._forward(shard, frame, upstreams)
+
+
     async def _create(self, frame: dict,
                       upstreams: Dict[int, tuple]) -> dict:
         if not self.active:

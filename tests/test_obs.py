@@ -167,11 +167,11 @@ class TestSchema:
 class TestSchemaV2BackCompat:
     """Schema bumps (v1 -> ... -> v5) must not invalidate old streams."""
 
-    def test_current_version_is_5_and_older_still_supported(self):
+    def test_current_version_is_6_and_older_still_supported(self):
         from repro.obs import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
 
-        assert SCHEMA_VERSION == 5
-        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2, 3, 4, 5}
+        assert SCHEMA_VERSION == 6
+        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2, 3, 4, 5, 6}
 
     @staticmethod
     def _meta(schema):
